@@ -1,0 +1,98 @@
+// Command pocolo-batch time-shares a batch of finite best-effort jobs over
+// one latency-critical server's spare resources (the paper's Section V-G
+// extension) and prints the schedule outcome.
+//
+// Usage:
+//
+//	pocolo-batch [-lc xapian] [-jobs lstm:2000,rnn:600,graph:400] \
+//	             [-policy sjf] [-quantum 5s] [-level 0.3] [-max 10m]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"pocolo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-batch: ")
+	lc := flag.String("lc", "xapian", "latency-critical primary")
+	jobsFlag := flag.String("jobs", "lstm:2000,rnn:600,graph:400", "comma-separated app:size-ops jobs")
+	policyName := flag.String("policy", "sjf", "time-sharing discipline: fcfs, sjf, or rr")
+	quantum := flag.Duration("quantum", 5*time.Second, "round-robin time slice")
+	level := flag.Float64("level", 0.3, "constant load level of the primary")
+	maxSim := flag.Duration("max", 10*time.Minute, "simulation budget")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	jobs, err := parseJobs(*jobsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var policy pocolo.BatchPolicy
+	switch *policyName {
+	case "fcfs":
+		policy = pocolo.FCFS
+	case "sjf":
+		policy = pocolo.SJF
+	case "rr":
+		policy = pocolo.RR
+	default:
+		log.Fatalf("unknown policy %q (want fcfs, sjf, or rr)", *policyName)
+	}
+
+	sys, err := pocolo.NewSystem(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := pocolo.ConstantTrace(*level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunBatch(*lc, trace, policy, *quantum, jobs, *maxSim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d jobs on %s (%s, %.0f%% primary load)\n", len(jobs), *lc, policy, *level*100)
+	for _, c := range res.Completions {
+		fmt.Printf("  %-8s finished at %-9s (%.0f ops)\n", c.App, c.At.Truncate(100*time.Millisecond), c.SizeOps)
+	}
+	if !res.Done {
+		fmt.Printf("  INCOMPLETE after %v; progress: %v\n", *maxSim, res.Progress)
+	}
+	fmt.Printf("makespan %v, mean flow time %v\n",
+		res.Makespan.Truncate(100*time.Millisecond), res.MeanFlowTime.Truncate(100*time.Millisecond))
+	fmt.Printf("server: power util %.0f%%, SLO violations %.2f%%\n",
+		res.Host.PowerUtil*100, res.Host.SLOViolFrac*100)
+}
+
+// parseJobs parses "app:ops,app:ops" into batch jobs.
+func parseJobs(s string) ([]pocolo.BatchJob, error) {
+	var jobs []pocolo.BatchJob
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		app, sizeStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("job %q: want app:size-ops", part)
+		}
+		size, err := strconv.ParseFloat(sizeStr, 64)
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("job %q: bad size %q", part, sizeStr)
+		}
+		jobs = append(jobs, pocolo.BatchJob{App: strings.TrimSpace(app), SizeOps: size})
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("no jobs in %q", s)
+	}
+	return jobs, nil
+}

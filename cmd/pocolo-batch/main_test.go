@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseJobs(t *testing.T) {
+	jobs, err := parseJobs("lstm:2000, rnn:600 ,graph:400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	if jobs[0].App != "lstm" || jobs[0].SizeOps != 2000 {
+		t.Errorf("first job = %+v", jobs[0])
+	}
+	if jobs[1].App != "rnn" || jobs[2].App != "graph" {
+		t.Errorf("jobs = %v", jobs)
+	}
+	// Trailing commas tolerated.
+	jobs, err = parseJobs("lstm:10,")
+	if err != nil || len(jobs) != 1 {
+		t.Errorf("trailing comma: %v, %v", jobs, err)
+	}
+	for _, bad := range []string{"", "lstm", "lstm:abc", "lstm:0", "lstm:-5", ","} {
+		if _, err := parseJobs(bad); err == nil {
+			t.Errorf("parseJobs(%q): expected error", bad)
+		}
+	}
+}

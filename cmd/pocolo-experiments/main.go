@@ -1,0 +1,115 @@
+// Command pocolo-experiments regenerates every table and figure of the
+// paper's evaluation on the simulated platform and prints them as text
+// tables (or markdown with -markdown, which is how EXPERIMENTS.md data is
+// produced).
+//
+// Usage:
+//
+//	pocolo-experiments [-seed N] [-dwell 5s] [-only fig12,fig13] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"pocolo/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-experiments: ")
+	seed := flag.Int64("seed", 42, "random seed for profiling noise and placement sampling")
+	dwell := flag.Duration("dwell", 5*time.Second, "simulated time per load level in cluster runs")
+	only := flag.String("only", "", "comma-separated subset, e.g. fig12,fig13 (default: all)")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of text tables")
+	flag.Parse()
+
+	suite, err := experiments.NewSuite(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite.Dwell = *dwell
+
+	type runner struct {
+		name string
+		run  func() (experiments.Table, error)
+	}
+	runners := []runner{
+		{"table1", func() (experiments.Table, error) { return suite.TableI().Table(), nil }},
+		{"table2", wrap(suite.TableII)},
+		{"fig1", wrap(suite.Fig1)},
+		{"fig2", wrap(suite.Fig2)},
+		{"fig3", wrap(suite.Fig3)},
+		{"fig4", wrap(suite.Fig4)},
+		{"fig5", wrap(suite.Fig5)},
+		{"fig6", wrap(suite.Fig6)},
+		{"fig8", wrap(suite.Fig8)},
+		{"fig9to11", wrap(suite.Fig9to11)},
+		{"fig12", wrap(suite.Fig12)},
+		{"fig13", wrap(suite.Fig13)},
+		{"fig14", wrap(suite.Fig14)},
+		{"fig15", wrap(suite.Fig15)},
+		{"ablation-solvers", wrap(suite.AblationSolvers)},
+		{"ablation-slack", wrap(suite.AblationSlack)},
+		{"ablation-knob-order", wrap(suite.AblationKnobOrder)},
+		{"ablation-myopic", wrap(suite.AblationMyopic)},
+		{"ablation-profiling", wrap(suite.AblationProfiling)},
+		{"ablation-sharing", wrap(suite.AblationSharing)},
+		{"ablation-online", wrap(suite.AblationOnline)},
+		{"validation-des", wrap(suite.ValidationDES)},
+		{"ablation-scale", wrap(suite.AblationScale)},
+		{"ablation-budget", wrap(suite.AblationBudget)},
+		{"sensitivity-seeds", func() (experiments.Table, error) {
+			res, err := suite.SeedSensitivity()
+			if err != nil {
+				return experiments.Table{}, err
+			}
+			return res.Table(), nil
+		}},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.name] {
+			continue
+		}
+		tbl, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		if *markdown {
+			fmt.Println(tbl.Markdown())
+		} else {
+			fmt.Println(tbl.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Printf("no experiment matched -only=%q", *only)
+		os.Exit(2)
+	}
+}
+
+// tabler is any experiment result that renders as a table.
+type tabler interface{ Table() experiments.Table }
+
+// wrap adapts a suite method returning (result, error) into a table runner.
+func wrap[T tabler](fn func() (T, error)) func() (experiments.Table, error) {
+	return func() (experiments.Table, error) {
+		res, err := fn()
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return res.Table(), nil
+	}
+}

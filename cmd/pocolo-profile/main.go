@@ -1,0 +1,84 @@
+// Command pocolo-profile profiles one application across the server's
+// allocation grid, fits its Cobb-Douglas indirect utility model, and
+// prints the fitted parameters and preference vectors (the paper's
+// Section IV-A pipeline for a single application).
+//
+// Usage:
+//
+//	pocolo-profile [-app sphinx] [-seed 42] [-all] [-o models.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pocolo"
+	"pocolo/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-profile: ")
+	app := flag.String("app", "sphinx", "application to profile (see -all for the list)")
+	seed := flag.Int64("seed", 42, "random seed for measurement noise")
+	all := flag.Bool("all", false, "profile every application")
+	out := flag.String("o", "", "save the fitted models as JSON to this file")
+	flag.Parse()
+
+	cfg := pocolo.XeonE52650()
+	cat, err := pocolo.DefaultWorkloads(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var specs []*pocolo.Spec
+	if *all {
+		specs = append(cat.LC(), cat.BE()...)
+	} else {
+		spec, err := cat.ByName(*app)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		specs = []*pocolo.Spec{spec}
+	}
+
+	fitted := make(map[string]*pocolo.Model, len(specs))
+	for _, spec := range specs {
+		model, err := pocolo.Profile(spec, cfg, *seed)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Name, err)
+		}
+		fitted[spec.Name] = model
+		direct := model.DirectPreference()
+		indirect := model.Preference()
+		fmt.Printf("%s (%s, %s)\n", spec.Name, spec.Class, spec.Domain)
+		fmt.Printf("  performance model: perf = %.3g · cores^%.3f · ways^%.3f   (R² %.3f)\n",
+			model.Alpha0, model.Alpha[0], model.Alpha[1], model.PerfR2)
+		fmt.Printf("  power model:       P = %.2f + %.2f·cores + %.2f·ways W    (R² %.3f)\n",
+			model.PStatic, model.P[0], model.P[1], model.PowerR2)
+		fmt.Printf("  direct preference (α):      cores %.2f : ways %.2f\n", direct[0], direct[1])
+		fmt.Printf("  indirect preference (α/p):  cores %.2f : ways %.2f\n", indirect[0], indirect[1])
+		if spec.Class == workload.LatencyCritical {
+			demand, err := model.MinPowerAlloc(0.5 * spec.PeakLoad)
+			if err == nil {
+				fmt.Printf("  least-power allocation @50%% load: %.1f cores, %.1f ways (%.1f W dynamic)\n",
+					demand[0], demand[1], model.DynamicPower(demand))
+			}
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pocolo.SaveModels(f, fitted); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved %d fitted models to %s\n", len(fitted), *out)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/sim"
+	"pocolo/internal/workload"
+)
+
+func TestBuildTrace(t *testing.T) {
+	for _, kind := range []string{"constant", "diurnal", "two-peak", "sweep", "step", "flash"} {
+		tr, err := buildTrace(kind, 0.5, 4*time.Minute)
+		if err != nil {
+			t.Errorf("%s: %v", kind, err)
+			continue
+		}
+		if v := tr.LoadFraction(time.Minute); v < 0 || v > 1 {
+			t.Errorf("%s: load %v out of range", kind, v)
+		}
+	}
+	if _, err := buildTrace("nope", 0.5, time.Minute); err == nil {
+		t.Error("expected error for unknown trace")
+	}
+	if _, err := buildTrace("csv:/does/not/exist.csv", 0.5, time.Minute); err == nil {
+		t.Error("expected error for missing CSV file")
+	}
+	// A real CSV file round-trips.
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte("0,0.2\n60,0.8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := buildTrace("csv:"+path, 0.5, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.LoadFraction(30 * time.Second); got < 0.45 || got > 0.55 {
+		t.Errorf("CSV midpoint = %v, want ≈0.5", got)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	cat := workload.MustDefaults()
+	lc, err := cat.ByName("xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.NewConstantTrace(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := sim.NewHost(sim.HostConfig{
+		Name: "tl", Machine: machine.XeonE52650(), LC: lc, Trace: trace, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := sim.NewEngine(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := writeTimeline(path, host); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 21 { // header + 20 ticks
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "seconds,load_rps,power_w") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",") {
+		t.Errorf("data row = %q", lines[1])
+	}
+	// Unwritable path errors.
+	if err := writeTimeline("/does/not/exist/x.csv", host); err == nil {
+		t.Error("expected error for unwritable path")
+	}
+}

@@ -1,0 +1,98 @@
+// Command pocolo-sim runs the four-server cluster simulation under one of
+// the paper's policies (random, pom, pocolo) across the uniform 10–90%
+// load sweep and prints per-server and cluster-level metrics.
+//
+// Usage:
+//
+//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-models models.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"pocolo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-sim: ")
+	policyName := flag.String("policy", "pocolo", "cluster policy: random, pom, or pocolo")
+	seed := flag.Int64("seed", 42, "random seed")
+	dwell := flag.Duration("dwell", 5*time.Second, "simulated time per load level")
+	modelsPath := flag.String("models", "", "load fitted models from this JSON file (see pocolo-profile -o) instead of re-profiling")
+	flag.Parse()
+
+	var sys *pocolo.System
+	var err error
+	if *modelsPath != "" {
+		f, ferr := os.Open(*modelsPath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		models, merr := pocolo.LoadModels(f)
+		f.Close()
+		if merr != nil {
+			log.Fatal(merr)
+		}
+		sys, err = pocolo.NewSystemFromModels(pocolo.XeonE52650(), models, *seed)
+	} else {
+		sys, err = pocolo.NewSystem(*seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Dwell = *dwell
+
+	var res pocolo.Result
+	switch *policyName {
+	case "random":
+		res, err = sys.Run(pocolo.Random)
+	case "pom":
+		res, err = sys.Run(pocolo.POM)
+	case "pocolo":
+		res, err = sys.Run(pocolo.POColo)
+	default:
+		log.Fatalf("unknown policy %q (want random, pom, or pocolo)", *policyName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy: %s\n", res.Policy)
+	if len(res.Placement) > 0 {
+		fmt.Println("placement:")
+		bes := make([]string, 0, len(res.Placement))
+		for be := range res.Placement {
+			bes = append(bes, be)
+		}
+		sort.Strings(bes)
+		for _, be := range bes {
+			fmt.Printf("  %-6s -> %s\n", be, res.Placement[be])
+		}
+	} else {
+		fmt.Printf("placement: expectation over sampled random permutations\n")
+	}
+	fmt.Println()
+	fmt.Printf("%-8s  %12s  %12s  %10s  %10s  %10s\n",
+		"server", "BE thr", "power (W)", "power/cap", "SLO viol", "energy kWh")
+	names := make([]string, 0, len(res.Hosts))
+	for n := range res.Hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := res.Hosts[n]
+		fmt.Printf("%-8s  %12.1f  %12.1f  %9.1f%%  %9.1f%%  %10.4f\n",
+			n, m.BEMeanThr, m.MeanPowerW, m.PowerUtil*100, m.SLOViolFrac*100, m.EnergyKWh)
+	}
+	fmt.Println()
+	fmt.Printf("cluster BE throughput (normalized): %.3f\n", res.BENormThroughput)
+	fmt.Printf("cluster mean power utilization:     %.1f%%\n", res.MeanPowerUtil*100)
+	fmt.Printf("cluster energy:                     %.4f kWh\n", res.TotalEnergyKWh)
+	fmt.Printf("worst SLO violation fraction:       %.2f%%\n", res.SLOViolFrac*100)
+}

@@ -1,0 +1,168 @@
+package pocolo_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pocolo"
+)
+
+// ExampleFitModel fits the Cobb-Douglas indirect utility model to exact
+// synthetic profiling samples and recovers the ground-truth parameters.
+func ExampleFitModel() {
+	var samples []pocolo.Sample
+	for c := 1.0; c <= 8; c++ {
+		for w := 2.0; w <= 16; w += 2 {
+			samples = append(samples, pocolo.Sample{
+				Alloc: []float64{c, w},
+				Perf:  40 * math.Pow(c, 0.6) * math.Pow(w, 0.4),
+				Power: 5 + 3*c + 1.5*w,
+			})
+		}
+	}
+	m, err := pocolo.FitModel("demo", []string{"cores", "ways"}, samples)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("α = [%.2f %.2f], p = [%.2f %.2f] W/unit\n", m.Alpha[0], m.Alpha[1], m.P[0], m.P[1])
+	// Output:
+	// α = [0.60 0.40], p = [3.00 1.50] W/unit
+}
+
+// ExampleModel_Demand shows the closed-form budget-constrained demand: a
+// Cobb-Douglas consumer splits the power budget across resources in
+// proportion to their exponents.
+func ExampleModel_Demand() {
+	m := &pocolo.Model{
+		App:       "demo",
+		Resources: []string{"cores", "ways"},
+		Alpha0:    40,
+		Alpha:     []float64{0.6, 0.4},
+		P:         []float64{3, 1.5},
+	}
+	r := m.Demand(30) // 30 W dynamic budget
+	fmt.Printf("buy %.1f cores (%.0f W) and %.1f ways (%.0f W)\n",
+		r[0], r[0]*m.P[0], r[1], r[1]*m.P[1])
+	// Output:
+	// buy 6.0 cores (18 W) and 8.0 ways (12 W)
+}
+
+// ExampleModel_MinPowerAlloc computes the least-power allocation for a
+// performance target — the configuration the server manager installs each
+// second.
+func ExampleModel_MinPowerAlloc() {
+	m := &pocolo.Model{
+		App:       "demo",
+		Resources: []string{"cores", "ways"},
+		Alpha0:    40,
+		Alpha:     []float64{0.6, 0.4},
+		P:         []float64{3, 1.5},
+	}
+	r, err := m.MinPowerAlloc(200)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.2f cores, %.2f ways at %.1f W\n", r[0], r[1], m.DynamicPower(r))
+	fmt.Printf("achieves performance %.0f\n", m.Perf(r))
+	// Output:
+	// 4.46 cores, 5.94 ways at 22.3 W
+	// achieves performance 200
+}
+
+// ExampleModel_Preference prints the performance-per-watt preference
+// vector — the quantity Pocolo matches across co-located applications.
+func ExampleModel_Preference() {
+	m := &pocolo.Model{
+		App:       "sphinx-like",
+		Resources: []string{"cores", "ways"},
+		Alpha0:    1,
+		Alpha:     []float64{0.6, 0.4},
+		P:         []float64{8.6, 1.43},
+	}
+	pref := m.Preference()
+	fmt.Printf("cores %.2f : ways %.2f\n", pref[0], pref[1])
+	// Output:
+	// cores 0.20 : ways 0.80
+}
+
+// ExampleTCOParams_Monthly reproduces the paper's Fig. 15 cost arithmetic
+// for one operating point.
+func ExampleTCOParams_Monthly() {
+	b, err := pocolo.HamiltonTCO().Monthly(pocolo.TCOInput{
+		Name:                  "demo",
+		ProvisionedWPerServer: 150,
+		MeanPowerWPerServer:   120,
+		RelativeThroughput:    1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("servers $%.2fM, power infra $%.2fM, energy $%.2fM per month\n",
+		b.ServerMonthlyUSD/1e6, b.PowerInfraMonthlyUSD/1e6, b.EnergyMonthlyUSD/1e6)
+	// Output:
+	// servers $4.03M, power infra $1.12M, energy $0.67M per month
+}
+
+// ExampleSystem_Place builds the full system and computes the
+// power-optimized placement — the paper's Fig. 14 outcome.
+func ExampleSystem_Place() {
+	sys, err := pocolo.NewSystem(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	placement, _, err := sys.Place()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	bes := make([]string, 0, len(placement))
+	for be := range placement {
+		bes = append(bes, be)
+	}
+	sort.Strings(bes)
+	for _, be := range bes {
+		fmt.Printf("%s -> %s\n", be, placement[be])
+	}
+	// Output:
+	// graph -> sphinx
+	// lstm -> img-dnn
+	// pbzip -> xapian
+	// rnn -> tpcc
+}
+
+// ExampleSystem_RunBatch time-shares three finite best-effort jobs over a
+// xapian server's spare resources with shortest-job-first scheduling.
+func ExampleSystem_RunBatch() {
+	sys, err := pocolo.NewSystem(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	trace, err := pocolo.ConstantTrace(0.3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sys.RunBatch("xapian", trace, pocolo.SJF, 5*time.Second, []pocolo.BatchJob{
+		{App: "lstm", SizeOps: 900},
+		{App: "rnn", SizeOps: 300},
+		{App: "graph", SizeOps: 150},
+	}, 10*time.Minute)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range res.Completions {
+		fmt.Println(c.App)
+	}
+	// Output:
+	// graph
+	// rnn
+	// lstm
+}

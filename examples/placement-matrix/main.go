@@ -1,0 +1,86 @@
+// Placement matrix: build the cluster manager's BE×LC performance matrix
+// from the fitted utility models, print it, and compare the placements
+// found by the LP solver, the Hungarian method, and exhaustive search —
+// then verify the prediction against actual pairing simulations (the
+// paper's Fig. 14 methodology).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"pocolo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := pocolo.NewSystem(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Dwell = 3 * time.Second
+
+	mx, err := sys.Matrix()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("estimated BE throughput when co-located (rows: BE, cols: LC):")
+	fmt.Printf("%8s", "")
+	for _, lc := range mx.LCNames {
+		fmt.Printf("%10s", lc)
+	}
+	fmt.Println()
+	for i, be := range mx.BENames {
+		fmt.Printf("%8s", be)
+		for j := range mx.LCNames {
+			fmt.Printf("%10.2f", mx.Value[i][j])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsolver comparison:")
+	for _, method := range []string{"lp", "hungarian", "exhaustive"} {
+		placement, total, err := mx.Solve(method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s total %.2f  %v\n", method, total, sorted(placement))
+	}
+
+	// Validate the model's prediction with actual pairing simulations.
+	placement, _, err := sys.Place()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsimulated verification of the chosen pairings:")
+	bes := make([]string, 0, len(placement))
+	for be := range placement {
+		bes = append(bes, be)
+	}
+	sort.Strings(bes)
+	for _, be := range bes {
+		pr, err := sys.RunPair(placement[be], be)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s on %-8s mean total server throughput %.3f (normalized)\n",
+			be, placement[be], pr.Mean)
+	}
+}
+
+func sorted(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(m))
+	for _, k := range keys {
+		out = append(out, k+"→"+m[k])
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Quickstart: build the full Pocolo system, inspect the fitted utility
+// models, compute the power-optimized placement, and simulate the cluster
+// under it — the shortest path through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"pocolo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Profile and fit all eight applications on the Table I platform.
+	sys, err := pocolo.NewSystem(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Dwell = 3 * time.Second
+
+	fmt.Println("fitted indirect-utility preferences (cores : ways):")
+	names := make([]string, 0, len(sys.Models))
+	for name := range sys.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pref := sys.Models[name].Preference()
+		fmt.Printf("  %-8s %.2f : %.2f\n", name, pref[0], pref[1])
+	}
+
+	// 2. Place best-effort apps on latency-critical servers: complementary
+	// preferences pair up (graph with sphinx, lstm with img-dnn, ...).
+	placement, predicted, err := sys.Place()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPOColo placement (predicted total %.1f):\n", predicted)
+	bes := make([]string, 0, len(placement))
+	for be := range placement {
+		bes = append(bes, be)
+	}
+	sort.Strings(bes)
+	for _, be := range bes {
+		fmt.Printf("  %-6s -> %s\n", be, placement[be])
+	}
+
+	// 3. Simulate the placed cluster across the 10–90% load sweep with
+	// power-optimized server management and the 100 ms power capper.
+	res, err := sys.RunPlacement(placement, pocolo.PowerOptimized)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncluster results:\n")
+	fmt.Printf("  best-effort throughput (normalized): %.3f\n", res.BENormThroughput)
+	fmt.Printf("  mean power utilization:              %.1f%%\n", res.MeanPowerUtil*100)
+	fmt.Printf("  worst SLO violation fraction:        %.2f%%\n", res.SLOViolFrac*100)
+}

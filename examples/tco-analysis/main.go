@@ -1,0 +1,87 @@
+// TCO analysis: run the three cluster policies, feed the measured power
+// and throughput into the Hamilton datacenter cost model, and print the
+// amortized monthly bill for a 100k-server fleet delivering constant
+// throughput — the paper's Fig. 15 methodology, including the
+// Random(NoCap) variant that provisions every server for the worst case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pocolo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys, err := pocolo.NewSystem(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Dwell = 3 * time.Second
+
+	random, err := sys.Run(pocolo.Random)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pom, err := sys.Run(pocolo.POM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pocoloRes, err := sys.Run(pocolo.POColo)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Aggregate per-server throughput (LC goodput + BE work, normalized)
+	// and mean power for each policy.
+	aggregate := func(r pocolo.Result) (thr, meanW, provW float64) {
+		n := 0.0
+		for _, lc := range sys.Catalog.LC() {
+			m, ok := r.Hosts[lc.Name]
+			if !ok {
+				continue
+			}
+			thr += m.LCOps/(lc.PeakLoad*m.DurationSec) + m.BEMeanThr/100
+			meanW += m.MeanPowerW
+			provW += lc.ProvisionedPowerW
+			n++
+		}
+		return thr / n, meanW / n, provW / n
+	}
+	rThr, rW, prov := aggregate(random)
+	pThr, pW, _ := aggregate(pom)
+	cThr, cW, _ := aggregate(pocoloRes)
+
+	params := pocolo.HamiltonTCO()
+	breakdowns, err := params.Compare([]pocolo.TCOInput{
+		{Name: "random-nocap", ProvisionedWPerServer: 185, MeanPowerWPerServer: rW, RelativeThroughput: rThr / cThr},
+		{Name: "random", ProvisionedWPerServer: prov, MeanPowerWPerServer: rW, RelativeThroughput: rThr / cThr},
+		{Name: "pom", ProvisionedWPerServer: prov, MeanPowerWPerServer: pW, RelativeThroughput: pThr / cThr},
+		{Name: "pocolo", ProvisionedWPerServer: prov, MeanPowerWPerServer: cW, RelativeThroughput: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("amortized monthly TCO, %d-server fleet at constant throughput:\n\n", params.Servers)
+	fmt.Printf("%-14s %10s %12s %12s %12s %12s\n", "policy", "servers", "server $M", "infra $M", "energy $M", "total $M")
+	var pocoloTotal float64
+	for _, b := range breakdowns {
+		fmt.Printf("%-14s %10.0f %12.2f %12.2f %12.2f %12.2f\n",
+			b.Name, b.Servers, b.ServerMonthlyUSD/1e6, b.PowerInfraMonthlyUSD/1e6,
+			b.EnergyMonthlyUSD/1e6, b.TotalMonthlyUSD/1e6)
+		if b.Name == "pocolo" {
+			pocoloTotal = b.TotalMonthlyUSD
+		}
+	}
+	fmt.Println()
+	for _, b := range breakdowns {
+		if b.Name == "pocolo" {
+			continue
+		}
+		fmt.Printf("pocolo saves %5.1f%% vs %s\n", (1-pocoloTotal/b.TotalMonthlyUSD)*100, b.Name)
+	}
+}

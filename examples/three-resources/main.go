@@ -1,0 +1,102 @@
+// Three resources: the paper's formulation covers k direct resources plus
+// power, even though the prototype manages two (cores and LLC ways). This
+// example exercises the general k-resource machinery through the public
+// API with a third direct resource — memory bandwidth — showing that the
+// fitting, the preference vector, the budget-constrained demand, and the
+// least-power allocation all generalize without any 2-resource assumptions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"pocolo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Ground truth for a synthetic analytics workload over three direct
+	// resources: perf = 12 · cores^0.5 · ways^0.3 · membw^0.2, with power
+	// 4 W/core, 1.2 W/way, 2.5 W per bandwidth unit over an 8 W static
+	// floor.
+	truthAlpha := []float64{0.5, 0.3, 0.2}
+	truthPower := []float64{4.0, 1.2, 2.5}
+	const truthScale, truthStatic = 12.0, 8.0
+	perf := func(r []float64) float64 {
+		v := truthScale
+		for j, a := range truthAlpha {
+			v *= math.Pow(r[j], a)
+		}
+		return v
+	}
+	powerW := func(r []float64) float64 {
+		v := truthStatic
+		for j, p := range truthPower {
+			v += r[j] * p
+		}
+		return v
+	}
+
+	// Profile: sweep a 3-D allocation grid with measurement noise.
+	rng := rand.New(rand.NewSource(7))
+	var samples []pocolo.Sample
+	for c := 1.0; c <= 12; c += 2 {
+		for w := 2.0; w <= 20; w += 4 {
+			for b := 1.0; b <= 8; b += 2 {
+				r := []float64{c, w, b}
+				samples = append(samples, pocolo.Sample{
+					Alloc: r,
+					Perf:  perf(r) * (1 + rng.NormFloat64()*0.03),
+					Power: powerW(r) * (1 + rng.NormFloat64()*0.02),
+				})
+			}
+		}
+	}
+	resources := []string{"cores", "llc-ways", "membw-units"}
+	model, err := pocolo.FitModel("analytics-3d", resources, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fitted 3-resource model (R² perf %.3f, power %.3f):\n", model.PerfR2, model.PowerR2)
+	for j, name := range resources {
+		fmt.Printf("  %-12s α=%.3f (truth %.2f)   p=%.2f W/unit (truth %.2f)\n",
+			name, model.Alpha[j], truthAlpha[j], model.P[j], truthPower[j])
+	}
+
+	pref := model.Preference()
+	fmt.Printf("\nindirect preference (α/p, performance per watt):\n")
+	for j, name := range resources {
+		fmt.Printf("  %-12s %.2f\n", name, pref[j])
+	}
+
+	// Budget-constrained demand: what should the app buy with 60 W of
+	// dynamic power if the machine offers 12 cores, 20 ways, 8 bw units?
+	demand, err := model.DemandCapped(60, []float64{12, 20, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal demand under a 60 W budget: %.1f cores, %.1f ways, %.1f bw units (%.1f W, perf %.1f)\n",
+		demand[0], demand[1], demand[2], model.DynamicPower(demand), model.Perf(demand))
+
+	// Least-power allocation for a performance target, respecting the
+	// machine box.
+	target := 0.6 * perf([]float64{12, 20, 8})
+	alloc, err := model.MinPowerAllocBox(target, []float64{12, 20, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("least-power allocation for perf %.0f: %.1f cores, %.1f ways, %.1f bw units (%.1f W)\n",
+		target, alloc[0], alloc[1], alloc[2], model.DynamicPower(alloc))
+
+	// The integer knob search also generalizes to three dimensions.
+	intAlloc, err := model.IntegerMinPowerAlloc(target, []int{12, 20, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integer least-power allocation:     %d cores, %d ways, %d bw units\n",
+		intAlloc[0], intAlloc[1], intAlloc[2])
+}

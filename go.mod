@@ -1,0 +1,3 @@
+module pocolo
+
+go 1.22

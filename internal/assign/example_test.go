@@ -1,0 +1,63 @@
+package assign_test
+
+import (
+	"fmt"
+
+	"pocolo/internal/assign"
+)
+
+// ExampleHungarian solves a small placement: three best-effort apps onto
+// three servers, maximizing total estimated throughput.
+func ExampleHungarian() {
+	value := [][]float64{
+		// servers:  A   B   C
+		{30, 44, 12}, // app 0
+		{28, 41, 33}, // app 1
+		{45, 40, 20}, // app 2
+	}
+	placement, total, err := assign.Hungarian(value)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(placement, total)
+	// Output:
+	// [1 2 0] 122
+}
+
+// ExampleLP solves the same assignment as a linear program; the assignment
+// polytope has integral vertices, so simplex lands on the same optimum.
+func ExampleLP() {
+	value := [][]float64{
+		{30, 44, 12},
+		{28, 41, 33},
+		{45, 40, 20},
+	}
+	placement, total, err := assign.LP(value)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(placement, total)
+	// Output:
+	// [1 2 0] 122
+}
+
+// ExampleSimplex maximizes a tiny linear program in standard equality form.
+func ExampleSimplex() {
+	// Maximize 3x + 2y subject to x + y + s1 = 4 and x + 3y + s2 = 6.
+	c := []float64{3, 2, 0, 0}
+	a := [][]float64{
+		{1, 1, 1, 0},
+		{1, 3, 0, 1},
+	}
+	b := []float64{4, 6}
+	x, obj, err := assign.Simplex(c, a, b)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("x=%.0f y=%.0f objective=%.0f\n", x[0], x[1], obj)
+	// Output:
+	// x=4 y=0 objective=12
+}

@@ -1,0 +1,279 @@
+// Package budget distributes a cluster-level power budget across servers —
+// the hierarchical power management layer of systems like Facebook's
+// Dynamo, which the paper builds alongside (Section VI cites it as the
+// datacenter-wide power telemetry/capping substrate). Pocolo's servers
+// each enforce a per-server cap; when the datacenter's aggregate budget is
+// tighter than the sum of provisioned capacities, a Budgeter periodically
+// re-divides the total among the servers and installs the shares through
+// each server manager's SetCapW hook.
+//
+// Two division policies are provided: a static equal split, and a
+// demand-proportional split that follows each server's smoothed power draw
+// — servers whose primaries are at peak get more of the budget than
+// servers coasting at 10% load, which is exactly when their co-runners can
+// use it.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+)
+
+// Policy selects how the total budget is divided.
+type Policy int
+
+const (
+	// EqualSplit gives every server Total/n regardless of demand.
+	EqualSplit Policy = iota
+	// DemandProportional divides the budget in proportion to each server's
+	// smoothed power draw (plus a request margin), clamped between the
+	// idle floor and the server's provisioned capacity, with the remainder
+	// redistributed.
+	DemandProportional
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case EqualSplit:
+		return "equal-split"
+	case DemandProportional:
+		return "demand-proportional"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config assembles a budgeter.
+type Config struct {
+	// TotalW is the cluster power budget to divide; required.
+	TotalW float64
+	// Hosts and Managers are parallel slices of the servers under the
+	// budget; required, same length.
+	Hosts    []*sim.Host
+	Managers []*servermgr.Manager
+	// Policy selects the division rule (default EqualSplit).
+	Policy Policy
+	// Period is the rebalance interval (default 5 s; Dynamo-class
+	// controllers act on seconds-scale windows).
+	Period time.Duration
+	// Smoothing is the EWMA coefficient on power readings in (0, 1]
+	// (default 0.5; 1 = use the latest reading only).
+	Smoothing float64
+	// MarginW is the demand headroom added to each server's smoothed draw
+	// before dividing (default 5 W), letting throttled servers signal
+	// appetite beyond their current (capped) draw.
+	MarginW float64
+}
+
+// Budgeter periodically re-divides a cluster power budget.
+type Budgeter struct {
+	total     float64
+	hosts     []*sim.Host
+	managers  []*servermgr.Manager
+	policy    Policy
+	period    time.Duration
+	smoothing float64
+	marginW   float64
+
+	ewmaW      []float64
+	rebalances int
+	lastShares []float64
+}
+
+// New validates the configuration and builds a budgeter.
+func New(cfg Config) (*Budgeter, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, errors.New("budget: no hosts")
+	}
+	if len(cfg.Hosts) != len(cfg.Managers) {
+		return nil, errors.New("budget: hosts and managers must be parallel")
+	}
+	for i, h := range cfg.Hosts {
+		if h == nil || cfg.Managers[i] == nil {
+			return nil, fmt.Errorf("budget: nil host or manager at %d", i)
+		}
+	}
+	// The budget must at least keep every server above its idle floor.
+	var floor float64
+	for _, h := range cfg.Hosts {
+		floor += h.Machine().IdlePowerW + 1
+	}
+	if cfg.TotalW <= floor {
+		return nil, fmt.Errorf("budget: total %v W cannot keep %d servers above their idle floors (%v W)", cfg.TotalW, len(cfg.Hosts), floor)
+	}
+	period := cfg.Period
+	if period == 0 {
+		period = 5 * time.Second
+	}
+	if period <= 0 {
+		return nil, errors.New("budget: period must be positive")
+	}
+	smoothing := cfg.Smoothing
+	if smoothing == 0 {
+		smoothing = 0.5
+	}
+	if smoothing <= 0 || smoothing > 1 {
+		return nil, errors.New("budget: smoothing outside (0, 1]")
+	}
+	marginW := cfg.MarginW
+	if marginW == 0 {
+		marginW = 5
+	}
+	if marginW < 0 {
+		return nil, errors.New("budget: margin must be non-negative")
+	}
+	b := &Budgeter{
+		total:      cfg.TotalW,
+		hosts:      append([]*sim.Host(nil), cfg.Hosts...),
+		managers:   append([]*servermgr.Manager(nil), cfg.Managers...),
+		policy:     cfg.Policy,
+		period:     period,
+		smoothing:  smoothing,
+		marginW:    marginW,
+		ewmaW:      make([]float64, len(cfg.Hosts)),
+		lastShares: make([]float64, len(cfg.Hosts)),
+	}
+	return b, nil
+}
+
+// Attach registers the rebalance loop on the engine and installs an
+// initial division.
+func (b *Budgeter) Attach(e *sim.Engine) error {
+	if e == nil {
+		return errors.New("budget: nil engine")
+	}
+	b.Rebalance(e.Now())
+	return e.Every(b.period, b.Rebalance)
+}
+
+// Rebalance reads the power meters, updates the demand estimates, and
+// installs fresh per-server budgets.
+func (b *Budgeter) Rebalance(time.Time) {
+	n := len(b.hosts)
+	for i, h := range b.hosts {
+		w := h.MeterReading().Watts
+		if w <= 0 {
+			w = h.Machine().IdlePowerW
+		}
+		if b.ewmaW[i] == 0 {
+			b.ewmaW[i] = w
+		} else {
+			b.ewmaW[i] = b.smoothing*w + (1-b.smoothing)*b.ewmaW[i]
+		}
+	}
+
+	shares := make([]float64, n)
+	switch b.policy {
+	case DemandProportional:
+		b.proportional(shares)
+	default:
+		for i := range shares {
+			shares[i] = b.total / float64(n)
+		}
+		// Clamp equal shares to provisioned capacities and spill the
+		// excess to unclamped servers so the whole budget stays usable.
+		b.spillOver(shares)
+	}
+	for i, mgr := range b.managers {
+		// Never assign below the idle floor; SetCapW would reject it.
+		floor := b.hosts[i].Machine().IdlePowerW + 1
+		if shares[i] < floor {
+			shares[i] = floor
+		}
+		_ = mgr.SetCapW(shares[i])
+	}
+	copy(b.lastShares, shares)
+	b.rebalances++
+}
+
+// proportional divides the total in proportion to smoothed demand, clamped
+// per server to [idle floor, provisioned capacity], redistributing any
+// clamped-off remainder.
+func (b *Budgeter) proportional(shares []float64) {
+	n := len(b.hosts)
+	demand := make([]float64, n)
+	for i := range demand {
+		demand[i] = b.ewmaW[i] + b.marginW
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := b.total
+	for iter := 0; iter < n+1; iter++ {
+		sum := 0.0
+		for i, a := range active {
+			if a {
+				sum += demand[i]
+			}
+		}
+		if sum <= 0 {
+			break
+		}
+		clamped := false
+		for i, a := range active {
+			if !a {
+				continue
+			}
+			want := remaining * demand[i] / sum
+			capW := b.hosts[i].CapW()
+			if want >= capW {
+				shares[i] = capW
+				remaining -= capW
+				active[i] = false
+				clamped = true
+			}
+		}
+		if clamped {
+			continue
+		}
+		for i, a := range active {
+			if a {
+				shares[i] = remaining * demand[i] / sum
+			}
+		}
+		return
+	}
+	// Everything clamped: shares already set.
+}
+
+// spillOver clamps shares to provisioned capacities and redistributes the
+// clipped excess across unclamped servers.
+func (b *Budgeter) spillOver(shares []float64) {
+	for iter := 0; iter < len(shares); iter++ {
+		excess := 0.0
+		var openIdx []int
+		for i := range shares {
+			capW := b.hosts[i].CapW()
+			if shares[i] > capW {
+				excess += shares[i] - capW
+				shares[i] = capW
+			} else if shares[i] < capW {
+				openIdx = append(openIdx, i)
+			}
+		}
+		if excess == 0 || len(openIdx) == 0 {
+			return
+		}
+		per := excess / float64(len(openIdx))
+		for _, i := range openIdx {
+			shares[i] += per
+		}
+	}
+}
+
+// Shares returns the most recently installed per-server budgets.
+func (b *Budgeter) Shares() []float64 {
+	return append([]float64(nil), b.lastShares...)
+}
+
+// Rebalances returns the number of divisions installed so far.
+func (b *Budgeter) Rebalances() int { return b.rebalances }
+
+// TotalW returns the cluster budget.
+func (b *Budgeter) TotalW() float64 { return b.total }

@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// Policy is a full cluster policy: a placement strategy plus a server
+// management strategy, matching the paper's Section V-D ablation.
+type Policy int
+
+const (
+	// Random places BE apps on random LC servers and manages each server
+	// with the power-unaware feedback controller — the paper's baseline.
+	Random Policy = iota
+	// POM keeps the random placement but manages each server with the
+	// power-optimized (utility-model-guided) controller.
+	POM
+	// POColo uses the performance-matrix placement (LP solver) and the
+	// power-optimized controller — the full system.
+	POColo
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case POM:
+		return "pom"
+	case POColo:
+		return "pocolo"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config assembles a cluster evaluation run.
+type Config struct {
+	// Machine is the per-server platform.
+	Machine machine.Config
+	// LC holds the latency-critical apps, one server each; required.
+	LC []*workload.Spec
+	// BE holds the best-effort apps to place; len(BE) ≤ len(LC).
+	BE []*workload.Spec
+	// Models holds fitted utility models for every application; required.
+	Models map[string]*utility.Model
+	// Dwell is the time each LC load level is held (default 5 s); every
+	// server sweeps the uniform 10–90% range, the paper's evaluation
+	// distribution.
+	Dwell time.Duration
+	// Tick is the engine step (default 100 ms).
+	Tick time.Duration
+	// Seed drives placement randomness and per-host noise.
+	Seed int64
+	// TargetSlack overrides the server managers' latency slack guard
+	// (default: the manager's own 0.10 default). Used by the slack
+	// sensitivity ablation.
+	TargetSlack float64
+}
+
+func (c *Config) defaults() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if len(c.LC) == 0 {
+		return errors.New("cluster: no LC applications")
+	}
+	if len(c.BE) > len(c.LC) {
+		return fmt.Errorf("cluster: %d BE apps but only %d servers", len(c.BE), len(c.LC))
+	}
+	for _, s := range append(append([]*workload.Spec{}, c.LC...), c.BE...) {
+		if _, ok := c.Models[s.Name]; !ok {
+			return fmt.Errorf("cluster: no fitted model for %s", s.Name)
+		}
+	}
+	if c.Dwell == 0 {
+		c.Dwell = 5 * time.Second
+	}
+	if c.Tick == 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.Dwell <= 0 || c.Tick <= 0 {
+		return errors.New("cluster: dwell and tick must be positive")
+	}
+	return nil
+}
+
+// Result summarizes one cluster run.
+type Result struct {
+	Policy Policy
+	// Placement maps BE app name to the LC server (by LC app name) it ran
+	// on.
+	Placement map[string]string
+	// Hosts holds per-server metrics keyed by LC app name.
+	Hosts map[string]sim.Metrics
+	// BENormThroughput is the cluster-mean BE throughput normalized to
+	// each BE app's standalone full-machine peak (the paper's Fig. 12
+	// metric, averaged over servers that had a co-runner).
+	BENormThroughput float64
+	// MeanPowerUtil is the cluster-mean power draw over provisioned
+	// capacity (Fig. 13).
+	MeanPowerUtil float64
+	// TotalEnergyKWh is the summed energy use.
+	TotalEnergyKWh float64
+	// TotalBEOps is the summed best-effort operations completed.
+	TotalBEOps float64
+	// SLOViolFrac is the worst per-host SLO violation fraction.
+	SLOViolFrac float64
+}
+
+// PlaceRandom returns a uniformly random placement of the BE apps onto
+// distinct LC servers.
+func PlaceRandom(lc, be []*workload.Spec, seed int64) map[string]string {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(lc))
+	placement := make(map[string]string, len(be))
+	for i, b := range be {
+		placement[b.Name] = lc[perm[i]].Name
+	}
+	return placement
+}
+
+// Place computes the POColo placement: build the performance matrix from
+// the fitted models and solve it with the LP solver.
+func Place(cfg Config) (map[string]string, float64, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, 0, err
+	}
+	mx, err := BuildMatrix(MatrixConfig{
+		Machine: cfg.Machine,
+		LC:      cfg.LC,
+		BE:      cfg.BE,
+		Models:  cfg.Models,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return mx.Solve("lp")
+}
+
+// RunPlacement simulates the cluster under an explicit placement with the
+// given server-level management policy.
+func RunPlacement(cfg Config, placement map[string]string, mgmt servermgr.LCPolicy) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	// Invert the placement to find each server's co-runner.
+	beBy := make(map[string]*workload.Spec)
+	for _, b := range cfg.BE {
+		lcName, ok := placement[b.Name]
+		if !ok {
+			return Result{}, fmt.Errorf("cluster: placement misses BE app %s", b.Name)
+		}
+		if _, dup := beBy[lcName]; dup {
+			return Result{}, fmt.Errorf("cluster: two BE apps placed on %s", lcName)
+		}
+		beBy[lcName] = b
+	}
+
+	engine, err := sim.NewEngine(cfg.Tick)
+	if err != nil {
+		return Result{}, err
+	}
+	hosts := make([]*sim.Host, 0, len(cfg.LC))
+	for i, lc := range cfg.LC {
+		trace := workload.UniformSweep(cfg.Dwell)
+		host, err := sim.NewHost(sim.HostConfig{
+			Name:    lc.Name,
+			Machine: cfg.Machine,
+			LC:      lc,
+			BE:      beBy[lc.Name],
+			Trace:   trace,
+			Seed:    cfg.Seed + int64(i)*977,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := engine.AddHost(host); err != nil {
+			return Result{}, err
+		}
+		mgr, err := servermgr.New(servermgr.Config{
+			Host:        host,
+			Model:       cfg.Models[lc.Name],
+			Policy:      mgmt,
+			TargetSlack: cfg.TargetSlack,
+			Seed:        cfg.Seed + int64(i)*389,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := mgr.Attach(engine); err != nil {
+			return Result{}, err
+		}
+		hosts = append(hosts, host)
+	}
+	sweep := workload.UniformSweep(cfg.Dwell)
+	if err := engine.Run(sweep.Duration()); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Placement: placement,
+		Hosts:     make(map[string]sim.Metrics, len(hosts)),
+	}
+	var normSum float64
+	var normCount int
+	var utilSum float64
+	for _, h := range hosts {
+		m := h.Metrics()
+		res.Hosts[h.Name()] = m
+		res.TotalEnergyKWh += m.EnergyKWh
+		res.TotalBEOps += m.BEOps
+		utilSum += m.PowerUtil
+		if m.SLOViolFrac > res.SLOViolFrac {
+			res.SLOViolFrac = m.SLOViolFrac
+		}
+		if be := h.BE(); be != nil {
+			normSum += m.BEMeanThr / be.PeakLoad
+			normCount++
+		}
+	}
+	res.MeanPowerUtil = utilSum / float64(len(hosts))
+	if normCount > 0 {
+		res.BENormThroughput = normSum / float64(normCount)
+	}
+	return res, nil
+}
+
+// Run evaluates the cluster under one of the paper's three policies. For
+// Random and POM the placement is the expectation over sampled random
+// permutations (RandomTrials of them, derived from Seed); for POColo it is
+// the LP placement.
+func Run(cfg Config, policy Policy) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	switch policy {
+	case POColo:
+		placement, _, err := Place(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := RunPlacement(cfg, placement, servermgr.PowerOptimized)
+		res.Policy = POColo
+		return res, err
+	case Random, POM:
+		mgmt := servermgr.PowerUnaware
+		if policy == POM {
+			mgmt = servermgr.PowerOptimized
+		}
+		res, err := runRandomExpectation(cfg, mgmt)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Policy = policy
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("cluster: unknown policy %v", policy)
+	}
+}
+
+// RandomTrials is the number of random placements averaged for the Random
+// and POM policies.
+const RandomTrials = 6
+
+// runRandomExpectation averages cluster metrics over sampled random
+// placements.
+func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
+	agg := Result{
+		Hosts:     make(map[string]sim.Metrics),
+		Placement: make(map[string]string),
+	}
+	hostAgg := make(map[string]sim.Metrics)
+	for trial := 0; trial < RandomTrials; trial++ {
+		placement := PlaceRandom(cfg.LC, cfg.BE, cfg.Seed+int64(trial)*31)
+		trialCfg := cfg
+		trialCfg.Seed = cfg.Seed + int64(trial)*7919
+		res, err := RunPlacement(trialCfg, placement, mgmt)
+		if err != nil {
+			return Result{}, err
+		}
+		agg.BENormThroughput += res.BENormThroughput
+		agg.MeanPowerUtil += res.MeanPowerUtil
+		agg.TotalEnergyKWh += res.TotalEnergyKWh
+		agg.TotalBEOps += res.TotalBEOps
+		if res.SLOViolFrac > agg.SLOViolFrac {
+			agg.SLOViolFrac = res.SLOViolFrac
+		}
+		for name, m := range res.Hosts {
+			acc := hostAgg[name]
+			acc.Host = name
+			acc.BEOps += m.BEOps
+			acc.BEMeanThr += m.BEMeanThr
+			acc.LCOps += m.LCOps
+			acc.MeanPowerW += m.MeanPowerW
+			acc.PowerUtil += m.PowerUtil
+			acc.EnergyKWh += m.EnergyKWh
+			acc.CapOverFrac += m.CapOverFrac
+			acc.CapEvents += m.CapEvents
+			acc.SLOViolFrac += m.SLOViolFrac
+			acc.MeanSlack += m.MeanSlack
+			acc.DurationSec += m.DurationSec
+			acc.ProvisionedCapW = m.ProvisionedCapW
+			hostAgg[name] = acc
+		}
+	}
+	n := float64(RandomTrials)
+	agg.BENormThroughput /= n
+	agg.MeanPowerUtil /= n
+	agg.TotalEnergyKWh /= n
+	agg.TotalBEOps /= n
+	for name, m := range hostAgg {
+		m.BEOps /= n
+		m.BEMeanThr /= n
+		m.LCOps /= n
+		m.MeanPowerW /= n
+		m.PowerUtil /= n
+		m.EnergyKWh /= n
+		m.CapOverFrac /= n
+		m.SLOViolFrac /= n
+		m.MeanSlack /= n
+		m.DurationSec /= n
+		m.CapEvents = int(float64(m.CapEvents) / n)
+		agg.Hosts[name] = m
+	}
+	return agg, nil
+}
+
+// PairResult is one cell of the exhaustive 4×4 placement study (Fig. 14):
+// total normalized server throughput (LC goodput fraction plus BE
+// throughput fraction) per load level for one (LC, BE) pairing.
+type PairResult struct {
+	LC, BE string
+	// Loads holds the swept LC load fractions.
+	Loads []float64
+	// TotalNorm[i] is LC goodput/peak + BE throughput/peak at Loads[i].
+	TotalNorm []float64
+	// Mean is the average of TotalNorm.
+	Mean float64
+}
+
+// RunPair simulates a single server hosting the LC app with the BE
+// co-runner across the load sweep under power-optimized management and
+// reports the combined normalized throughput per load level.
+func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return PairResult{}, err
+	}
+	loads := DefaultLoadRange()
+	pr := PairResult{LC: lc.Name, BE: be.Name, Loads: loads}
+	for _, frac := range loads {
+		trace, err := workload.NewConstantTrace(frac)
+		if err != nil {
+			return PairResult{}, err
+		}
+		host, err := sim.NewHost(sim.HostConfig{
+			Name:    fmt.Sprintf("%s+%s@%.0f", lc.Name, be.Name, frac*100),
+			Machine: cfg.Machine,
+			LC:      lc,
+			BE:      be,
+			Trace:   trace,
+			Seed:    cfg.Seed + int64(frac*1000),
+		})
+		if err != nil {
+			return PairResult{}, err
+		}
+		engine, err := sim.NewEngine(cfg.Tick)
+		if err != nil {
+			return PairResult{}, err
+		}
+		if err := engine.AddHost(host); err != nil {
+			return PairResult{}, err
+		}
+		mgr, err := servermgr.New(servermgr.Config{
+			Host:   host,
+			Model:  cfg.Models[lc.Name],
+			Policy: servermgr.PowerOptimized,
+		})
+		if err != nil {
+			return PairResult{}, err
+		}
+		if err := mgr.Attach(engine); err != nil {
+			return PairResult{}, err
+		}
+		if err := engine.Run(cfg.Dwell); err != nil {
+			return PairResult{}, err
+		}
+		m := host.Metrics()
+		norm := m.LCOps/(lc.PeakLoad*m.DurationSec) + m.BEMeanThr/be.PeakLoad
+		pr.TotalNorm = append(pr.TotalNorm, norm)
+		pr.Mean += norm
+	}
+	pr.Mean /= float64(len(loads))
+	return pr, nil
+}
+
+// SortedNames returns the map keys in sorted order (test/report helper).
+func SortedNames(m map[string]sim.Metrics) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

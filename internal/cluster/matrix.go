@@ -1,0 +1,179 @@
+// Package cluster implements the paper's cluster manager (Section IV-B):
+// it builds the BE×LC performance matrix from fitted Cobb-Douglas utility
+// models and solves the placement assignment to maximize total cluster
+// throughput, then drives the multi-server simulation under the three
+// evaluated policies — Random, POM (power-optimized server management with
+// random placement), and POColo (power-optimized management plus
+// utility-guided placement).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pocolo/internal/assign"
+	"pocolo/internal/machine"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// DefaultLoadRange is the paper's evaluation load distribution: uniform
+// over 10%–90% of the LC application's peak in steps of 10%.
+func DefaultLoadRange() []float64 {
+	out := make([]float64, 0, 9)
+	for l := 1; l <= 9; l++ {
+		out = append(out, float64(l)/10)
+	}
+	return out
+}
+
+// Matrix is the cluster manager's performance matrix: Value[i][j] is the
+// estimated throughput of BE application i when co-located with LC server
+// j, averaged over the LC load range.
+type Matrix struct {
+	BENames []string
+	LCNames []string
+	Value   [][]float64
+}
+
+// MatrixConfig parameterizes matrix construction.
+type MatrixConfig struct {
+	// Machine is the server platform.
+	Machine machine.Config
+	// LC holds the latency-critical specs (one server per spec); required.
+	LC []*workload.Spec
+	// BE holds the best-effort candidates; required.
+	BE []*workload.Spec
+	// Models maps application name to its fitted utility model; required
+	// for every listed app.
+	Models map[string]*utility.Model
+	// Loads is the LC load range to average over (default DefaultLoadRange).
+	Loads []float64
+}
+
+// BuildMatrix estimates the performance matrix from the fitted models:
+// for each LC load it computes the primary's least-power allocation, the
+// complementary spare resources, and the power headroom under the
+// provisioned capacity; the BE app's throughput at that operating point is
+// its power-budget-constrained Cobb-Douglas demand on the spare resources.
+func BuildMatrix(cfg MatrixConfig) (*Matrix, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.LC) == 0 || len(cfg.BE) == 0 {
+		return nil, errors.New("cluster: need at least one LC and one BE application")
+	}
+	loads := cfg.Loads
+	if len(loads) == 0 {
+		loads = DefaultLoadRange()
+	}
+	for _, l := range loads {
+		if l <= 0 || l > 1 {
+			return nil, fmt.Errorf("cluster: load fraction %v outside (0, 1]", l)
+		}
+	}
+	mx := &Matrix{
+		BENames: make([]string, len(cfg.BE)),
+		LCNames: make([]string, len(cfg.LC)),
+		Value:   make([][]float64, len(cfg.BE)),
+	}
+	for j, lc := range cfg.LC {
+		mx.LCNames[j] = lc.Name
+	}
+	for i, be := range cfg.BE {
+		mx.BENames[i] = be.Name
+		mx.Value[i] = make([]float64, len(cfg.LC))
+		beModel, ok := cfg.Models[be.Name]
+		if !ok {
+			return nil, fmt.Errorf("cluster: no fitted model for %s", be.Name)
+		}
+		for j, lc := range cfg.LC {
+			lcModel, ok := cfg.Models[lc.Name]
+			if !ok {
+				return nil, fmt.Errorf("cluster: no fitted model for %s", lc.Name)
+			}
+			v, err := estimatePairThroughput(cfg.Machine, lc, lcModel, beModel, loads)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: estimating %s on %s: %w", be.Name, lc.Name, err)
+			}
+			mx.Value[i][j] = v
+		}
+	}
+	return mx, nil
+}
+
+// estimatePairThroughput averages the model-estimated BE throughput over
+// the LC load range for one (LC, BE) pairing.
+func estimatePairThroughput(cfg machine.Config, lc *workload.Spec, lcModel, beModel *utility.Model, loads []float64) (float64, error) {
+	total := 0.0
+	bounds := []float64{float64(cfg.Cores), float64(cfg.LLCWays)}
+	for _, frac := range loads {
+		target := frac * lc.PeakLoad
+		r, err := lcModel.MinPowerAllocBox(target, bounds)
+		if err != nil {
+			// Load unreachable even with the whole machine: the primary
+			// takes everything and the co-runner gets nothing at this
+			// level.
+			continue
+		}
+		// Integerize conservatively and clamp to the machine.
+		lcCores := clampInt(int(math.Ceil(r[0])), 1, cfg.Cores)
+		lcWays := clampInt(int(math.Ceil(r[1])), 1, cfg.LLCWays)
+		spare := []float64{
+			float64(cfg.Cores - lcCores),
+			float64(cfg.LLCWays - lcWays),
+		}
+		// Power headroom under the provisioned capacity: the cap minus the
+		// idle floor minus the primary's (model-estimated) dynamic draw.
+		headroom := lc.ProvisionedPowerW - cfg.IdlePowerW - lcModel.DynamicPower([]float64{float64(lcCores), float64(lcWays)})
+		if headroom <= 0 || spare[0] <= 0 || spare[1] <= 0 {
+			continue // nothing to harvest at this load
+		}
+		demand, err := beModel.DemandCapped(headroom, spare)
+		if err != nil {
+			return 0, err
+		}
+		total += beModel.Perf(demand)
+	}
+	return total / float64(len(loads)), nil
+}
+
+// Solve finds the placement maximizing the matrix total with the given
+// solver ("lp", "hungarian", or "exhaustive"). It returns the mapping from
+// BE name to LC name and the predicted total.
+func (mx *Matrix) Solve(method string) (map[string]string, float64, error) {
+	var (
+		idx []int
+		val float64
+		err error
+	)
+	switch method {
+	case "lp":
+		idx, val, err = assign.LP(mx.Value)
+	case "hungarian":
+		idx, val, err = assign.Hungarian(mx.Value)
+	case "exhaustive":
+		idx, val, err = assign.Exhaustive(mx.Value)
+	default:
+		return nil, 0, fmt.Errorf("cluster: unknown solver %q", method)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	placement := make(map[string]string, len(idx))
+	for i, j := range idx {
+		placement[mx.BENames[i]] = mx.LCNames[j]
+	}
+	return placement, val, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+	"pocolo/internal/workload"
+)
+
+// RunReplicated evaluates a datacenter-scale variant of the evaluation:
+// each of the LC clusters runs `replicas` servers and each BE application
+// submits `replicas` instances (Section II-A's datacenter "comprising of
+// multiple such clusters"). The performance matrix is replicated
+// block-wise, solved exactly with the Hungarian method (the LP grows
+// quadratically in variables and is no longer the cheap option at this
+// size), and the full placement is simulated.
+//
+// Host names take the form "<lc>#<i>"; the returned Result keys hosts by
+// those names and the placement by BE instance names "<be>#<i>".
+func RunReplicated(cfg Config, replicas int, mgmt servermgr.LCPolicy) (Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return Result{}, err
+	}
+	if replicas < 1 {
+		return Result{}, fmt.Errorf("cluster: replicas must be at least 1, got %d", replicas)
+	}
+	base, err := BuildMatrix(MatrixConfig{
+		Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: cfg.Models,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	nBE := len(cfg.BE) * replicas
+	nLC := len(cfg.LC) * replicas
+	value := make([][]float64, nBE)
+	for i := range value {
+		value[i] = make([]float64, nLC)
+		for j := range value[i] {
+			value[i][j] = base.Value[i%len(cfg.BE)][j%len(cfg.LC)]
+		}
+	}
+	mx := &Matrix{Value: value}
+	for i := 0; i < nBE; i++ {
+		mx.BENames = append(mx.BENames, fmt.Sprintf("%s#%d", cfg.BE[i%len(cfg.BE)].Name, i/len(cfg.BE)))
+	}
+	for j := 0; j < nLC; j++ {
+		mx.LCNames = append(mx.LCNames, fmt.Sprintf("%s#%d", cfg.LC[j%len(cfg.LC)].Name, j/len(cfg.LC)))
+	}
+	placement, _, err := mx.Solve("hungarian")
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Invert: each host gets at most one BE spec.
+	beByHost := make(map[string]*workload.Spec, nBE)
+	for beInst, lcInst := range placement {
+		// Strip the "#k" suffix to recover the spec name.
+		beName := beInst
+		for k := len(beInst) - 1; k >= 0; k-- {
+			if beInst[k] == '#' {
+				beName = beInst[:k]
+				break
+			}
+		}
+		spec, err := findSpec(cfg.BE, beName)
+		if err != nil {
+			return Result{}, err
+		}
+		if _, dup := beByHost[lcInst]; dup {
+			return Result{}, fmt.Errorf("cluster: two BE instances placed on %s", lcInst)
+		}
+		beByHost[lcInst] = spec
+	}
+
+	engine, err := sim.NewEngine(cfg.Tick)
+	if err != nil {
+		return Result{}, err
+	}
+	var hosts []*sim.Host
+	for j := 0; j < nLC; j++ {
+		lc := cfg.LC[j%len(cfg.LC)]
+		hostName := mx.LCNames[j]
+		host, err := sim.NewHost(sim.HostConfig{
+			Name:    hostName,
+			Machine: cfg.Machine,
+			LC:      lc,
+			BE:      beByHost[hostName],
+			Trace:   workload.UniformSweep(cfg.Dwell),
+			Seed:    cfg.Seed + int64(j)*977,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := engine.AddHost(host); err != nil {
+			return Result{}, err
+		}
+		mgr, err := servermgr.New(servermgr.Config{
+			Host:        host,
+			Model:       cfg.Models[lc.Name],
+			Policy:      mgmt,
+			TargetSlack: cfg.TargetSlack,
+			Seed:        cfg.Seed + int64(j)*389,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := mgr.Attach(engine); err != nil {
+			return Result{}, err
+		}
+		hosts = append(hosts, host)
+	}
+	if err := engine.Run(workload.UniformSweep(cfg.Dwell).Duration()); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Placement: placement,
+		Hosts:     make(map[string]sim.Metrics, len(hosts)),
+	}
+	var normSum float64
+	var normCount int
+	var utilSum float64
+	for _, h := range hosts {
+		m := h.Metrics()
+		res.Hosts[h.Name()] = m
+		res.TotalEnergyKWh += m.EnergyKWh
+		res.TotalBEOps += m.BEOps
+		utilSum += m.PowerUtil
+		if m.SLOViolFrac > res.SLOViolFrac {
+			res.SLOViolFrac = m.SLOViolFrac
+		}
+		if be := h.BE(); be != nil {
+			normSum += m.BEMeanThr / be.PeakLoad
+			normCount++
+		}
+	}
+	res.MeanPowerUtil = utilSum / float64(len(hosts))
+	if normCount > 0 {
+		res.BENormThroughput = normSum / float64(normCount)
+	}
+	return res, nil
+}
+
+func findSpec(specs []*workload.Spec, name string) (*workload.Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: unknown spec %q", name)
+}

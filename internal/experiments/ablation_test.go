@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationSolvers(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationSolvers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byName := map[string]SolverRow{}
+	for _, row := range r.Rows {
+		byName[row.Solver] = row
+	}
+	// Exact solvers agree; random is strictly worse in expectation.
+	opt := byName["exhaustive"].Value
+	if math.Abs(byName["lp"].Value-opt) > 1e-6 || math.Abs(byName["hungarian"].Value-opt) > 1e-6 {
+		t.Errorf("exact solvers disagree: %v", byName)
+	}
+	if byName["random(mean)"].Value >= opt {
+		t.Errorf("random mean %v should be below optimum %v", byName["random(mean)"].Value, opt)
+	}
+	if len(r.Table().Rows) != 4 {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestAblationSlack(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationSlack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// A looser guard (20%) reserves more resources for the primary, so
+	// best-effort throughput must not increase versus the 5% guard.
+	if r.Rows[2].BEThrNorm > r.Rows[0].BEThrNorm*1.02 {
+		t.Errorf("20%% guard throughput %v should not beat 5%% guard %v",
+			r.Rows[2].BEThrNorm, r.Rows[0].BEThrNorm)
+	}
+	// Every setting keeps the cluster functional.
+	for _, row := range r.Rows {
+		if row.BEThrNorm <= 0 {
+			t.Errorf("slack %v: no BE throughput", row.TargetSlack)
+		}
+		if row.SLOViolFrac > 0.20 {
+			t.Errorf("slack %v: violations %v", row.TargetSlack, row.SLOViolFrac)
+		}
+	}
+}
+
+func TestAblationKnobOrder(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationKnobOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CapOverFrac > 0.10 {
+			t.Errorf("%s: failed to hold the cap (%v over)", row.Order, row.CapOverFrac)
+		}
+		if row.BEThr <= 0 {
+			t.Errorf("%s: no throughput", row.Order)
+		}
+	}
+	// Both orders are viable; which wins depends on how much of the
+	// co-runner's power scales with frequency. For graph (way-dominated
+	// power) the orders must land within 25% of each other — a larger gap
+	// would indicate a broken capper rather than a knob-order effect.
+	lo, hi := r.Rows[0].BEThr, r.Rows[1].BEThr
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < hi*0.75 {
+		t.Errorf("knob orders diverge too far: %v vs %v", r.Rows[0].BEThr, r.Rows[1].BEThr)
+	}
+}
+
+func TestAblationMyopic(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationMyopic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	whole := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		if row.BEThrNorm > whole.BEThrNorm*1.03 {
+			t.Errorf("myopic %q (%v) should not beat the whole-range matrix (%v)",
+				row.Variant, row.BEThrNorm, whole.BEThrNorm)
+		}
+	}
+}
+
+func TestAblationProfiling(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// The dense grid reproduces the suite's placement, and sample counts
+	// fall with stride.
+	if !r.Rows[0].SamePlace {
+		t.Error("full-grid refit should reproduce the placement")
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Samples >= r.Rows[i-1].Samples {
+			t.Errorf("samples should fall with stride: %v", r.Rows)
+		}
+	}
+	// Even the sparsest grid keeps preference error moderate.
+	if r.Rows[len(r.Rows)-1].MaxPrefErr > 0.15 {
+		t.Errorf("sparse-grid preference error %v too large", r.Rows[len(r.Rows)-1].MaxPrefErr)
+	}
+}
+
+func TestAblationSharing(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationSharing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.TotalBEOps <= 0 {
+			t.Errorf("%s: no work done", row.Discipline)
+		}
+		if row.CapOver > 0.10 {
+			t.Errorf("%s: over cap %v", row.Discipline, row.CapOver)
+		}
+	}
+	// Spatial and temporal sharing must both make the second app progress.
+	spatial := r.Rows[1]
+	if spatial.PerApp["lstm"] <= 0 || spatial.PerApp["graph"] <= 0 {
+		t.Errorf("spatial sharing starved an app: %v", spatial.PerApp)
+	}
+	temporal := r.Rows[2]
+	if temporal.PerApp["lstm"] <= 0 || temporal.PerApp["graph"] <= 0 {
+		t.Errorf("temporal sharing starved an app: %v", temporal.PerApp)
+	}
+}
+
+func TestAblationOnline(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationOnline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	profiled, borrowed, adapted := r.Rows[0], r.Rows[1], r.Rows[2]
+	// The borrowed model wastes power versus the profiled one; adaptation
+	// recovers part of the gap.
+	if borrowed.MeanPowerW <= profiled.MeanPowerW {
+		t.Errorf("borrowed model should over-draw: %.1f vs %.1f", borrowed.MeanPowerW, profiled.MeanPowerW)
+	}
+	if adapted.MeanPowerW >= borrowed.MeanPowerW {
+		t.Errorf("adaptation should save power: %.1f vs %.1f", adapted.MeanPowerW, borrowed.MeanPowerW)
+	}
+	if adapted.Refits == 0 {
+		t.Error("adapter never refit")
+	}
+	if adapted.SLOViolFrac > 0.08 {
+		t.Errorf("adapted violations %v too high", adapted.SLOViolFrac)
+	}
+	// The adapted preference lands closer to truth than the borrowed one.
+	if abs(adapted.PrefCores-r.TruthPrefCores) >= abs(borrowed.PrefCores-r.TruthPrefCores) {
+		t.Errorf("adaptation did not improve the preference: %v vs %v (truth %v)",
+			adapted.PrefCores, borrowed.PrefCores, r.TruthPrefCores)
+	}
+	if len(r.Table().Rows) != 3 {
+		t.Error("table rendering broken")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestValidationDES(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.ValidationDES()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	prevFluid, prevDES := 0.0, 0.0
+	for _, row := range r.Rows {
+		if row.FluidP99 <= prevFluid || row.DESP99 <= prevDES {
+			t.Errorf("ρ=%v: tails must grow with utilization", row.Rho)
+		}
+		prevFluid, prevDES = row.FluidP99, row.DESP99
+	}
+	// Growth tracking: the two models' normalized tails stay within a
+	// factor of 3 of each other across the operating range.
+	for _, row := range r.Rows {
+		ratio := row.FluidGrowth / row.DESGrowth
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("ρ=%v: growth diverges: fluid ×%.2f vs DES ×%.2f", row.Rho, row.FluidGrowth, row.DESGrowth)
+		}
+	}
+	// Near saturation both tails must have blown up substantially.
+	last := r.Rows[len(r.Rows)-1]
+	if last.FluidGrowth < 3 || last.DESGrowth < 3 {
+		t.Errorf("tails should blow up near saturation: fluid ×%.2f, DES ×%.2f", last.FluidGrowth, last.DESGrowth)
+	}
+}
+
+func TestAblationScale(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Servers != 4 || r.Rows[3].Servers != 32 {
+		t.Errorf("scales = %v..%v", r.Rows[0].Servers, r.Rows[3].Servers)
+	}
+	for i, row := range r.Rows {
+		if row.Optimal <= row.RandomMean {
+			t.Errorf("n=%d: optimum %v not above random mean %v", row.Servers, row.Optimal, row.RandomMean)
+		}
+		if row.RandomLossFrac <= 0 || row.RandomLossFrac > 0.5 {
+			t.Errorf("n=%d: random loss %v implausible", row.Servers, row.RandomLossFrac)
+		}
+		// The optimum scales linearly with replication (block-constant
+		// matrix): each replica adds the base optimum.
+		if i > 0 {
+			wantRatio := float64(row.Servers) / float64(r.Rows[0].Servers)
+			gotRatio := row.Optimal / r.Rows[0].Optimal
+			if gotRatio < wantRatio*0.999 || gotRatio > wantRatio*1.001 {
+				t.Errorf("n=%d: optimum ratio %v, want %v", row.Servers, gotRatio, wantRatio)
+			}
+		}
+	}
+	if len(r.Table().Rows) != 4 {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestAblationBudget(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.AblationBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	equal, prop := r.Rows[0], r.Rows[1]
+	// Demand-proportional division must not lose to the static split and
+	// both must hold the aggregate budget and protect the primaries.
+	if prop.TotalBEOps < equal.TotalBEOps*0.98 {
+		t.Errorf("demand-proportional (%v ops) lost to equal split (%v ops)", prop.TotalBEOps, equal.TotalBEOps)
+	}
+	for _, row := range r.Rows {
+		if row.OverBudgetPct > 0.10 {
+			t.Errorf("%s: over budget %v of the time", row.Policy, row.OverBudgetPct)
+		}
+		if row.WorstSLOViol > 0.10 {
+			t.Errorf("%s: SLO violations %v", row.Policy, row.WorstSLOViol)
+		}
+		if row.MeanClusterW > row.BudgetW*1.02 {
+			t.Errorf("%s: mean cluster power %v above budget %v", row.Policy, row.MeanClusterW, row.BudgetW)
+		}
+	}
+	if len(r.Table().Rows) != 2 {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	s := sharedSuite(t)
+	r, err := s.SeedSensitivity(42, 1042)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Every seed reproduces the ordering; the mean improvements land in
+	// the paper's neighborhood.
+	for _, row := range r.Rows {
+		if row.ImprovementPOColo <= row.ImprovementPOM {
+			t.Errorf("seed %d: POColo (%v) should beat POM (%v)", row.Seed, row.ImprovementPOColo, row.ImprovementPOM)
+		}
+		if row.ImprovementPOM < 0.01 {
+			t.Errorf("seed %d: POM improvement %v too small", row.Seed, row.ImprovementPOM)
+		}
+	}
+	if r.POColoMean < 0.10 {
+		t.Errorf("mean POColo improvement %v too small (paper +18%%)", r.POColoMean)
+	}
+	if r.POMMin > r.POMMean || r.POMMean > r.POMMax {
+		t.Errorf("POM summary out of order: %v/%v/%v", r.POMMin, r.POMMean, r.POMMax)
+	}
+	if len(r.Table().Rows) != 2 {
+		t.Error("table rendering broken")
+	}
+}

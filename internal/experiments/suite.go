@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) on the simulated platform. Each experiment is a
+// method on Suite returning a typed result that renders as a text table;
+// cmd/pocolo-experiments prints them all, and the benchmark harness at the
+// repository root exposes one testing.B target per artifact.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pocolo/internal/cluster"
+	"pocolo/internal/machine"
+	"pocolo/internal/profiler"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// Suite carries the shared experimental setup: the Table I platform, the
+// eight calibrated applications, and their fitted utility models.
+type Suite struct {
+	Machine machine.Config
+	Catalog *workload.Catalog
+	Models  map[string]*utility.Model
+	Seed    int64
+	// Dwell is the simulated time per load level in cluster runs (default
+	// 5 s; experiments sweep nine levels).
+	Dwell time.Duration
+
+	policyRuns map[cluster.Policy]*cluster.Result
+}
+
+// NewSuite profiles and fits all eight applications on the Table I server
+// and returns a ready experiment suite.
+func NewSuite(seed int64) (*Suite, error) {
+	cfg := machine.XeonE52650()
+	cat, err := workload.Defaults(cfg)
+	if err != nil {
+		return nil, err
+	}
+	models, err := profiler.FitAll(cfg, append(cat.LC(), cat.BE()...), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{
+		Machine:    cfg,
+		Catalog:    cat,
+		Models:     models,
+		Seed:       seed,
+		Dwell:      5 * time.Second,
+		policyRuns: make(map[cluster.Policy]*cluster.Result),
+	}, nil
+}
+
+// clusterConfig assembles the shared cluster configuration.
+func (s *Suite) clusterConfig() cluster.Config {
+	return cluster.Config{
+		Machine: s.Machine,
+		LC:      s.Catalog.LC(),
+		BE:      s.Catalog.BE(),
+		Models:  s.Models,
+		Dwell:   s.Dwell,
+		Seed:    s.Seed,
+	}
+}
+
+// policyRun runs (and memoizes) the cluster evaluation for one policy;
+// Figs. 12, 13, and 15 share these runs.
+func (s *Suite) policyRun(p cluster.Policy) (*cluster.Result, error) {
+	if r, ok := s.policyRuns[p]; ok {
+		return r, nil
+	}
+	r, err := cluster.Run(s.clusterConfig(), p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %v cluster run: %w", p, err)
+	}
+	s.policyRuns[p] = &r
+	return &r, nil
+}
+
+func (s *Suite) spec(name string) (*workload.Spec, error) {
+	return s.Catalog.ByName(name)
+}
+
+func (s *Suite) model(name string) (*utility.Model, error) {
+	m, ok := s.Models[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no fitted model for %s", name)
+	}
+	return m, nil
+}

@@ -1,0 +1,280 @@
+package latency
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	cases := []struct{ min, max, prec float64 }{
+		{0, 100, 0.01},
+		{-1, 100, 0.01},
+		{10, 5, 0.01},
+		{1, 100, 0},
+		{1, 100, 1.5},
+	}
+	for _, c := range cases {
+		if _, err := NewHistogram(c.min, c.max, c.prec); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %v): expected error", c.min, c.max, c.prec)
+		}
+	}
+	if _, err := NewHistogram(0.01, 10000, 0.01); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNewHistogram(0, 0, 0)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := MustNewHistogram(0.01, 10000, 0.005)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramRejectsBadValues(t *testing.T) {
+	h := MustNewHistogram(0.01, 100, 0.01)
+	if err := h.Record(-1); err == nil {
+		t.Error("expected error for negative value")
+	}
+	if err := h.Record(math.NaN()); err == nil {
+		t.Error("expected error for NaN")
+	}
+	if err := h.RecordN(math.NaN(), 3); err == nil {
+		t.Error("expected error for NaN in RecordN")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := MustNewHistogram(0.01, 100, 0.01)
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	if h.Percentile(99) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Record a known distribution and check percentile relative error is
+	// bounded by the configured precision (plus bucket midpoint effects).
+	h := MustNewHistogram(0.01, 100000, 0.005)
+	rng := rand.New(rand.NewSource(3))
+	var values []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.0 + 2) // lognormal, ms
+		values = append(values, v)
+		if err := h.Record(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Float64s(values)
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		idx := int(math.Ceil(p/100*float64(len(values)))) - 1
+		exact := values[idx]
+		got := h.Percentile(p)
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 0.02 {
+			t.Errorf("p%v: got %v, exact %v, relErr %.4f", p, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramPercentileEdges(t *testing.T) {
+	h := MustNewHistogram(0.01, 1000, 0.01)
+	for i := 1; i <= 100; i++ {
+		if err := h.Record(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1 (min)", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Errorf("p100 = %v, want 100 (max)", got)
+	}
+	if got := h.Percentile(150); got != 100 {
+		t.Errorf("p150 = %v, want clamped to max", got)
+	}
+}
+
+func TestHistogramClampsOutOfRange(t *testing.T) {
+	h := MustNewHistogram(1, 100, 0.01)
+	if err := h.Record(0.5); err != nil { // below min
+		t.Fatal(err)
+	}
+	if err := h.Record(500); err != nil { // above max
+		t.Fatal(err)
+	}
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	// Exact min/max still visible via the tracked extremes.
+	if h.Min() != 0.5 || h.Max() != 500 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	h := MustNewHistogram(0.01, 1000, 0.01)
+	if err := h.RecordN(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 0 {
+		t.Error("RecordN with 0 should be a no-op")
+	}
+	if err := h.RecordN(10, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Percentile(50); math.Abs(got-10)/10 > 0.02 {
+		t.Errorf("p50 = %v, want ≈10", got)
+	}
+}
+
+func TestHistogramResetAndMerge(t *testing.T) {
+	a := MustNewHistogram(0.01, 1000, 0.01)
+	b := MustNewHistogram(0.01, 1000, 0.01)
+	for i := 0; i < 100; i++ {
+		if err := a.Record(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Record(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if got := a.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("merged mean = %v, want 50.5", got)
+	}
+	if a.Max() != 100 || a.Min() != 1 {
+		t.Errorf("merged extremes = %v/%v", a.Min(), a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Error("reset should clear the histogram")
+	}
+	// Merging nil is a no-op.
+	if err := a.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched configuration must error.
+	c := MustNewHistogram(0.1, 1000, 0.01)
+	if err := a.Merge(c); err == nil {
+		t.Error("expected config mismatch error")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := MustNewHistogram(0.01, 1000, 0.01)
+	for i := 1; i <= 1000; i++ {
+		if err := h.Record(float64(i) / 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Errorf("snapshot count = %d", s.Count)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max {
+		t.Errorf("snapshot percentiles out of order: %+v", s)
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0, time.Second, 0.01, 100); err == nil {
+		t.Error("expected error for zero slots")
+	}
+	if _, err := NewWindow(5, 0, 0.01, 100); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := NewWindow(5, time.Second, 0, 100); err == nil {
+		t.Error("expected error for bad histogram range")
+	}
+}
+
+func TestWindowSlidesOutOldData(t *testing.T) {
+	w, err := NewWindow(10, 100*time.Millisecond, 0.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	// Record slow requests in the first 100ms.
+	for i := 0; i < 50; i++ {
+		if err := w.Record(start.Add(time.Duration(i)*time.Millisecond), 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := w.Snapshot(start.Add(90 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 50 {
+		t.Errorf("count = %d, want 50", snap.Count)
+	}
+	// After the full window passes, old data must be gone.
+	later := start.Add(2 * time.Second)
+	for i := 0; i < 10; i++ {
+		if err := w.Record(later.Add(time.Duration(i)*time.Millisecond), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err = w.Snapshot(later.Add(50 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 10 {
+		t.Errorf("count after slide = %d, want 10", snap.Count)
+	}
+	if snap.Max > 2 {
+		t.Errorf("stale slow samples leaked into window: max = %v", snap.Max)
+	}
+}
+
+func TestWindowGradualSlide(t *testing.T) {
+	w, err := NewWindow(10, 100*time.Millisecond, 0.01, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Unix(100, 0)
+	// One observation per 100ms slot for 2 seconds: window spans 1s, so
+	// about 10 observations should remain at the end.
+	ts := start
+	for i := 0; i < 20; i++ {
+		if err := w.Record(ts, 10); err != nil {
+			t.Fatal(err)
+		}
+		ts = ts.Add(100 * time.Millisecond)
+	}
+	if c := w.Count(); c != 10 {
+		t.Errorf("window count = %d, want 10", c)
+	}
+}

@@ -1,0 +1,99 @@
+package latency
+
+import (
+	"errors"
+	"time"
+)
+
+// Window is a sliding-window latency recorder built from a ring of
+// fixed-duration histogram slots. Pocolo's server manager reads the p99 of
+// the last second of primary-application latencies once per control tick;
+// Window provides that view without unbounded memory.
+type Window struct {
+	slotDur   time.Duration
+	slots     []*Histogram
+	slotStart []time.Time
+	cur       int
+	started   bool
+}
+
+// NewWindow creates a sliding window covering `slots` consecutive intervals
+// of slotDur each (total span = slots × slotDur). Latency values must fit
+// the [minMs, maxMs] trackable range.
+func NewWindow(slots int, slotDur time.Duration, minMs, maxMs float64) (*Window, error) {
+	if slots < 1 {
+		return nil, errors.New("latency: window needs at least one slot")
+	}
+	if slotDur <= 0 {
+		return nil, errors.New("latency: slot duration must be positive")
+	}
+	w := &Window{
+		slotDur:   slotDur,
+		slots:     make([]*Histogram, slots),
+		slotStart: make([]time.Time, slots),
+	}
+	for i := range w.slots {
+		h, err := NewHistogram(minMs, maxMs, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		w.slots[i] = h
+	}
+	return w, nil
+}
+
+// advance rotates the ring until the current slot covers now.
+func (w *Window) advance(now time.Time) {
+	if !w.started {
+		w.started = true
+		w.slotStart[w.cur] = now
+		return
+	}
+	for now.Sub(w.slotStart[w.cur]) >= w.slotDur {
+		next := (w.cur + 1) % len(w.slots)
+		w.slots[next].Reset()
+		w.slotStart[next] = w.slotStart[w.cur].Add(w.slotDur)
+		w.cur = next
+		// If now is far in the future, fast-forward the start instead of
+		// rotating through a huge number of empty slots.
+		if now.Sub(w.slotStart[w.cur]) >= time.Duration(len(w.slots))*w.slotDur {
+			for i := range w.slots {
+				w.slots[i].Reset()
+			}
+			w.slotStart[w.cur] = now
+			return
+		}
+	}
+}
+
+// Record adds an observation at the given simulated timestamp. Timestamps
+// must be non-decreasing.
+func (w *Window) Record(now time.Time, ms float64) error {
+	w.advance(now)
+	return w.slots[w.cur].Record(ms)
+}
+
+// Snapshot merges all live slots and returns the tail statistics for the
+// window ending at now.
+func (w *Window) Snapshot(now time.Time) (Snapshot, error) {
+	w.advance(now)
+	merged, err := NewHistogram(w.slots[0].minTrackable, w.slots[0].maxTrackable, w.slots[0].growth-1)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	for _, s := range w.slots {
+		if err := merged.Merge(s); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return merged.Snapshot(), nil
+}
+
+// Count returns the number of observations currently inside the window.
+func (w *Window) Count() uint64 {
+	var n uint64
+	for _, s := range w.slots {
+		n += s.Count()
+	}
+	return n
+}

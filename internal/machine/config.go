@@ -1,0 +1,103 @@
+// Package machine simulates the server hardware platform the paper runs on:
+// an Intel Xeon E5-2650 with 12 cores, per-core DVFS between 1.2 and
+// 2.2 GHz, and a 20-way 30 MB LLC partitionable via Intel CAT. The package
+// exposes the same three allocation knobs Pocolo's prototype drives on
+// Linux — core assignment (taskset), LLC way allocation (CAT), and per-core
+// frequency scaling (cpupowerutils) — plus a CPU-time duty-cycle limiter
+// used by the power capper as its coarse second-stage knob.
+package machine
+
+import "fmt"
+
+// Config describes a server platform (Table I of the paper).
+type Config struct {
+	Name        string
+	Cores       int     // physical cores available for allocation
+	LLCWays     int     // LLC ways available via CAT-style partitioning
+	LLCMB       float64 // total LLC capacity, MB
+	MemoryGB    int
+	StorageGB   int
+	MinFreqGHz  float64 // lowest DVFS operating point
+	MaxFreqGHz  float64 // highest DVFS operating point (turbo disabled)
+	FreqStepGHz float64 // DVFS granularity
+	IdlePowerW  float64 // wall power with all cores idle
+	// ActivePowerW is the nominal all-cores-busy power of the platform at
+	// max frequency for a reference workload; individual applications can
+	// draw more or less (Table II spans 133–182 W).
+	ActivePowerW float64
+}
+
+// XeonE52650 returns the experimental platform from Table I.
+func XeonE52650() Config {
+	return Config{
+		Name:         "Intel Xeon E5-2650",
+		Cores:        12,
+		LLCWays:      20,
+		LLCMB:        30,
+		MemoryGB:     256,
+		StorageGB:    480,
+		MinFreqGHz:   1.2,
+		MaxFreqGHz:   2.2,
+		FreqStepGHz:  0.1,
+		IdlePowerW:   50,
+		ActivePowerW: 135,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("machine: config %q: need at least one core", c.Name)
+	case c.LLCWays < 1:
+		return fmt.Errorf("machine: config %q: need at least one LLC way", c.Name)
+	case c.MinFreqGHz <= 0 || c.MaxFreqGHz < c.MinFreqGHz:
+		return fmt.Errorf("machine: config %q: invalid frequency range [%v, %v]", c.Name, c.MinFreqGHz, c.MaxFreqGHz)
+	case c.FreqStepGHz <= 0:
+		return fmt.Errorf("machine: config %q: invalid frequency step %v", c.Name, c.FreqStepGHz)
+	case c.IdlePowerW < 0 || c.ActivePowerW <= c.IdlePowerW:
+		return fmt.Errorf("machine: config %q: invalid power envelope idle=%v active=%v", c.Name, c.IdlePowerW, c.ActivePowerW)
+	}
+	return nil
+}
+
+// Alloc is a resource grant: a number of cores (with all of them clocked at
+// FreqGHz), a number of LLC ways, and the duty cycle the grant may run at.
+// Duty = 1 means unrestricted CPU time; the power capper lowers it as its
+// last-resort throttle.
+type Alloc struct {
+	Cores   int
+	Ways    int
+	FreqGHz float64
+	Duty    float64
+}
+
+// Full returns the allocation covering the whole machine at max frequency.
+func (c Config) Full() Alloc {
+	return Alloc{Cores: c.Cores, Ways: c.LLCWays, FreqGHz: c.MaxFreqGHz, Duty: 1}
+}
+
+// ClampFreq snaps f to the platform's DVFS range and step grid.
+func (c Config) ClampFreq(f float64) float64 {
+	if f < c.MinFreqGHz {
+		return c.MinFreqGHz
+	}
+	if f > c.MaxFreqGHz {
+		return c.MaxFreqGHz
+	}
+	// Snap to the step grid anchored at MinFreqGHz.
+	steps := int((f-c.MinFreqGHz)/c.FreqStepGHz + 0.5)
+	snapped := c.MinFreqGHz + float64(steps)*c.FreqStepGHz
+	if snapped > c.MaxFreqGHz {
+		snapped = c.MaxFreqGHz
+	}
+	return snapped
+}
+
+// IsZero reports whether the allocation grants nothing.
+func (a Alloc) IsZero() bool { return a.Cores == 0 && a.Ways == 0 }
+
+// String renders the allocation compactly, e.g. "4c/8w@2.2GHz d=1.00".
+func (a Alloc) String() string {
+	return fmt.Sprintf("%dc/%dw@%.1fGHz d=%.2f", a.Cores, a.Ways, a.FreqGHz, a.Duty)
+}

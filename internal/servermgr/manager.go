@@ -1,0 +1,617 @@
+// Package servermgr implements the paper's server-level resource manager
+// (Section IV-C). Once per second it sizes the primary latency-critical
+// application's allocation for the current load — the power-optimized
+// manager (POM) walks the fitted Cobb-Douglas model's least-power
+// configurations, while the baseline walks the indifference curve without
+// differentiating resources by power, as the Heracles-style feedback
+// controller does. Spare resources go to the best-effort co-runner. Every
+// 100 ms a power capper compares the power-meter reading against the
+// provisioned capacity and throttles the best-effort application — per-core
+// DVFS first, CPU duty-cycling second — to keep the server inside its
+// budget.
+package servermgr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/sim"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// LCPolicy selects how the manager picks the primary application's
+// allocation among the feasible (SLO-preserving) configurations.
+type LCPolicy int
+
+const (
+	// PowerUnaware picks the feasible allocation holding the fewest
+	// resources overall, without regard to its power draw — the paper's
+	// baseline ("resources are not differentiated by their power use").
+	PowerUnaware LCPolicy = iota
+	// PowerOptimized picks the feasible allocation drawing the least
+	// power under the fitted model — the POM policy.
+	PowerOptimized
+)
+
+// String implements fmt.Stringer.
+func (p LCPolicy) String() string {
+	switch p {
+	case PowerUnaware:
+		return "power-unaware"
+	case PowerOptimized:
+		return "power-optimized"
+	default:
+		return fmt.Sprintf("LCPolicy(%d)", int(p))
+	}
+}
+
+// Config assembles a manager for one host.
+type Config struct {
+	// Host is the managed server; required.
+	Host *sim.Host
+	// Model is the fitted utility model of the host's LC application;
+	// required (both policies search its feasible set; only POM uses its
+	// power coefficients).
+	Model *utility.Model
+	// Policy selects the LC allocation strategy (default PowerUnaware).
+	Policy LCPolicy
+	// TargetSlack is the minimum relative p99 slack the controller defends
+	// (default 0.10, the paper's guard).
+	TargetSlack float64
+	// Headroom inflates the model's load target to absorb model error
+	// (default 1.05).
+	Headroom float64
+	// ControlPeriod is the LC allocation loop period (default 1 s).
+	ControlPeriod time.Duration
+	// CapPeriod is the power-capper period (default 100 ms).
+	CapPeriod time.Duration
+	// CapGuard is the relative hysteresis band under the cap within which
+	// the capper neither throttles nor restores (default 0.03).
+	CapGuard float64
+	// Seed drives the power-unaware baseline's arbitrary choice among
+	// feasible allocations; POM ignores it.
+	Seed int64
+	// BEModels optionally maps co-runner names to their fitted utility
+	// models. With two or more co-runners on the host, the manager uses
+	// them to split the spare resources spatially (the paper's Section
+	// V-G extension); without models the spare is split evenly.
+	BEModels map[string]*utility.Model
+	// DutyFirst reverses the power capper's knob order: duty-cycling
+	// before frequency scaling. The paper's order (frequency first) is the
+	// default; the ablation experiments exercise both.
+	DutyFirst bool
+}
+
+// Manager runs the two control loops for one host.
+type Manager struct {
+	host  *sim.Host
+	model *utility.Model
+
+	policy        LCPolicy
+	targetSlack   float64
+	headroom      float64
+	controlPeriod time.Duration
+	capPeriod     time.Duration
+	capGuard      float64
+
+	// boost is the feedback integrator: extra resource units granted on
+	// top of the model's allocation when observed slack runs low.
+	boost int
+	// lcFreq is the primary's current DVFS setting (POM trims it when
+	// slack is abundant).
+	lcFreq float64
+	// beFreq/beDuty are the capper's throttle state, applied uniformly to
+	// the host's whole best-effort partition.
+	beFreq float64
+	beDuty float64
+	// beModels and dutyFirst configure the multi-co-runner spare split and
+	// the capper knob order.
+	beModels  map[string]*utility.Model
+	dutyFirst bool
+	// activeBE, when non-empty, restricts the spare resources to a single
+	// co-runner (the temporal-sharing scheduler's hook); the others idle.
+	activeBE string
+	// capOverrideW replaces the host's provisioned capacity as the capper's
+	// budget when positive — the hook a cluster-level power budgeter uses
+	// to assign dynamic per-server budgets.
+	capOverrideW float64
+	// rng drives the baseline's arbitrary frontier choice.
+	rng *rand.Rand
+
+	// lastTarget is the load target the previous control tick sized the
+	// allocation for; violations observed at an unchanged target mean the
+	// sizing itself is wrong, not merely stale.
+	lastTarget float64
+
+	// counters for introspection and tests
+	controlTicks int
+	capThrottles int
+	capRestores  int
+}
+
+const (
+	maxBoost  = 4
+	dutyFloor = 0.05 // lowest duty cycle the capper will impose
+)
+
+// New validates the configuration and builds a manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Host == nil {
+		return nil, errors.New("servermgr: nil host")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("servermgr: nil utility model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Model.Alpha) != 2 {
+		return nil, fmt.Errorf("servermgr: need a 2-resource (cores, ways) model, have %d", len(cfg.Model.Alpha))
+	}
+	m := &Manager{
+		host:          cfg.Host,
+		model:         cfg.Model,
+		policy:        cfg.Policy,
+		targetSlack:   cfg.TargetSlack,
+		headroom:      cfg.Headroom,
+		controlPeriod: cfg.ControlPeriod,
+		capPeriod:     cfg.CapPeriod,
+		capGuard:      cfg.CapGuard,
+		lcFreq:        cfg.Host.Machine().MaxFreqGHz,
+		beFreq:        cfg.Host.Machine().MaxFreqGHz,
+		beDuty:        1,
+		beModels:      cfg.BEModels,
+		dutyFirst:     cfg.DutyFirst,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if m.targetSlack == 0 {
+		m.targetSlack = 0.10
+	}
+	if m.targetSlack < 0 || m.targetSlack >= 0.5 {
+		return nil, fmt.Errorf("servermgr: target slack %v outside [0, 0.5)", m.targetSlack)
+	}
+	if m.headroom == 0 {
+		m.headroom = 1.05
+	}
+	if m.headroom < 1 || m.headroom > 2 {
+		return nil, fmt.Errorf("servermgr: headroom %v outside [1, 2]", m.headroom)
+	}
+	if m.controlPeriod == 0 {
+		m.controlPeriod = time.Second
+	}
+	if m.capPeriod == 0 {
+		m.capPeriod = 100 * time.Millisecond
+	}
+	if m.controlPeriod <= 0 || m.capPeriod <= 0 {
+		return nil, errors.New("servermgr: control periods must be positive")
+	}
+	if m.capGuard == 0 {
+		m.capGuard = 0.03
+	}
+	if m.capGuard < 0 || m.capGuard > 0.2 {
+		return nil, fmt.Errorf("servermgr: cap guard %v outside [0, 0.2]", m.capGuard)
+	}
+	return m, nil
+}
+
+// Attach registers the manager's control loops on the engine and applies
+// an initial allocation.
+func (m *Manager) Attach(e *sim.Engine) error {
+	if e == nil {
+		return errors.New("servermgr: nil engine")
+	}
+	m.ControlTick(e.Now())
+	if err := e.Every(m.controlPeriod, m.ControlTick); err != nil {
+		return err
+	}
+	return e.Every(m.capPeriod, m.CapTick)
+}
+
+// feasibleAlloc picks the LC allocation for the load target according to
+// the policy. Returns false when no allocation within the machine meets
+// the target (the controller then grants the full machine).
+func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
+	cfg := m.host.Machine()
+	switch m.policy {
+	case PowerOptimized:
+		alloc, err := m.model.IntegerMinPowerAlloc(target, []int{cfg.Cores, cfg.LLCWays})
+		if err != nil {
+			return 0, 0, false
+		}
+		return alloc[0], alloc[1], true
+	default:
+		// Power-unaware: any point on the feasible frontier of the
+		// indifference curve — the paper's baseline does not differentiate
+		// resources by their power use, so the choice among minimal
+		// feasible allocations is arbitrary (uniformly random here).
+		type point struct{ c, w int }
+		var frontier []point
+		for c := 1; c <= cfg.Cores; c++ {
+			w := -1
+			for cand := 1; cand <= cfg.LLCWays; cand++ {
+				if m.model.Perf([]float64{float64(c), float64(cand)}) >= target {
+					w = cand
+					break
+				}
+			}
+			if w == -1 {
+				continue
+			}
+			// Drop dominated points: a frontier point must not use both
+			// more cores and at least as many ways as a previous one.
+			if n := len(frontier); n > 0 && frontier[n-1].w == w {
+				continue
+			}
+			frontier = append(frontier, point{c, w})
+		}
+		if len(frontier) == 0 {
+			return 0, 0, false
+		}
+		p := frontier[m.rng.Intn(len(frontier))]
+		return p.c, p.w, true
+	}
+}
+
+// ControlTick runs one iteration of the 1 s LC allocation loop.
+func (m *Manager) ControlTick(now time.Time) {
+	m.controlTicks++
+	cfg := m.host.Machine()
+	load := m.host.OfferedLoad()
+	slack := m.host.Slack()
+
+	// Feedback integrator: starve → boost, comfortable → relax. The model
+	// target already encodes the slack guard (profiling measured max load
+	// AT the guard), so boost only corrects residual model error. An
+	// outright SLO violation jumps the boost to its maximum at once — the
+	// paper's manager "quickly changes the allocation configuration" on a
+	// significant slack change rather than creeping toward it.
+	if m.controlTicks > 1 {
+		switch {
+		case slack < 0 && sameTarget(load*m.headroom, m.lastTarget):
+			// Still violating at the operating point the previous tick
+			// already sized for: the model is off here, jump straight to
+			// the maximum correction ("quickly changes the allocation
+			// configuration"). A violation right after a load change is
+			// just staleness — the per-tick resize below handles it.
+			m.boost = maxBoost
+		case slack < m.targetSlack && m.boost < maxBoost:
+			m.boost++
+		case slack > m.targetSlack+0.15 && m.boost > 0:
+			m.boost--
+		}
+	}
+
+	target := load * m.headroom
+	m.lastTarget = target
+	var cores, ways int
+	if target <= 0 {
+		// No load observed yet (cold start): keep the primary safe with
+		// the full machine until the first real observation arrives.
+		cores, ways = cfg.Cores, cfg.LLCWays
+	} else if c, w, ok := m.feasibleAlloc(target); ok {
+		cores, ways = c, w
+	} else {
+		cores, ways = cfg.Cores, cfg.LLCWays
+	}
+	cores = clampInt(cores+m.boost, 1, cfg.Cores)
+	ways = clampInt(ways+m.boost, 1, cfg.LLCWays)
+
+	// LC frequency: POM trims the clock when slack is abundant and snaps
+	// back when it tightens; the baseline always runs at max.
+	if m.policy == PowerOptimized && m.controlTicks > 1 {
+		switch {
+		case slack < m.targetSlack+0.10:
+			m.lcFreq = cfg.MaxFreqGHz
+		case slack > m.targetSlack+0.30 && m.lcFreq > cfg.MinFreqGHz:
+			m.lcFreq = cfg.ClampFreq(m.lcFreq - cfg.FreqStepGHz)
+		}
+	} else if m.policy != PowerOptimized {
+		m.lcFreq = cfg.MaxFreqGHz
+	}
+
+	m.apply(cores, ways)
+}
+
+// apply installs the LC allocation and hands every remaining resource to
+// the best-effort co-runner(s), preserving the capper's throttle state.
+func (m *Manager) apply(lcCores, lcWays int) {
+	srv := m.host.Server()
+	lc := m.host.LC().Name
+	bes := m.host.BEs()
+	// Release the co-runners first so the primary's grant can always be
+	// satisfied (the primary has absolute priority).
+	for _, be := range bes {
+		_ = srv.SetCores(be.Name, 0)
+		_ = srv.SetWays(be.Name, 0)
+	}
+	_ = srv.SetAlloc(lc, machine.Alloc{Cores: lcCores, Ways: lcWays, FreqGHz: m.lcFreq, Duty: 1})
+	if len(bes) == 0 {
+		return
+	}
+	freeCores, freeWays := srv.Free()
+	for name, a := range m.splitSpare(bes, freeCores, freeWays) {
+		if a.Cores == 0 && a.Ways == 0 {
+			continue
+		}
+		a.FreqGHz = m.beFreq
+		a.Duty = m.beDuty
+		_ = srv.SetAlloc(name, a)
+	}
+}
+
+// splitSpare distributes the spare resources among the co-runners:
+// everything to the single co-runner (or the temporal scheduler's active
+// one); for two spatially-shared co-runners, the split maximizing the
+// model-estimated combined throughput under the power headroom; otherwise
+// an even split.
+func (m *Manager) splitSpare(bes []*workload.Spec, freeCores, freeWays int) map[string]machine.Alloc {
+	out := make(map[string]machine.Alloc, len(bes))
+	if m.activeBE != "" {
+		for _, be := range bes {
+			if be.Name == m.activeBE {
+				out[be.Name] = machine.Alloc{Cores: freeCores, Ways: freeWays}
+			} else {
+				out[be.Name] = machine.Alloc{}
+			}
+		}
+		return out
+	}
+	switch len(bes) {
+	case 1:
+		out[bes[0].Name] = machine.Alloc{Cores: freeCores, Ways: freeWays}
+	case 2:
+		a, b := m.beModels[bes[0].Name], m.beModels[bes[1].Name]
+		if a != nil && b != nil && a.Validate() == nil && b.Validate() == nil {
+			c1, w1 := m.bestPairSplit(a, b, freeCores, freeWays)
+			out[bes[0].Name] = machine.Alloc{Cores: c1, Ways: w1}
+			out[bes[1].Name] = machine.Alloc{Cores: freeCores - c1, Ways: freeWays - w1}
+			return out
+		}
+		fallthrough
+	default:
+		// Even split, remainder to the earlier co-runners.
+		n := len(bes)
+		for i, be := range bes {
+			c := freeCores / n
+			w := freeWays / n
+			if i < freeCores%n {
+				c++
+			}
+			if i < freeWays%n {
+				w++
+			}
+			out[be.Name] = machine.Alloc{Cores: c, Ways: w}
+		}
+	}
+	return out
+}
+
+// bestPairSplit enumerates integer splits of the spare resources between
+// two modelled co-runners, scoring each by the combined Cobb-Douglas
+// throughput scaled down when the pair's estimated dynamic power exceeds
+// the headroom (the capper would throttle both uniformly).
+func (m *Manager) bestPairSplit(a, b *utility.Model, freeCores, freeWays int) (cores, ways int) {
+	headroom := m.host.CapW() - m.host.Machine().IdlePowerW - m.model.DynamicPower(m.lcAllocVector())
+	bestScore := -1.0
+	for c1 := 0; c1 <= freeCores; c1++ {
+		for w1 := 0; w1 <= freeWays; w1++ {
+			r1 := []float64{float64(c1), float64(w1)}
+			r2 := []float64{float64(freeCores - c1), float64(freeWays - w1)}
+			perf := a.Perf(r1) + b.Perf(r2)
+			if headroom > 0 {
+				if p := a.DynamicPower(r1) + b.DynamicPower(r2); p > headroom {
+					perf *= headroom / p
+				}
+			}
+			if perf > bestScore {
+				bestScore = perf
+				cores, ways = c1, w1
+			}
+		}
+	}
+	return cores, ways
+}
+
+// lcAllocVector returns the primary's current allocation as a model input
+// vector.
+func (m *Manager) lcAllocVector() []float64 {
+	a, err := m.host.Server().Alloc(m.host.LC().Name)
+	if err != nil {
+		return []float64{0, 0}
+	}
+	return []float64{float64(a.Cores), float64(a.Ways)}
+}
+
+// SetActiveBE restricts the spare resources to a single co-runner (used by
+// the temporal-sharing scheduler); an empty name restores sharing among
+// all co-runners. The change takes effect immediately.
+func (m *Manager) SetActiveBE(name string) error {
+	if name != "" {
+		found := false
+		for _, be := range m.host.BEs() {
+			if be.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("servermgr: no co-runner %q on host %s", name, m.host.Name())
+		}
+	}
+	m.activeBE = name
+	// Re-apply the current split without waiting for the next control
+	// tick: job switches should not waste a whole control period.
+	if a, err := m.host.Server().Alloc(m.host.LC().Name); err == nil {
+		m.apply(a.Cores, a.Ways)
+	}
+	return nil
+}
+
+// ActiveBE returns the co-runner currently granted the spare resources
+// exclusively, or "" when all co-runners share.
+func (m *Manager) ActiveBE() string { return m.activeBE }
+
+// CapTick runs one iteration of the 100 ms power capper. The throttle
+// state is shared by the host's whole best-effort partition: every
+// co-runner is clocked and duty-cycled together.
+func (m *Manager) CapTick(time.Time) {
+	bes := m.host.BEs()
+	if len(bes) == 0 {
+		return
+	}
+	cfg := m.host.Machine()
+	srv := m.host.Server()
+	reading := m.host.MeterReading().Watts
+	capW := m.CapW()
+
+	throttleFreq := func() bool {
+		if m.beFreq <= cfg.MinFreqGHz {
+			return false
+		}
+		m.beFreq = cfg.ClampFreq(m.beFreq - cfg.FreqStepGHz)
+		return true
+	}
+	// The duty cut is proportional to the excess so a large overshoot
+	// converges in a few ticks instead of oscillating around the cap.
+	throttleDuty := func() bool {
+		if m.beDuty <= dutyFloor {
+			return false
+		}
+		cut := math.Max(0.5, capW*(1-m.capGuard/2)/reading)
+		m.beDuty = math.Max(dutyFloor, m.beDuty*cut)
+		return true
+	}
+	// The duty restore targets just inside the guard band so it does not
+	// immediately re-trip the throttle.
+	restoreDuty := func() bool {
+		if m.beDuty >= 1 {
+			return false
+		}
+		grow := math.Min(1.1, capW*(1-m.capGuard/2)/reading)
+		m.beDuty = math.Min(1, m.beDuty*grow)
+		return true
+	}
+	restoreFreq := func() bool {
+		if m.beFreq >= cfg.MaxFreqGHz {
+			return false
+		}
+		m.beFreq = cfg.ClampFreq(m.beFreq + cfg.FreqStepGHz)
+		return true
+	}
+
+	switch {
+	case reading > capW:
+		// Over budget: fine knob first (the paper's order is frequency
+		// then duty; DutyFirst flips it for the ablation).
+		m.capThrottles++
+		if m.dutyFirst {
+			if !throttleDuty() {
+				throttleFreq()
+			}
+		} else if !throttleFreq() {
+			throttleDuty()
+		}
+	case reading < capW*(1-m.capGuard):
+		// Comfortable headroom: restore in reverse order.
+		m.capRestores++
+		if m.dutyFirst {
+			if !restoreFreq() {
+				restoreDuty()
+			}
+		} else if !restoreDuty() {
+			restoreFreq()
+		}
+	}
+	for _, be := range bes {
+		if a, err := srv.Alloc(be.Name); err == nil && (a.Cores > 0 || a.Ways > 0) {
+			a.FreqGHz = m.beFreq
+			a.Duty = m.beDuty
+			_ = srv.SetAlloc(be.Name, a)
+		}
+	}
+}
+
+// CapW returns the power budget the capper currently enforces: the
+// cluster budgeter's override when set, the host's provisioned capacity
+// otherwise.
+func (m *Manager) CapW() float64 {
+	if m.capOverrideW > 0 {
+		return m.capOverrideW
+	}
+	return m.host.CapW()
+}
+
+// SetCapW overrides the capper's power budget (a cluster-level budgeter
+// assigning this server a share of a datacenter budget). The budget must
+// clear the platform's idle floor; zero clears the override.
+func (m *Manager) SetCapW(w float64) error {
+	if w == 0 {
+		m.capOverrideW = 0
+		return nil
+	}
+	if w <= m.host.Machine().IdlePowerW {
+		return fmt.Errorf("servermgr: budget %v W does not clear the %v W idle floor", w, m.host.Machine().IdlePowerW)
+	}
+	m.capOverrideW = w
+	return nil
+}
+
+// SetModel swaps the primary application's utility model — the hook the
+// online refitting adapter uses when runtime observations produce a better
+// fit than the model the manager started with.
+func (m *Manager) SetModel(model *utility.Model) error {
+	if model == nil {
+		return errors.New("servermgr: nil utility model")
+	}
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	if len(model.Alpha) != 2 {
+		return fmt.Errorf("servermgr: need a 2-resource model, have %d", len(model.Alpha))
+	}
+	m.model = model
+	return nil
+}
+
+// Model returns the manager's current utility model for the primary.
+func (m *Manager) Model() *utility.Model { return m.model }
+
+// Policy returns the manager's LC policy.
+func (m *Manager) Policy() LCPolicy { return m.policy }
+
+// BEThrottle reports the capper's current frequency and duty setting for
+// the co-runner.
+func (m *Manager) BEThrottle() (freqGHz, duty float64) { return m.beFreq, m.beDuty }
+
+// Boost returns the feedback integrator's current value.
+func (m *Manager) Boost() int { return m.boost }
+
+// Counters returns the number of control ticks, cap throttle actions and
+// cap restore actions so far.
+func (m *Manager) Counters() (control, throttles, restores int) {
+	return m.controlTicks, m.capThrottles, m.capRestores
+}
+
+// sameTarget reports whether two load targets describe the same operating
+// point (within 10%).
+func sameTarget(a, b float64) bool {
+	if b <= 0 {
+		return false
+	}
+	return math.Abs(a-b) <= 0.1*b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

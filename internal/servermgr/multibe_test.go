@@ -1,0 +1,209 @@
+package servermgr
+
+import (
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/sim"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// newMultiBench builds a host running lcName with two co-runners under a
+// constant trace, managed power-optimized, with BE models optionally
+// provided for the spatial split.
+func newMultiBench(t *testing.T, lcName string, beNames []string, level float64, withModels bool) (*sim.Host, *Manager, *sim.Engine) {
+	t.Helper()
+	cat := workload.MustDefaults()
+	lc, err := cat.ByName(lcName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bes []*workload.Spec
+	for _, n := range beNames {
+		be, err := cat.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bes = append(bes, be)
+	}
+	host, err := sim.NewHost(sim.HostConfig{
+		Name:    "multi",
+		Machine: machine.XeonE52650(),
+		LC:      lc,
+		BE:      bes[0],
+		ExtraBE: bes[1:],
+		Trace:   constTrace(t, level),
+		Seed:    9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beModels map[string]*utility.Model
+	if withModels {
+		beModels = make(map[string]*utility.Model)
+		for _, n := range beNames {
+			beModels[n] = fitted(t, n)
+		}
+	}
+	mgr, err := New(Config{
+		Host:     host,
+		Model:    fitted(t, lcName),
+		Policy:   PowerOptimized,
+		BEModels: beModels,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	return host, mgr, eng
+}
+
+func TestSpatialSharingBothProgress(t *testing.T) {
+	host, _, eng := newMultiBench(t, "sphinx", []string{"graph", "lstm"}, 0.3, true)
+	if err := eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := host.Metrics()
+	if m.BEOpsBy["graph"] <= 0 || m.BEOpsBy["lstm"] <= 0 {
+		t.Errorf("both co-runners should progress under spatial sharing: %v", m.BEOpsBy)
+	}
+	if m.SLOViolFrac > 0.05 {
+		t.Errorf("SLO violated %.1f%%", m.SLOViolFrac*100)
+	}
+	if m.CapOverFrac > 0.10 {
+		t.Errorf("over cap %.1f%% of time", m.CapOverFrac*100)
+	}
+	// The model-guided split should lean graph toward cores and lstm
+	// toward ways (their preference vectors are near-opposite).
+	ga, err := host.Server().Alloc("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := host.Server().Alloc("lstm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.Cores <= la.Cores {
+		t.Errorf("graph (%v) should hold more cores than lstm (%v)", ga, la)
+	}
+	// sphinx itself hogs the ways, so compare shapes, not absolutes: lstm's
+	// ways-to-cores ratio must exceed graph's.
+	lstmRatio := float64(la.Ways) / float64(max(la.Cores, 1))
+	graphRatio := float64(ga.Ways) / float64(max(ga.Cores, 1))
+	if lstmRatio <= graphRatio {
+		t.Errorf("lstm split %v should be way-leaning vs graph %v", la, ga)
+	}
+}
+
+func TestSpatialSharingEvenSplitWithoutModels(t *testing.T) {
+	host, _, eng := newMultiBench(t, "xapian", []string{"rnn", "pbzip"}, 0.3, false)
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := host.Server().Alloc("rnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := host.Server().Alloc("pbzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ra.Cores - pa.Cores; diff < -1 || diff > 1 {
+		t.Errorf("even split broken: rnn %v vs pbzip %v", ra, pa)
+	}
+	if diff := ra.Ways - pa.Ways; diff < -1 || diff > 1 {
+		t.Errorf("even split broken: rnn %v vs pbzip %v", ra, pa)
+	}
+	m := host.Metrics()
+	if m.BEOpsBy["rnn"] <= 0 || m.BEOpsBy["pbzip"] <= 0 {
+		t.Errorf("both co-runners should progress: %v", m.BEOpsBy)
+	}
+}
+
+func TestSetActiveBE(t *testing.T) {
+	host, mgr, eng := newMultiBench(t, "xapian", []string{"rnn", "lstm"}, 0.2, true)
+	if err := mgr.SetActiveBE("nope"); err == nil {
+		t.Error("expected error for unknown co-runner")
+	}
+	if err := mgr.SetActiveBE("rnn"); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ActiveBE() != "rnn" {
+		t.Errorf("ActiveBE = %q", mgr.ActiveBE())
+	}
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := host.Metrics()
+	if m.BEOpsBy["rnn"] <= 0 {
+		t.Error("active co-runner should progress")
+	}
+	if m.BEOpsBy["lstm"] > 0 {
+		t.Errorf("inactive co-runner progressed: %v", m.BEOpsBy)
+	}
+	// Switch: the other job takes over immediately.
+	if err := mgr.SetActiveBE("lstm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m = host.Metrics()
+	if m.BEOpsBy["lstm"] <= 0 {
+		t.Error("switched-in co-runner should progress")
+	}
+	// Clearing restores sharing.
+	if err := mgr.SetActiveBE(""); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ActiveBE() != "" {
+		t.Error("ActiveBE should clear")
+	}
+}
+
+func TestDutyFirstCapperAlsoHoldsCap(t *testing.T) {
+	cat := workload.MustDefaults()
+	lc, _ := cat.ByName("xapian")
+	be, _ := cat.ByName("graph")
+	host, err := sim.NewHost(sim.HostConfig{
+		Name: "dutyfirst", Machine: machine.XeonE52650(), LC: lc, BE: be,
+		Trace: constTrace(t, 0.1), Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(Config{Host: host, Model: fitted(t, "xapian"), Policy: PowerOptimized, DutyFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := sim.NewEngine(100 * time.Millisecond)
+	if err := eng.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := host.Metrics()
+	if m.CapOverFrac > 0.10 {
+		t.Errorf("duty-first capper left the server over cap %.1f%% of time", m.CapOverFrac*100)
+	}
+	// Duty must have been the engaged knob (frequency may stay at max).
+	freq, duty := mgr.BEThrottle()
+	if duty >= 1 && freq >= machine.XeonE52650().MaxFreqGHz {
+		t.Error("duty-first capper never engaged")
+	}
+}

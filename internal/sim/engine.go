@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Task is a periodic controller callback: the server manager's 1 s
+// allocation loop and the 100 ms power capper both run as tasks.
+type Task func(now time.Time)
+
+type periodicTask struct {
+	period time.Duration
+	fn     Task
+	next   time.Time
+}
+
+// Engine advances a set of hosts through simulated time with a fixed tick,
+// firing periodic tasks in registration order whenever their period
+// elapses. Tasks run between host steps, mirroring controllers that read
+// fresh telemetry and adjust allocations for the next interval.
+type Engine struct {
+	dt    time.Duration
+	start time.Time
+	now   time.Time
+	hosts []*Host
+	tasks []*periodicTask
+	ran   bool
+}
+
+// NewEngine creates an engine stepping with tick dt (e.g. 100 ms).
+func NewEngine(dt time.Duration) (*Engine, error) {
+	if dt <= 0 {
+		return nil, errors.New("sim: tick must be positive")
+	}
+	start := time.Unix(0, 0).UTC()
+	return &Engine{dt: dt, start: start, now: start}, nil
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Elapsed returns the simulated time since the engine started.
+func (e *Engine) Elapsed() time.Duration { return e.now.Sub(e.start) }
+
+// AddHost registers a host; hosts step in registration order each tick.
+func (e *Engine) AddHost(h *Host) error {
+	if h == nil {
+		return errors.New("sim: nil host")
+	}
+	for _, existing := range e.hosts {
+		if existing.name == h.name {
+			return fmt.Errorf("sim: duplicate host %q", h.name)
+		}
+	}
+	e.hosts = append(e.hosts, h)
+	return nil
+}
+
+// Hosts returns the registered hosts in registration order.
+func (e *Engine) Hosts() []*Host { return append([]*Host(nil), e.hosts...) }
+
+// Every registers fn to run once per period, starting one period after the
+// current time. Periods shorter than the tick fire every tick.
+func (e *Engine) Every(period time.Duration, fn Task) error {
+	if period <= 0 {
+		return errors.New("sim: task period must be positive")
+	}
+	if fn == nil {
+		return errors.New("sim: nil task")
+	}
+	e.tasks = append(e.tasks, &periodicTask{period: period, fn: fn, next: e.now.Add(period)})
+	return nil
+}
+
+// Run advances the simulation by d. It may be called repeatedly to extend
+// a run; state carries over.
+func (e *Engine) Run(d time.Duration) error {
+	if len(e.hosts) == 0 {
+		return errors.New("sim: no hosts registered")
+	}
+	if d <= 0 {
+		return errors.New("sim: run duration must be positive")
+	}
+	end := e.now.Add(d)
+	for e.now.Before(end) {
+		e.now = e.now.Add(e.dt)
+		for _, h := range e.hosts {
+			h.step(e.start, e.now, e.dt)
+		}
+		for _, t := range e.tasks {
+			for !t.next.After(e.now) {
+				t.fn(e.now)
+				t.next = t.next.Add(t.period)
+			}
+		}
+	}
+	e.ran = true
+	return nil
+}
+
+// Metrics returns the per-host metrics in registration order.
+func (e *Engine) Metrics() []Metrics {
+	out := make([]Metrics, len(e.hosts))
+	for i, h := range e.hosts {
+		out[i] = h.Metrics()
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/workload"
+)
+
+func testCatalog(t *testing.T) (*workload.Catalog, machine.Config) {
+	t.Helper()
+	return workload.MustDefaults(), machine.XeonE52650()
+}
+
+func constTrace(t *testing.T, level float64) workload.Trace {
+	t.Helper()
+	tr, err := workload.NewConstantTrace(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mustSpec(t *testing.T, cat *workload.Catalog, name string) *workload.Spec {
+	t.Helper()
+	s, err := cat.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewHostValidation(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	be := mustSpec(t, cat, "graph")
+	tr := constTrace(t, 0.5)
+
+	cases := []struct {
+		name string
+		hc   HostConfig
+	}{
+		{"empty name", HostConfig{Machine: cfg, LC: lc, Trace: tr}},
+		{"nil LC", HostConfig{Name: "h", Machine: cfg, Trace: tr}},
+		{"BE as LC", HostConfig{Name: "h", Machine: cfg, LC: be, Trace: tr}},
+		{"LC as BE", HostConfig{Name: "h", Machine: cfg, LC: lc, BE: lc, Trace: tr}},
+		{"nil trace", HostConfig{Name: "h", Machine: cfg, LC: lc}},
+		{"cap below idle", HostConfig{Name: "h", Machine: cfg, LC: lc, Trace: tr, CapW: 10}},
+		{"bad machine", HostConfig{Name: "h", LC: lc, Trace: tr}},
+	}
+	for _, c := range cases {
+		if _, err := NewHost(c.hc); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestHostDefaultsAndAccessors(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	be := mustSpec(t, cat, "rnn")
+	h, err := NewHost(HostConfig{
+		Name: "h0", Machine: cfg, LC: lc, BE: be, Trace: constTrace(t, 0.5), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "h0" {
+		t.Errorf("Name = %q", h.Name())
+	}
+	if h.CapW() != lc.ProvisionedPowerW {
+		t.Errorf("CapW = %v, want provisioned %v", h.CapW(), lc.ProvisionedPowerW)
+	}
+	if h.LC() != lc || h.BE() != be {
+		t.Error("spec accessors broken")
+	}
+	if h.Machine().Cores != cfg.Cores {
+		t.Error("Machine accessor broken")
+	}
+	// LC starts with the full machine, BE with nothing.
+	a, err := h.Server().Alloc(lc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores != cfg.Cores || a.Ways != cfg.LLCWays {
+		t.Errorf("LC initial alloc = %+v", a)
+	}
+	b, err := h.Server().Alloc(be.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsZero() {
+		t.Errorf("BE initial alloc = %+v", b)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(0); err == nil {
+		t.Error("expected error for zero tick")
+	}
+	e, err := NewEngine(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddHost(nil); err == nil {
+		t.Error("expected error for nil host")
+	}
+	if err := e.Every(0, func(time.Time) {}); err == nil {
+		t.Error("expected error for zero period")
+	}
+	if err := e.Every(time.Second, nil); err == nil {
+		t.Error("expected error for nil task")
+	}
+	if err := e.Run(time.Second); err == nil {
+		t.Error("expected error running with no hosts")
+	}
+}
+
+func TestEngineDuplicateHost(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "img-dnn")
+	mk := func() *Host {
+		h, err := NewHost(HostConfig{Name: "dup", Machine: cfg, LC: lc, Trace: constTrace(t, 0.3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(mk()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddHost(mk()); err == nil {
+		t.Error("expected duplicate host error")
+	}
+	if got := len(e.Hosts()); got != 1 {
+		t.Errorf("Hosts = %d", got)
+	}
+}
+
+func TestEngineRunAndTasks(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	h, err := NewHost(HostConfig{Name: "h0", Machine: cfg, LC: lc, Trace: constTrace(t, 0.5), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	var secTicks, fastTicks int
+	if err := e.Every(time.Second, func(time.Time) { secTicks++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Every(100*time.Millisecond, func(time.Time) { fastTicks++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if secTicks != 10 {
+		t.Errorf("1s task fired %d times, want 10", secTicks)
+	}
+	if fastTicks != 100 {
+		t.Errorf("100ms task fired %d times, want 100", fastTicks)
+	}
+	if e.Elapsed() != 10*time.Second {
+		t.Errorf("Elapsed = %v", e.Elapsed())
+	}
+	if err := e.Run(0); err == nil {
+		t.Error("expected error for zero run duration")
+	}
+	// Run extends.
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Elapsed() != 15*time.Second {
+		t.Errorf("Elapsed after extension = %v", e.Elapsed())
+	}
+}
+
+func TestHostMetricsLCOnly(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	h, err := NewHost(HostConfig{Name: "h0", Machine: cfg, LC: lc, Trace: constTrace(t, 0.5), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := h.Metrics()
+	if m.Host != "h0" || m.DurationSec != 30 {
+		t.Errorf("metrics header: %+v", m)
+	}
+	// At 50% load on the full machine the SLO must hold with slack.
+	if m.SLOViolFrac > 0.01 {
+		t.Errorf("SLO violated %.2f%% of the time at half load", m.SLOViolFrac*100)
+	}
+	if m.MeanSlack < 0.1 {
+		t.Errorf("mean slack = %v, want comfortable", m.MeanSlack)
+	}
+	// LC goodput ≈ offered load × duration.
+	wantOps := 0.5 * lc.PeakLoad * 30
+	if math.Abs(m.LCOps-wantOps)/wantOps > 0.01 {
+		t.Errorf("LCOps = %v, want ≈%v", m.LCOps, wantOps)
+	}
+	// Power must be between idle and provisioned cap at half load.
+	if m.MeanPowerW <= cfg.IdlePowerW || m.MeanPowerW >= lc.ProvisionedPowerW {
+		t.Errorf("MeanPowerW = %v", m.MeanPowerW)
+	}
+	if m.PowerUtil <= 0 || m.PowerUtil >= 1 {
+		t.Errorf("PowerUtil = %v", m.PowerUtil)
+	}
+	if m.EnergyKWh <= 0 {
+		t.Errorf("EnergyKWh = %v", m.EnergyKWh)
+	}
+	if m.BEOps != 0 || m.BEMeanThr != 0 {
+		t.Errorf("BE metrics nonzero without a BE tenant: %+v", m)
+	}
+	// Series were recorded every tick.
+	if h.PowerSeries().Len() != 300 || h.P99Series().Len() != 300 {
+		t.Errorf("series lengths: power=%d p99=%d", h.PowerSeries().Len(), h.P99Series().Len())
+	}
+	if h.LoadSeries().Len() != 300 || h.BEThroughputSeries().Len() != 300 {
+		t.Error("load/BE series not recorded")
+	}
+}
+
+func TestHostBEThroughputAccrues(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	be := mustSpec(t, cat, "rnn")
+	h, err := NewHost(HostConfig{Name: "h0", Machine: cfg, LC: lc, BE: be, Trace: constTrace(t, 0.1), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Carve out spare resources for the BE app by hand: LC keeps 2c/4w.
+	if err := h.Server().SetAlloc(lc.Name, machine.Alloc{Cores: 2, Ways: 4, FreqGHz: 2.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Server().SetAlloc(be.Name, machine.Alloc{Cores: 10, Ways: 16, FreqGHz: 2.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := h.Metrics()
+	wantThr := be.Throughput(machine.Alloc{Cores: 10, Ways: 16, FreqGHz: 2.2, Duty: 1})
+	if math.Abs(m.BEMeanThr-wantThr)/wantThr > 0.01 {
+		t.Errorf("BEMeanThr = %v, want ≈%v", m.BEMeanThr, wantThr)
+	}
+	if m.BEOps < wantThr*9.9 {
+		t.Errorf("BEOps = %v", m.BEOps)
+	}
+	// Engine metrics mirror host metrics.
+	all := e.Metrics()
+	if len(all) != 1 || all[0].BEOps != m.BEOps {
+		t.Error("engine metrics mismatch")
+	}
+}
+
+func TestHostSLOViolationDetected(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	h, err := NewHost(HostConfig{Name: "h0", Machine: cfg, LC: lc, Trace: constTrace(t, 0.9), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starve the LC app: 1 core, 1 way cannot sustain 90% load.
+	if err := h.Server().SetAlloc(lc.Name, machine.Alloc{Cores: 1, Ways: 1, FreqGHz: 2.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := h.Metrics()
+	if m.SLOViolFrac < 0.99 {
+		t.Errorf("SLOViolFrac = %v, want ≈1 for a starved app", m.SLOViolFrac)
+	}
+	if h.Slack() >= 0 {
+		t.Errorf("Slack = %v, want negative", h.Slack())
+	}
+	// Goodput is capped by the tiny allocation.
+	if m.LCOps >= 0.9*lc.PeakLoad*5 {
+		t.Error("goodput should be capacity-limited")
+	}
+}
+
+func TestHostDeterminism(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "sphinx")
+	run := func() Metrics {
+		h, err := NewHost(HostConfig{Name: "h0", Machine: cfg, LC: lc, Trace: constTrace(t, 0.4), Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _ := NewEngine(100 * time.Millisecond)
+		if err := e.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return h.Metrics()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHostMeterReadingAvailable(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "img-dnn")
+	h, err := NewHost(HostConfig{Name: "h0", Machine: cfg, LC: lc, Trace: constTrace(t, 0.5), Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := h.MeterReading()
+	if r.Time.IsZero() || r.Watts <= cfg.IdlePowerW/2 {
+		t.Errorf("meter reading = %+v", r)
+	}
+	if h.OfferedLoad() <= 0 {
+		t.Errorf("OfferedLoad = %v", h.OfferedLoad())
+	}
+	if h.ObservedP99() <= 0 {
+		t.Errorf("ObservedP99 = %v", h.ObservedP99())
+	}
+}
+
+func TestHostMultiBE(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	be1 := mustSpec(t, cat, "rnn")
+	be2 := mustSpec(t, cat, "lstm")
+	h, err := NewHost(HostConfig{
+		Name: "multi", Machine: cfg, LC: lc, BE: be1, ExtraBE: []*workload.Spec{be2},
+		Trace: constTrace(t, 0.1), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.BEs()); got != 2 {
+		t.Fatalf("BEs = %d", got)
+	}
+	if h.BE() != be1 {
+		t.Error("BE() should return the first co-runner")
+	}
+	// Carve the machine: LC small, each BE half the remainder.
+	if err := h.Server().SetAlloc(lc.Name, machine.Alloc{Cores: 2, Ways: 4, FreqGHz: 2.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Server().SetAlloc("rnn", machine.Alloc{Cores: 5, Ways: 8, FreqGHz: 2.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Server().SetAlloc("lstm", machine.Alloc{Cores: 5, Ways: 8, FreqGHz: 2.2, Duty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEngine(100 * time.Millisecond)
+	if err := e.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := h.Metrics()
+	if m.BEOpsBy["rnn"] <= 0 || m.BEOpsBy["lstm"] <= 0 {
+		t.Errorf("per-BE ops: %v", m.BEOpsBy)
+	}
+	total := m.BEOpsBy["rnn"] + m.BEOpsBy["lstm"]
+	if math.Abs(total-m.BEOps)/m.BEOps > 1e-9 {
+		t.Errorf("per-BE ops %v do not sum to total %v", total, m.BEOps)
+	}
+	// Both co-runners contribute to server power.
+	if m.MeanPowerW < cfg.IdlePowerW+30 {
+		t.Errorf("power %v too low for two saturating co-runners", m.MeanPowerW)
+	}
+}
+
+func TestHostMultiBEValidation(t *testing.T) {
+	cat, cfg := testCatalog(t)
+	lc := mustSpec(t, cat, "xapian")
+	be := mustSpec(t, cat, "rnn")
+	tr := constTrace(t, 0.5)
+	if _, err := NewHost(HostConfig{Name: "h", Machine: cfg, LC: lc, BE: be,
+		ExtraBE: []*workload.Spec{be}, Trace: tr}); err == nil {
+		t.Error("expected error for duplicate co-runner")
+	}
+	if _, err := NewHost(HostConfig{Name: "h", Machine: cfg, LC: lc,
+		ExtraBE: []*workload.Spec{nil}, Trace: tr}); err == nil {
+		t.Error("expected error for nil co-runner")
+	}
+	if _, err := NewHost(HostConfig{Name: "h", Machine: cfg, LC: lc,
+		ExtraBE: []*workload.Spec{lc}, Trace: tr}); err == nil {
+		t.Error("expected error for LC spec as co-runner")
+	}
+}

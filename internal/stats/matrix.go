@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("stats: singular matrix")
+
+// SolveLinear solves the square linear system A·x = b using Gaussian
+// elimination with partial pivoting. A is given in row-major order and is
+// not modified. The dimension is inferred from len(b).
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(a) != n {
+		return nil, errors.New("stats: dimension mismatch")
+	}
+	// Build an augmented working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, errors.New("stats: matrix is not square")
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], a[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for c := i + 1; c < n; c++ {
+			sum -= m[i][c] * x[c]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// MatTVec computes Aᵀ·v for a row-major matrix A (rows×cols) and a vector v
+// of length rows; the result has length cols.
+func MatTVec(a [][]float64, v []float64) []float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	cols := len(a[0])
+	out := make([]float64, cols)
+	for i, row := range a {
+		for j, x := range row {
+			out[j] += x * v[i]
+		}
+	}
+	return out
+}
+
+// MatTMat computes Aᵀ·A for a row-major matrix A (rows×cols); the result is
+// cols×cols.
+func MatTMat(a [][]float64) [][]float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	cols := len(a[0])
+	out := make([][]float64, cols)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	for _, row := range a {
+		for i := 0; i < cols; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				out[i][j] += ri * row[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package tco implements the datacenter total-cost-of-ownership model the
+// paper uses for its Fig. 15 analysis, following James Hamilton's public
+// cost model: amortized monthly costs for server capital, power
+// infrastructure capital (dollars per provisioned watt), and energy
+// operating expense scaled by PUE.
+//
+// The paper compares policies at constant delivered throughput: a policy
+// extracting more throughput per server needs proportionally fewer servers
+// (and watts) for the same work, which is where power-optimized colocation
+// earns its capital savings.
+package tco
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params holds the cost-model constants.
+type Params struct {
+	// Servers is the fleet size delivering the reference throughput.
+	Servers int
+	// ServerCostUSD is the purchase cost of one server.
+	ServerCostUSD float64
+	// PowerInfraCostPerW is the capital cost of provisioned power
+	// delivery, dollars per watt.
+	PowerInfraCostPerW float64
+	// EnergyCostPerKWh is the utility price of energy.
+	EnergyCostPerKWh float64
+	// PUE is the power usage effectiveness multiplier on IT energy.
+	PUE float64
+	// ServerLifetimeMonths amortizes server capital (industry-standard 36).
+	ServerLifetimeMonths int
+	// InfraLifetimeMonths amortizes power infrastructure capital
+	// (industry-standard 120).
+	InfraLifetimeMonths int
+}
+
+// Hamilton returns the constants the paper quotes: 100 000 servers at
+// $1450 each, $9/W power infrastructure, 7 ¢/kWh energy, PUE 1.1, with
+// the customary 3-year server and 10-year infrastructure amortization.
+func Hamilton() Params {
+	return Params{
+		Servers:              100000,
+		ServerCostUSD:        1450,
+		PowerInfraCostPerW:   9,
+		EnergyCostPerKWh:     0.07,
+		PUE:                  1.1,
+		ServerLifetimeMonths: 36,
+		InfraLifetimeMonths:  120,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Servers < 1:
+		return errors.New("tco: need at least one server")
+	case p.ServerCostUSD <= 0:
+		return errors.New("tco: server cost must be positive")
+	case p.PowerInfraCostPerW <= 0:
+		return errors.New("tco: power infrastructure cost must be positive")
+	case p.EnergyCostPerKWh <= 0:
+		return errors.New("tco: energy cost must be positive")
+	case p.PUE < 1:
+		return errors.New("tco: PUE below 1 is unphysical")
+	case p.ServerLifetimeMonths < 1 || p.InfraLifetimeMonths < 1:
+		return errors.New("tco: lifetimes must be at least one month")
+	}
+	return nil
+}
+
+// Input describes one policy's measured operating point.
+type Input struct {
+	// Name labels the policy.
+	Name string
+	// ProvisionedWPerServer is the power capacity built per server.
+	ProvisionedWPerServer float64
+	// MeanPowerWPerServer is the average IT power actually drawn.
+	MeanPowerWPerServer float64
+	// RelativeThroughput is the per-server delivered throughput relative
+	// to the reference policy (1.0 = reference). A policy with 1.18 needs
+	// 1/1.18 as many servers for the same total work.
+	RelativeThroughput float64
+}
+
+// Breakdown is the amortized monthly cost split for one policy.
+type Breakdown struct {
+	Name string
+	// Servers is the fleet size after throughput normalization.
+	Servers float64
+	// ServerMonthlyUSD, PowerInfraMonthlyUSD, and EnergyMonthlyUSD are the
+	// amortized monthly cost components.
+	ServerMonthlyUSD     float64
+	PowerInfraMonthlyUSD float64
+	EnergyMonthlyUSD     float64
+	// TotalMonthlyUSD is the sum.
+	TotalMonthlyUSD float64
+}
+
+const hoursPerMonth = 730.0
+
+// Monthly computes the amortized monthly TCO for one policy.
+func (p Params) Monthly(in Input) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if in.ProvisionedWPerServer <= 0 {
+		return Breakdown{}, fmt.Errorf("tco: %s: provisioned power must be positive", in.Name)
+	}
+	if in.MeanPowerWPerServer < 0 || in.MeanPowerWPerServer > in.ProvisionedWPerServer*1.05 {
+		return Breakdown{}, fmt.Errorf("tco: %s: mean power %v W inconsistent with provisioned %v W",
+			in.Name, in.MeanPowerWPerServer, in.ProvisionedWPerServer)
+	}
+	if in.RelativeThroughput <= 0 {
+		return Breakdown{}, fmt.Errorf("tco: %s: relative throughput must be positive", in.Name)
+	}
+	servers := float64(p.Servers) / in.RelativeThroughput
+	b := Breakdown{Name: in.Name, Servers: servers}
+	b.ServerMonthlyUSD = servers * p.ServerCostUSD / float64(p.ServerLifetimeMonths)
+	b.PowerInfraMonthlyUSD = servers * in.ProvisionedWPerServer * p.PowerInfraCostPerW / float64(p.InfraLifetimeMonths)
+	b.EnergyMonthlyUSD = servers * in.MeanPowerWPerServer / 1000 * p.PUE * hoursPerMonth * p.EnergyCostPerKWh
+	b.TotalMonthlyUSD = b.ServerMonthlyUSD + b.PowerInfraMonthlyUSD + b.EnergyMonthlyUSD
+	return b, nil
+}
+
+// Compare computes breakdowns for several policies and returns them in
+// input order.
+func (p Params) Compare(ins []Input) ([]Breakdown, error) {
+	if len(ins) == 0 {
+		return nil, errors.New("tco: nothing to compare")
+	}
+	out := make([]Breakdown, 0, len(ins))
+	for _, in := range ins {
+		b, err := p.Monthly(in)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package tco
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHamiltonParams(t *testing.T) {
+	p := Hamilton()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Servers != 100000 || p.ServerCostUSD != 1450 || p.PowerInfraCostPerW != 9 {
+		t.Errorf("unexpected constants: %+v", p)
+	}
+	if p.EnergyCostPerKWh != 0.07 || p.PUE != 1.1 {
+		t.Errorf("unexpected opex constants: %+v", p)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := Hamilton()
+	mutations := []func(*Params){
+		func(p *Params) { p.Servers = 0 },
+		func(p *Params) { p.ServerCostUSD = 0 },
+		func(p *Params) { p.PowerInfraCostPerW = -1 },
+		func(p *Params) { p.EnergyCostPerKWh = 0 },
+		func(p *Params) { p.PUE = 0.9 },
+		func(p *Params) { p.ServerLifetimeMonths = 0 },
+		func(p *Params) { p.InfraLifetimeMonths = 0 },
+	}
+	for i, m := range mutations {
+		p := base
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}
+
+func TestMonthlyHandComputed(t *testing.T) {
+	p := Hamilton()
+	in := Input{
+		Name:                  "ref",
+		ProvisionedWPerServer: 150,
+		MeanPowerWPerServer:   120,
+		RelativeThroughput:    1,
+	}
+	b, err := p.Monthly(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server: 100000 × 1450 / 36.
+	wantServer := 100000.0 * 1450 / 36
+	if math.Abs(b.ServerMonthlyUSD-wantServer)/wantServer > 1e-9 {
+		t.Errorf("server cost = %v, want %v", b.ServerMonthlyUSD, wantServer)
+	}
+	// Infra: 100000 × 150 W × $9/W / 120.
+	wantInfra := 100000.0 * 150 * 9 / 120
+	if math.Abs(b.PowerInfraMonthlyUSD-wantInfra)/wantInfra > 1e-9 {
+		t.Errorf("infra cost = %v, want %v", b.PowerInfraMonthlyUSD, wantInfra)
+	}
+	// Energy: 100000 × 0.120 kW × 1.1 × 730 h × $0.07.
+	wantEnergy := 100000.0 * 0.120 * 1.1 * 730 * 0.07
+	if math.Abs(b.EnergyMonthlyUSD-wantEnergy)/wantEnergy > 1e-9 {
+		t.Errorf("energy cost = %v, want %v", b.EnergyMonthlyUSD, wantEnergy)
+	}
+	wantTotal := wantServer + wantInfra + wantEnergy
+	if math.Abs(b.TotalMonthlyUSD-wantTotal)/wantTotal > 1e-9 {
+		t.Errorf("total = %v, want %v", b.TotalMonthlyUSD, wantTotal)
+	}
+}
+
+func TestThroughputNormalizationShrinksFleet(t *testing.T) {
+	p := Hamilton()
+	ref, err := p.Monthly(Input{Name: "ref", ProvisionedWPerServer: 150, MeanPowerWPerServer: 120, RelativeThroughput: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	better, err := p.Monthly(Input{Name: "better", ProvisionedWPerServer: 150, MeanPowerWPerServer: 120, RelativeThroughput: 1.18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(better.Servers-100000/1.18) > 1e-6 {
+		t.Errorf("servers = %v", better.Servers)
+	}
+	// Every component scales with fleet size here.
+	wantRatio := 1 / 1.18
+	if math.Abs(better.TotalMonthlyUSD/ref.TotalMonthlyUSD-wantRatio) > 1e-9 {
+		t.Errorf("total ratio = %v, want %v", better.TotalMonthlyUSD/ref.TotalMonthlyUSD, wantRatio)
+	}
+}
+
+func TestMonthlyValidation(t *testing.T) {
+	p := Hamilton()
+	cases := []Input{
+		{Name: "no cap", ProvisionedWPerServer: 0, MeanPowerWPerServer: 10, RelativeThroughput: 1},
+		{Name: "overdraw", ProvisionedWPerServer: 100, MeanPowerWPerServer: 150, RelativeThroughput: 1},
+		{Name: "negative power", ProvisionedWPerServer: 100, MeanPowerWPerServer: -1, RelativeThroughput: 1},
+		{Name: "no throughput", ProvisionedWPerServer: 100, MeanPowerWPerServer: 50, RelativeThroughput: 0},
+	}
+	for _, in := range cases {
+		if _, err := p.Monthly(in); err == nil {
+			t.Errorf("%s: expected error", in.Name)
+		}
+	}
+	bad := Params{}
+	if _, err := bad.Monthly(cases[0]); err == nil {
+		t.Error("expected params validation error")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	p := Hamilton()
+	ins := []Input{
+		{Name: "a", ProvisionedWPerServer: 185, MeanPowerWPerServer: 140, RelativeThroughput: 1},
+		{Name: "b", ProvisionedWPerServer: 150, MeanPowerWPerServer: 130, RelativeThroughput: 1.1},
+	}
+	out, err := p.Compare(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "a" || out[1].Name != "b" {
+		t.Errorf("compare order broken: %+v", out)
+	}
+	if out[1].TotalMonthlyUSD >= out[0].TotalMonthlyUSD {
+		t.Error("cheaper policy should cost less")
+	}
+	if _, err := p.Compare(nil); err == nil {
+		t.Error("expected error for empty comparison")
+	}
+	ins[0].RelativeThroughput = -1
+	if _, err := p.Compare(ins); err == nil {
+		t.Error("expected error propagation")
+	}
+}

@@ -1,0 +1,142 @@
+// Package telemetry provides the lightweight measurement plumbing the
+// simulated cluster exports: append-only time series with time-weighted
+// aggregation and monotonic counters. Private datacenters collect exactly
+// this kind of per-application performance and power telemetry at fine
+// granularity (the paper cites Dynamo and WSMeter); the experiments harness
+// reads these series to regenerate the paper's figures.
+package telemetry
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Point is one time-series observation.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// Series is an append-only time series. It is safe for concurrent use.
+type Series struct {
+	name string
+
+	mu  sync.Mutex
+	pts []Point
+}
+
+// NewSeries creates a named series.
+func NewSeries(name string) *Series {
+	return &Series{name: name}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append adds an observation. Timestamps should be non-decreasing; callers
+// appending out of order get an error and the point is dropped.
+func (s *Series) Append(t time.Time, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.pts); n > 0 && t.Before(s.pts[n-1].Time) {
+		return errors.New("telemetry: out-of-order append")
+	}
+	s.pts = append(s.pts, Point{Time: t, Value: v})
+	return nil
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pts)
+}
+
+// Points returns a copy of all observations.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.pts...)
+}
+
+// Values returns a copy of the observation values only.
+func (s *Series) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// TimeWeightedMean returns the mean of the series weighting each value by
+// the time it held (piecewise-constant, left-continuous). A series with
+// fewer than two points returns the plain mean of what it has.
+func (s *Series) TimeWeightedMean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pts)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return s.pts[0].Value
+	}
+	var weighted, total float64
+	for i := 0; i < n-1; i++ {
+		dt := s.pts[i+1].Time.Sub(s.pts[i].Time).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		weighted += s.pts[i].Value * dt
+		total += dt
+	}
+	if total == 0 {
+		// All points share one timestamp; fall back to the plain mean.
+		sum := 0.0
+		for _, p := range s.pts {
+			sum += p.Value
+		}
+		return sum / float64(n)
+	}
+	return weighted / total
+}
+
+// Max returns the largest value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := 0.0
+	for i, p := range s.pts {
+		if i == 0 || p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Counter is a monotonically increasing accumulator (e.g. completed
+// best-effort operations). It is safe for concurrent use.
+type Counter struct {
+	mu    sync.Mutex
+	total float64
+}
+
+// Add accrues a non-negative amount; negative amounts are ignored.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.total += v
+	c.mu.Unlock()
+}
+
+// Total returns the accumulated value.
+func (c *Counter) Total() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}

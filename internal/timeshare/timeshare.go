@@ -1,0 +1,288 @@
+// Package timeshare schedules multiple best-effort jobs onto one server's
+// spare resources by time-sharing, the extension the paper sketches in
+// Section V-G ("if there are more than one best-effort application, they
+// can be scheduled to time-share the server (e.g. first-come first-served,
+// shortest job first)"). Jobs are finite amounts of best-effort work; the
+// scheduler activates one at a time through the server manager's
+// SetActiveBE hook and tracks completions from the host's per-tenant
+// operation counters.
+package timeshare
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+)
+
+// Policy selects the time-sharing discipline.
+type Policy int
+
+const (
+	// FCFS runs jobs to completion in submission order.
+	FCFS Policy = iota
+	// SJF runs jobs to completion in ascending size order.
+	SJF
+	// RR cycles a fixed quantum over all incomplete jobs.
+	RR
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case SJF:
+		return "sjf"
+	case RR:
+		return "rr"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Job is a finite amount of best-effort work: SizeOps operations of the
+// named application (which must be registered as a co-runner on the host).
+type Job struct {
+	App     string
+	SizeOps float64
+}
+
+// Completion records one finished job.
+type Completion struct {
+	App string
+	// At is the completion time relative to the scheduler's start.
+	At time.Duration
+	// FlowTime equals At here (all jobs arrive at time zero).
+	FlowTime time.Duration
+	SizeOps  float64
+}
+
+// Config assembles a scheduler.
+type Config struct {
+	// Host is the simulated server; required.
+	Host *sim.Host
+	// Manager is the host's server manager (provides SetActiveBE);
+	// required.
+	Manager *servermgr.Manager
+	// Policy selects the discipline (default FCFS).
+	Policy Policy
+	// Quantum is the RR time slice (default 5 s; ignored otherwise).
+	Quantum time.Duration
+	// Jobs is the batch to run; all arrive at time zero. Each job's App
+	// must be a distinct co-runner registered on the host.
+	Jobs []Job
+}
+
+// Scheduler drives one batch of best-effort jobs over a host.
+type Scheduler struct {
+	host    *sim.Host
+	mgr     *servermgr.Manager
+	policy  Policy
+	quantum time.Duration
+
+	order       []int // execution order over jobs (FCFS/SJF)
+	jobs        []Job
+	done        []float64 // completed ops per job
+	lastSeen    []float64 // last observed host counter per job
+	finishedAt  []time.Duration
+	start       time.Time
+	started     bool
+	sliceStart  time.Time
+	rrIndex     int
+	completions []Completion
+}
+
+// New validates the configuration and builds a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Host == nil {
+		return nil, errors.New("timeshare: nil host")
+	}
+	if cfg.Manager == nil {
+		return nil, errors.New("timeshare: nil manager")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, errors.New("timeshare: no jobs")
+	}
+	registered := make(map[string]bool)
+	for _, be := range cfg.Host.BEs() {
+		registered[be.Name] = true
+	}
+	seen := make(map[string]bool)
+	for _, j := range cfg.Jobs {
+		if j.SizeOps <= 0 {
+			return nil, fmt.Errorf("timeshare: job %q has non-positive size", j.App)
+		}
+		if !registered[j.App] {
+			return nil, fmt.Errorf("timeshare: job app %q is not a co-runner on host %s", j.App, cfg.Host.Name())
+		}
+		if seen[j.App] {
+			return nil, fmt.Errorf("timeshare: duplicate job app %q", j.App)
+		}
+		seen[j.App] = true
+	}
+	quantum := cfg.Quantum
+	if quantum == 0 {
+		quantum = 5 * time.Second
+	}
+	if quantum <= 0 {
+		return nil, errors.New("timeshare: quantum must be positive")
+	}
+	s := &Scheduler{
+		host:       cfg.Host,
+		mgr:        cfg.Manager,
+		policy:     cfg.Policy,
+		quantum:    quantum,
+		jobs:       append([]Job(nil), cfg.Jobs...),
+		done:       make([]float64, len(cfg.Jobs)),
+		lastSeen:   make([]float64, len(cfg.Jobs)),
+		finishedAt: make([]time.Duration, len(cfg.Jobs)),
+	}
+	s.order = make([]int, len(s.jobs))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	if cfg.Policy == SJF {
+		sort.SliceStable(s.order, func(a, b int) bool {
+			return s.jobs[s.order[a]].SizeOps < s.jobs[s.order[b]].SizeOps
+		})
+	}
+	return s, nil
+}
+
+// Attach registers the scheduler's tick on the engine and activates the
+// first job.
+func (s *Scheduler) Attach(e *sim.Engine) error {
+	if e == nil {
+		return errors.New("timeshare: nil engine")
+	}
+	s.start = e.Now()
+	s.sliceStart = e.Now()
+	s.started = true
+	if err := s.activateNext(e.Now()); err != nil {
+		return err
+	}
+	return e.Every(100*time.Millisecond, s.Tick)
+}
+
+// runnable returns the indices of incomplete jobs in policy order.
+func (s *Scheduler) runnable() []int {
+	var out []int
+	for _, idx := range s.order {
+		if s.finishedAt[idx] == 0 {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// activateNext points the manager's spare resources at the job that should
+// run now.
+func (s *Scheduler) activateNext(now time.Time) error {
+	run := s.runnable()
+	if len(run) == 0 {
+		return nil
+	}
+	var pick int
+	switch s.policy {
+	case RR:
+		pick = run[s.rrIndex%len(run)]
+	default:
+		pick = run[0]
+	}
+	s.sliceStart = now
+	return s.mgr.SetActiveBE(s.jobs[pick].App)
+}
+
+// Tick ingests progress, records completions, and rotates jobs.
+func (s *Scheduler) Tick(now time.Time) {
+	if !s.started || s.Done() {
+		return
+	}
+	metrics := s.host.Metrics()
+	rotated := false
+	for i, j := range s.jobs {
+		if s.finishedAt[i] != 0 {
+			continue
+		}
+		total := metrics.BEOpsBy[j.App]
+		delta := total - s.lastSeen[i]
+		s.lastSeen[i] = total
+		if delta > 0 {
+			s.done[i] += delta
+		}
+		if s.done[i] >= j.SizeOps {
+			at := now.Sub(s.start)
+			s.finishedAt[i] = at
+			s.completions = append(s.completions, Completion{
+				App: j.App, At: at, FlowTime: at, SizeOps: j.SizeOps,
+			})
+			rotated = true
+		}
+	}
+	if s.Done() {
+		return
+	}
+	if s.policy == RR && now.Sub(s.sliceStart) >= s.quantum {
+		s.rrIndex++
+		rotated = true
+	}
+	if rotated {
+		_ = s.activateNext(now)
+	}
+}
+
+// Done reports whether every job has completed.
+func (s *Scheduler) Done() bool {
+	for _, f := range s.finishedAt {
+		if f == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Completions returns the finished jobs in completion order.
+func (s *Scheduler) Completions() []Completion {
+	return append([]Completion(nil), s.completions...)
+}
+
+// Makespan returns the time from start to the last completion (zero until
+// Done).
+func (s *Scheduler) Makespan() time.Duration {
+	if !s.Done() {
+		return 0
+	}
+	var last time.Duration
+	for _, f := range s.finishedAt {
+		if f > last {
+			last = f
+		}
+	}
+	return last
+}
+
+// MeanFlowTime returns the average completion time across finished jobs
+// (the metric SJF optimizes).
+func (s *Scheduler) MeanFlowTime() time.Duration {
+	if len(s.completions) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, c := range s.completions {
+		sum += c.FlowTime
+	}
+	return sum / time.Duration(len(s.completions))
+}
+
+// Progress returns completed ops per job app.
+func (s *Scheduler) Progress() map[string]float64 {
+	out := make(map[string]float64, len(s.jobs))
+	for i, j := range s.jobs {
+		out[j.App] = s.done[i]
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package timeshare
+
+import (
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/profiler"
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+	"pocolo/internal/workload"
+)
+
+// rig builds a xapian host with all four BE apps registered, a
+// power-optimized manager, and an engine.
+func rig(t *testing.T, level float64) (*sim.Host, *servermgr.Manager, *sim.Engine) {
+	t.Helper()
+	cat := workload.MustDefaults()
+	lc, err := cat.ByName("xapian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bes := cat.BE()
+	host, err := sim.NewHost(sim.HostConfig{
+		Name:    "ts",
+		Machine: machine.XeonE52650(),
+		LC:      lc,
+		BE:      bes[0],
+		ExtraBE: bes[1:],
+		Trace:   mustConst(t, level),
+		Seed:    11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := profiler.ProfileAndFit(profiler.Config{Spec: lc, Machine: machine.XeonE52650(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := servermgr.New(servermgr.Config{Host: host, Model: model, Policy: servermgr.PowerOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	return host, mgr, eng
+}
+
+func mustConst(t *testing.T, level float64) workload.Trace {
+	t.Helper()
+	tr, err := workload.NewConstantTrace(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func batch(sizes map[string]float64) []Job {
+	// Stable order: lstm, rnn, graph, pbzip (catalog order).
+	var jobs []Job
+	for _, app := range []string{"lstm", "rnn", "graph", "pbzip"} {
+		if s, ok := sizes[app]; ok {
+			jobs = append(jobs, Job{App: app, SizeOps: s})
+		}
+	}
+	return jobs
+}
+
+func TestNewValidation(t *testing.T) {
+	host, mgr, _ := rig(t, 0.2)
+	good := batch(map[string]float64{"lstm": 100, "rnn": 100})
+	if _, err := New(Config{Manager: mgr, Jobs: good}); err == nil {
+		t.Error("expected error for nil host")
+	}
+	if _, err := New(Config{Host: host, Jobs: good}); err == nil {
+		t.Error("expected error for nil manager")
+	}
+	if _, err := New(Config{Host: host, Manager: mgr}); err == nil {
+		t.Error("expected error for no jobs")
+	}
+	if _, err := New(Config{Host: host, Manager: mgr, Jobs: []Job{{App: "lstm", SizeOps: 0}}}); err == nil {
+		t.Error("expected error for zero size")
+	}
+	if _, err := New(Config{Host: host, Manager: mgr, Jobs: []Job{{App: "ghost", SizeOps: 1}}}); err == nil {
+		t.Error("expected error for unregistered app")
+	}
+	if _, err := New(Config{Host: host, Manager: mgr, Jobs: []Job{{App: "lstm", SizeOps: 1}, {App: "lstm", SizeOps: 2}}}); err == nil {
+		t.Error("expected error for duplicate app")
+	}
+	if _, err := New(Config{Host: host, Manager: mgr, Jobs: good, Quantum: -time.Second}); err == nil {
+		t.Error("expected error for negative quantum")
+	}
+	s, err := New(Config{Host: host, Manager: mgr, Jobs: good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(nil); err == nil {
+		t.Error("expected error attaching to nil engine")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if FCFS.String() != "fcfs" || SJF.String() != "sjf" || RR.String() != "rr" || Policy(9).String() == "" {
+		t.Error("policy strings broken")
+	}
+}
+
+// runBatch executes a batch to completion (bounded by maxSim).
+func runBatch(t *testing.T, policy Policy, sizes map[string]float64, level float64, maxSim time.Duration) *Scheduler {
+	t.Helper()
+	host, mgr, eng := rig(t, level)
+	_ = host
+	s, err := New(Config{Host: host, Manager: mgr, Policy: policy, Jobs: batch(sizes), Quantum: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	for elapsed := time.Duration(0); elapsed < maxSim && !s.Done(); elapsed += 5 * time.Second {
+		if err := eng.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Done() {
+		t.Fatalf("%v: batch did not complete within %v (progress %v)", policy, maxSim, s.Progress())
+	}
+	return s
+}
+
+func TestFCFSRunsInSubmissionOrder(t *testing.T) {
+	sizes := map[string]float64{"lstm": 300, "rnn": 150, "graph": 100}
+	s := runBatch(t, FCFS, sizes, 0.2, 2*time.Minute)
+	comps := s.Completions()
+	if len(comps) != 3 {
+		t.Fatalf("completions = %d", len(comps))
+	}
+	// Submission order is lstm, rnn, graph regardless of size.
+	if comps[0].App != "lstm" || comps[1].App != "rnn" || comps[2].App != "graph" {
+		t.Errorf("FCFS order broken: %v", comps)
+	}
+	if s.Makespan() <= 0 || s.MeanFlowTime() <= 0 {
+		t.Error("metrics should be positive after completion")
+	}
+}
+
+func TestSJFRunsShortestFirst(t *testing.T) {
+	sizes := map[string]float64{"lstm": 300, "rnn": 150, "graph": 100}
+	s := runBatch(t, SJF, sizes, 0.2, 2*time.Minute)
+	comps := s.Completions()
+	if comps[0].App != "graph" {
+		t.Errorf("SJF should finish the smallest job first, got %v", comps[0].App)
+	}
+	if comps[len(comps)-1].App != "lstm" {
+		t.Errorf("SJF should finish the largest job last, got %v", comps[len(comps)-1].App)
+	}
+}
+
+func TestSJFBeatsFCFSOnMeanFlowTime(t *testing.T) {
+	// Classic scheduling result: with a long job submitted first, SJF's
+	// mean flow time beats FCFS's; makespans are comparable.
+	sizes := map[string]float64{"lstm": 500, "rnn": 100, "graph": 80}
+	fcfs := runBatch(t, FCFS, sizes, 0.2, 3*time.Minute)
+	sjf := runBatch(t, SJF, sizes, 0.2, 3*time.Minute)
+	if sjf.MeanFlowTime() >= fcfs.MeanFlowTime() {
+		t.Errorf("SJF mean flow %v should beat FCFS %v", sjf.MeanFlowTime(), fcfs.MeanFlowTime())
+	}
+	ratio := float64(sjf.Makespan()) / float64(fcfs.Makespan())
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("makespans should be comparable: sjf %v vs fcfs %v", sjf.Makespan(), fcfs.Makespan())
+	}
+}
+
+func TestRRInterleaves(t *testing.T) {
+	sizes := map[string]float64{"rnn": 300, "pbzip": 300}
+	host, mgr, eng := rig(t, 0.2)
+	s, err := New(Config{Host: host, Manager: mgr, Policy: RR, Jobs: batch(sizes), Quantum: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	// After 3 quanta both jobs must have progressed (RR interleaves),
+	// unlike FCFS where the second would still be at zero.
+	if err := eng.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	prog := s.Progress()
+	if prog["rnn"] <= 0 || prog["pbzip"] <= 0 {
+		t.Errorf("RR should interleave both jobs: %v", prog)
+	}
+	// Run to completion.
+	for i := 0; i < 40 && !s.Done(); i++ {
+		if err := eng.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Done() {
+		t.Fatalf("RR batch did not finish: %v", s.Progress())
+	}
+	if len(s.Completions()) != 2 {
+		t.Errorf("completions = %v", s.Completions())
+	}
+}
+
+func TestMetricsBeforeCompletion(t *testing.T) {
+	host, mgr, eng := rig(t, 0.2)
+	s, err := New(Config{Host: host, Manager: mgr, Jobs: batch(map[string]float64{"lstm": 1e7})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Error("absurdly large job cannot be done")
+	}
+	if s.Makespan() != 0 {
+		t.Error("makespan should be zero before completion")
+	}
+	if s.MeanFlowTime() != 0 {
+		t.Error("mean flow time should be zero with no completions")
+	}
+	if s.Progress()["lstm"] <= 0 {
+		t.Error("progress should accrue")
+	}
+}

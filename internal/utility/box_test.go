@@ -1,0 +1,210 @@
+package utility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMinPowerAllocBoxUnconstrainedMatchesRay(t *testing.T) {
+	m := fitSynth(t)
+	target := 300.0
+	free, err := m.MinPowerAllocBox(target, []float64{1e6, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ray, err := m.MinPowerAlloc(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ray {
+		if math.Abs(free[j]-ray[j]) > 1e-9 {
+			t.Errorf("loose box differs from ray at %d: %v vs %v", j, free[j], ray[j])
+		}
+	}
+}
+
+func TestMinPowerAllocBoxClampsAndCompensates(t *testing.T) {
+	m := fitSynth(t)
+	target := 500.0
+	// Tight core bound: the solution must clamp cores and buy more ways.
+	bounds := []float64{3, 100}
+	r, err := m.MinPowerAllocBox(target, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[0]-3) > 1e-9 {
+		t.Errorf("cores = %v, want clamped at 3", r[0])
+	}
+	// The target is met exactly.
+	if got := m.Perf(r); math.Abs(got-target)/target > 1e-9 {
+		t.Errorf("Perf = %v, want %v", got, target)
+	}
+	// The clamped solution costs at least the unconstrained one.
+	rayPower, err := m.MinPowerFor(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DynamicPower(r) < rayPower-1e-9 {
+		t.Errorf("box power %v below unconstrained bound %v", m.DynamicPower(r), rayPower)
+	}
+}
+
+func TestMinPowerAllocBoxOptimalVsGrid(t *testing.T) {
+	// Property: no grid point inside the box that meets the target uses
+	// less power than the analytic solution.
+	m := fitSynth(t)
+	target := 400.0
+	bounds := []float64{5, 25}
+	r, err := m.MinPowerAllocBox(target, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := m.DynamicPower(r)
+	for c := 0.05; c <= bounds[0]; c += 0.05 {
+		for w := 0.05; w <= bounds[1]; w += 0.05 {
+			p := []float64{c, w}
+			if m.Perf(p) >= target && m.DynamicPower(p) < best-1e-6 {
+				t.Fatalf("grid point (%v, %v) beats the box solution: %v < %v", c, w, m.DynamicPower(p), best)
+			}
+		}
+	}
+}
+
+func TestMinPowerAllocBoxInfeasible(t *testing.T) {
+	m := fitSynth(t)
+	if _, err := m.MinPowerAllocBox(1e12, []float64{12, 20}); err == nil {
+		t.Error("expected error for unreachable target")
+	}
+	if _, err := m.MinPowerAllocBox(0, []float64{12, 20}); err == nil {
+		t.Error("expected error for zero target")
+	}
+	if _, err := m.MinPowerAllocBox(100, []float64{12}); err == nil {
+		t.Error("expected error for dimension mismatch")
+	}
+	if _, err := m.MinPowerAllocBox(100, []float64{12, 0}); err == nil {
+		t.Error("expected error for zero bound")
+	}
+	bad := *m
+	bad.Alpha = []float64{-1, 0.4}
+	if _, err := bad.MinPowerAllocBox(100, []float64{12, 20}); err == nil {
+		t.Error("expected error for degenerate model")
+	}
+}
+
+func TestMinPowerAllocBoxTargetAtCorner(t *testing.T) {
+	// A target exactly achievable only at the box corner must return the
+	// corner.
+	m := fitSynth(t)
+	bounds := []float64{4, 8}
+	corner := m.Perf(bounds)
+	r, err := m.MinPowerAllocBox(corner*(1-1e-12), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[0]-4) > 1e-6 || math.Abs(r[1]-8) > 1e-6 {
+		t.Errorf("corner target should clamp both: %v", r)
+	}
+}
+
+// synth3 builds an exactly-fitted three-resource model.
+func synth3(t *testing.T) *Model {
+	t.Helper()
+	var samples []Sample
+	for a := 1.0; a <= 8; a += 1.5 {
+		for b := 1.0; b <= 12; b += 2 {
+			for c := 1.0; c <= 6; c++ {
+				perf := 20 * math.Pow(a, 0.5) * math.Pow(b, 0.3) * math.Pow(c, 0.2)
+				pw := 4 + 3*a + 1.2*b + 2*c
+				samples = append(samples, Sample{Alloc: []float64{a, b, c}, Perf: perf, Power: pw})
+			}
+		}
+	}
+	m, err := Fit("synth3", []string{"cores", "ways", "membw"}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestThreeResourceModel(t *testing.T) {
+	m := synth3(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Alpha[0]-0.5) > 1e-6 || math.Abs(m.Alpha[1]-0.3) > 1e-6 || math.Abs(m.Alpha[2]-0.2) > 1e-6 {
+		t.Errorf("α = %v", m.Alpha)
+	}
+	// Preference sums to 1 over three resources.
+	pref := m.Preference()
+	sum := pref[0] + pref[1] + pref[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("preference sum = %v", sum)
+	}
+	// Demand expenditure shares follow α/Σα for three resources.
+	budget := 90.0
+	r := m.Demand(budget)
+	for j, a := range m.Alpha {
+		want := budget * a / (m.Alpha[0] + m.Alpha[1] + m.Alpha[2])
+		if got := r[j] * m.P[j]; math.Abs(got-want) > 1e-6 {
+			t.Errorf("resource %d expenditure = %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestThreeResourceBoxAndCappedDemand(t *testing.T) {
+	m := synth3(t)
+	// Box min-power with a binding middle bound.
+	target := 100.0
+	bounds := []float64{100, 4, 100}
+	r, err := m.MinPowerAllocBox(target, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r[1]-4) > 1e-9 {
+		t.Errorf("ways should clamp at 4: %v", r)
+	}
+	if got := m.Perf(r); math.Abs(got-target)/target > 1e-9 {
+		t.Errorf("Perf = %v, want %v", got, target)
+	}
+	// Capped demand never exceeds caps or budget across random draws.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		budget := rng.Float64() * 120
+		upper := []float64{rng.Float64() * 8, rng.Float64() * 12, rng.Float64() * 6}
+		d, err := m.DemandCapped(budget, upper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range d {
+			if d[j] < -1e-9 || d[j] > upper[j]+1e-9 {
+				t.Fatalf("draw %d: d[%d]=%v outside [0, %v]", i, j, d[j], upper[j])
+			}
+		}
+		if m.DynamicPower(d) > budget+1e-6 {
+			t.Fatalf("draw %d: spend %v exceeds %v", i, m.DynamicPower(d), budget)
+		}
+	}
+	// Integer search generalizes to three dimensions.
+	alloc, err := m.IntegerMinPowerAlloc(60, []int{8, 12, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := []float64{float64(alloc[0]), float64(alloc[1]), float64(alloc[2])}
+	if m.Perf(rf) < 60 {
+		t.Errorf("integer alloc %v misses the target", alloc)
+	}
+}
+
+func TestModelStringAndDynamicPower3(t *testing.T) {
+	m := synth3(t)
+	if m.String() == "" {
+		t.Error("String should render")
+	}
+	if got := m.DynamicPower([]float64{1, 1, 1}); math.Abs(got-(3+1.2+2)) > 1e-6 {
+		t.Errorf("DynamicPower = %v", got)
+	}
+	if got := m.Power([]float64{1, 1, 1}); math.Abs(got-(4+3+1.2+2)) > 1e-6 {
+		t.Errorf("Power = %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+package utility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CurvePoint is one point of a two-resource curve (x = first resource,
+// y = second resource).
+type CurvePoint struct {
+	X, Y float64
+}
+
+// IndifferenceCurve returns the iso-performance curve of a two-resource
+// model: for n values of the first resource between xLo and xHi, the amount
+// of the second resource that keeps performance exactly at targetPerf
+// (Fig. 5's solid curves). Points whose required y is non-positive or
+// non-finite are skipped.
+func (m *Model) IndifferenceCurve(targetPerf, xLo, xHi float64, n int) ([]CurvePoint, error) {
+	if len(m.Alpha) != 2 {
+		return nil, fmt.Errorf("utility: indifference curves need a 2-resource model, have %d", len(m.Alpha))
+	}
+	if targetPerf <= 0 {
+		return nil, errors.New("utility: target performance must be positive")
+	}
+	if n < 2 || xLo <= 0 || xHi <= xLo {
+		return nil, errors.New("utility: invalid sweep range")
+	}
+	out := make([]CurvePoint, 0, n)
+	for i := 0; i < n; i++ {
+		x := xLo + (xHi-xLo)*float64(i)/float64(n-1)
+		// Solve α₀·x^α₁·y^α₂ = target for y.
+		y := math.Pow(targetPerf/(m.Alpha0*math.Pow(x, m.Alpha[0])), 1/m.Alpha[1])
+		if y <= 0 || math.IsInf(y, 0) || math.IsNaN(y) {
+			continue
+		}
+		out = append(out, CurvePoint{X: x, Y: y})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("utility: indifference curve empty over the sweep range")
+	}
+	return out, nil
+}
+
+// ExpansionPath returns the locus of least-power allocations across a set
+// of performance targets — the dotted curve of Fig. 5 that the server
+// manager walks as load changes.
+func (m *Model) ExpansionPath(targets []float64) ([]CurvePoint, error) {
+	if len(m.Alpha) != 2 {
+		return nil, fmt.Errorf("utility: expansion path needs a 2-resource model, have %d", len(m.Alpha))
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("utility: no targets")
+	}
+	out := make([]CurvePoint, 0, len(targets))
+	for _, t := range targets {
+		r, err := m.MinPowerAlloc(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CurvePoint{X: r[0], Y: r[1]})
+	}
+	return out, nil
+}
+
+// BoxPoint is one Edgeworth-box entry: the primary application's
+// least-power allocation at a load, and the complementary spare resources
+// available to the secondary application (Fig. 6).
+type BoxPoint struct {
+	// Target is the primary's performance target (e.g. load in req/s).
+	Target float64
+	// Primary is the primary application's least-power allocation.
+	Primary CurvePoint
+	// Secondary is the complement: total minus primary, the best-effort
+	// application's feasible corner.
+	Secondary CurvePoint
+}
+
+// EdgeworthBox computes the box geometry for a two-resource model: for
+// each load target, the primary's least-power allocation (clamped to the
+// box) and the complementary spare allocation with respect to the totals.
+func EdgeworthBox(primary *Model, targets []float64, totalX, totalY float64) ([]BoxPoint, error) {
+	if len(primary.Alpha) != 2 {
+		return nil, fmt.Errorf("utility: Edgeworth box needs a 2-resource model, have %d", len(primary.Alpha))
+	}
+	if totalX <= 0 || totalY <= 0 {
+		return nil, errors.New("utility: box totals must be positive")
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("utility: no targets")
+	}
+	out := make([]BoxPoint, 0, len(targets))
+	for _, t := range targets {
+		r, err := primary.MinPowerAlloc(t)
+		if err != nil {
+			return nil, err
+		}
+		x := math.Min(r[0], totalX)
+		y := math.Min(r[1], totalY)
+		out = append(out, BoxPoint{
+			Target:    t,
+			Primary:   CurvePoint{X: x, Y: y},
+			Secondary: CurvePoint{X: totalX - x, Y: totalY - y},
+		})
+	}
+	return out, nil
+}
+
+// IntegerMinPowerAlloc finds the integer allocation (each resource between
+// 1 and caps[j]) that achieves targetPerf under the fitted model at the
+// least fitted dynamic power. It scans the full integer grid, which is
+// exact and cheap for server-scale knob counts (12 cores × 20 ways = 240
+// candidates). It returns an error when no allocation within caps reaches
+// the target.
+func (m *Model) IntegerMinPowerAlloc(targetPerf float64, caps []int) ([]int, error) {
+	k := len(m.Alpha)
+	if len(caps) != k {
+		return nil, fmt.Errorf("utility: caps have %d entries, want %d", len(caps), k)
+	}
+	for j, c := range caps {
+		if c < 1 {
+			return nil, fmt.Errorf("utility: cap for %s must be at least 1", m.Resources[j])
+		}
+	}
+	if targetPerf <= 0 {
+		return nil, errors.New("utility: target performance must be positive")
+	}
+	best := make([]int, 0, k)
+	bestPower := math.Inf(1)
+	cur := make([]int, k)
+	rf := make([]float64, k)
+	var walk func(j int)
+	walk = func(j int) {
+		if j == k {
+			for i, v := range cur {
+				rf[i] = float64(v)
+			}
+			if m.Perf(rf) >= targetPerf {
+				if p := m.DynamicPower(rf); p < bestPower {
+					bestPower = p
+					best = append(best[:0], cur...)
+				}
+			}
+			return
+		}
+		for v := 1; v <= caps[j]; v++ {
+			cur[j] = v
+			walk(j + 1)
+		}
+	}
+	walk(0)
+	if len(best) == 0 {
+		return nil, fmt.Errorf("utility: target %v unreachable within caps %v", targetPerf, caps)
+	}
+	return append([]int(nil), best...), nil
+}

@@ -1,0 +1,179 @@
+package utility
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIndifferenceCurve(t *testing.T) {
+	m := fitSynth(t)
+	target := 400.0
+	pts, err := m.IndifferenceCurve(target, 1, 12, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	prevY := math.Inf(1)
+	for _, p := range pts {
+		// Every point is iso-performance.
+		if got := m.Perf([]float64{p.X, p.Y}); math.Abs(got-target)/target > 1e-9 {
+			t.Errorf("point (%v, %v): perf %v, want %v", p.X, p.Y, got, target)
+		}
+		// The curve is downward sloping (substitution).
+		if p.Y >= prevY {
+			t.Errorf("curve not downward sloping at x=%v", p.X)
+		}
+		prevY = p.Y
+	}
+}
+
+func TestIndifferenceCurveValidation(t *testing.T) {
+	m := fitSynth(t)
+	if _, err := m.IndifferenceCurve(0, 1, 12, 10); err == nil {
+		t.Error("expected error for zero target")
+	}
+	if _, err := m.IndifferenceCurve(100, 0, 12, 10); err == nil {
+		t.Error("expected error for zero xLo")
+	}
+	if _, err := m.IndifferenceCurve(100, 5, 4, 10); err == nil {
+		t.Error("expected error for inverted range")
+	}
+	if _, err := m.IndifferenceCurve(100, 1, 12, 1); err == nil {
+		t.Error("expected error for n < 2")
+	}
+	// Wrong dimensionality.
+	three := *m
+	three.Alpha = []float64{0.3, 0.3, 0.3}
+	three.P = []float64{1, 1, 1}
+	three.Resources = []string{"a", "b", "c"}
+	if _, err := three.IndifferenceCurve(100, 1, 12, 10); err == nil {
+		t.Error("expected error for 3-resource model")
+	}
+}
+
+func TestExpansionPath(t *testing.T) {
+	m := fitSynth(t)
+	targets := []float64{100, 200, 400}
+	pts, err := m.ExpansionPath(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// The path moves outward with load, and the ratio y/x stays constant
+	// for Cobb-Douglas (the expansion path is a ray).
+	ratio := pts[0].Y / pts[0].X
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+			t.Errorf("path not outward at target %v", targets[i])
+		}
+		if math.Abs(pts[i].Y/pts[i].X-ratio)/ratio > 1e-9 {
+			t.Errorf("expansion path is not a ray: ratio %v vs %v", pts[i].Y/pts[i].X, ratio)
+		}
+	}
+	if _, err := m.ExpansionPath(nil); err == nil {
+		t.Error("expected error for no targets")
+	}
+	three := *m
+	three.Alpha = []float64{0.3, 0.3, 0.3}
+	if _, err := three.ExpansionPath(targets); err == nil {
+		t.Error("expected error for 3-resource model")
+	}
+}
+
+func TestEdgeworthBox(t *testing.T) {
+	m := fitSynth(t)
+	targets := []float64{100, 300, 600}
+	box, err := EdgeworthBox(m, targets, 12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(box) != 3 {
+		t.Fatalf("got %d box points", len(box))
+	}
+	for _, b := range box {
+		// Complements add to the totals.
+		if math.Abs(b.Primary.X+b.Secondary.X-12) > 1e-9 {
+			t.Errorf("x complement broken: %v + %v", b.Primary.X, b.Secondary.X)
+		}
+		if math.Abs(b.Primary.Y+b.Secondary.Y-20) > 1e-9 {
+			t.Errorf("y complement broken: %v + %v", b.Primary.Y, b.Secondary.Y)
+		}
+		if b.Secondary.X < 0 || b.Secondary.Y < 0 {
+			t.Errorf("negative spare: %+v", b.Secondary)
+		}
+	}
+	// Higher load → more primary, less spare.
+	if box[2].Primary.X <= box[0].Primary.X {
+		t.Error("primary allocation should grow with load")
+	}
+	if box[2].Secondary.X >= box[0].Secondary.X {
+		t.Error("spare should shrink with load")
+	}
+}
+
+func TestEdgeworthBoxValidation(t *testing.T) {
+	m := fitSynth(t)
+	if _, err := EdgeworthBox(m, []float64{100}, 0, 20); err == nil {
+		t.Error("expected error for zero total")
+	}
+	if _, err := EdgeworthBox(m, nil, 12, 20); err == nil {
+		t.Error("expected error for no targets")
+	}
+	three := *m
+	three.Alpha = []float64{0.3, 0.3, 0.3}
+	if _, err := EdgeworthBox(&three, []float64{100}, 12, 20); err == nil {
+		t.Error("expected error for 3-resource model")
+	}
+}
+
+func TestIntegerMinPowerAlloc(t *testing.T) {
+	m := fitSynth(t)
+	target := 400.0
+	alloc, err := m.IntegerMinPowerAlloc(target, []int{12, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := []float64{float64(alloc[0]), float64(alloc[1])}
+	if m.Perf(rf) < target {
+		t.Errorf("integer alloc %v misses target: %v < %v", alloc, m.Perf(rf), target)
+	}
+	// Exhaustively verify optimality (the method is itself a scan, so this
+	// is a consistency check on the feasibility predicate).
+	best := m.DynamicPower(rf)
+	for c := 1; c <= 12; c++ {
+		for w := 1; w <= 20; w++ {
+			r := []float64{float64(c), float64(w)}
+			if m.Perf(r) >= target && m.DynamicPower(r) < best-1e-9 {
+				t.Fatalf("(%d, %d) is cheaper and feasible", c, w)
+			}
+		}
+	}
+	// Integer power is at least the continuous relaxation's power.
+	cont, err := m.MinPowerFor(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < cont-1e-9 {
+		t.Errorf("integer power %v beats continuous bound %v", best, cont)
+	}
+}
+
+func TestIntegerMinPowerAllocErrors(t *testing.T) {
+	m := fitSynth(t)
+	if _, err := m.IntegerMinPowerAlloc(1e12, []int{12, 20}); err == nil {
+		t.Error("expected error for unreachable target")
+	}
+	if _, err := m.IntegerMinPowerAlloc(100, []int{12}); err == nil {
+		t.Error("expected error for dimension mismatch")
+	}
+	if _, err := m.IntegerMinPowerAlloc(100, []int{12, 0}); err == nil {
+		t.Error("expected error for zero cap")
+	}
+	if _, err := m.IntegerMinPowerAlloc(0, []int{12, 20}); err == nil {
+		t.Error("expected error for zero target")
+	}
+}

@@ -1,0 +1,67 @@
+package utility_test
+
+import (
+	"fmt"
+	"math"
+
+	"pocolo/internal/utility"
+)
+
+// ExampleFit shows the paper's Section IV-A pipeline on synthetic profiling
+// data: log-transform least squares recovers the Cobb-Douglas parameters,
+// and the fitted model answers the allocation questions in closed form.
+func ExampleFit() {
+	var samples []utility.Sample
+	for c := 1.0; c <= 12; c += 2 {
+		for w := 2.0; w <= 20; w += 3 {
+			samples = append(samples, utility.Sample{
+				Alloc: []float64{c, w},
+				Perf:  50 * math.Pow(c, 0.6) * math.Pow(w, 0.4),
+				Power: 5 + 3*c + 1.5*w,
+			})
+		}
+	}
+	m, err := utility.Fit("demo", []string{"cores", "llc-ways"}, samples)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	pref := m.Preference()
+	fmt.Printf("exponents α = [%.2f %.2f]\n", m.Alpha[0], m.Alpha[1])
+	fmt.Printf("power p = [%.2f %.2f] W/unit over %.2f W static\n", m.P[0], m.P[1], m.PStatic)
+	fmt.Printf("per-watt preference = %.2f cores : %.2f ways\n", pref[0], pref[1])
+
+	// The least-power allocation for a load of 400 requests/s:
+	r, err := m.MinPowerAlloc(400)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("least-power allocation for 400 req/s: %.1f cores, %.1f ways\n", r[0], r[1])
+	// Output:
+	// exponents α = [0.60 0.40]
+	// power p = [3.00 1.50] W/unit over 5.00 W static
+	// per-watt preference = 0.43 cores : 0.57 ways
+	// least-power allocation for 400 req/s: 7.1 cores, 9.5 ways
+}
+
+// ExampleModel_DemandCapped computes what a best-effort application should
+// buy with the spare resources and power headroom a primary leaves behind.
+func ExampleModel_DemandCapped() {
+	be := &utility.Model{
+		App:       "graph-like",
+		Resources: []string{"cores", "llc-ways"},
+		Alpha0:    10,
+		Alpha:     []float64{0.75, 0.25},
+		P:         []float64{3.5, 4.5},
+	}
+	// The primary left 8 cores, 4 ways, and 40 W of headroom.
+	demand, err := be.DemandCapped(40, []float64{8, 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("buy %.1f cores and %.1f ways (%.1f W)\n", demand[0], demand[1], be.DynamicPower(demand))
+	// Output:
+	// buy 8.0 cores and 2.7 ways (40.0 W)
+}

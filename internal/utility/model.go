@@ -1,0 +1,398 @@
+// Package utility implements the paper's primary contribution: reasoning
+// about resource demands in power-constrained servers with a Cobb-Douglas
+// *indirect* utility function (Section III).
+//
+// Performance is modelled as
+//
+//	perf = α₀ · ∏ⱼ rⱼ^αⱼ
+//
+// subject to the linear power budget
+//
+//	P_static + Σⱼ rⱼ·pⱼ ≤ Power.
+//
+// Both parameter vectors are fitted from profiling samples by least
+// squares — the performance model after a log transformation, the power
+// model directly (Section IV-A). From the fitted model the package derives
+// the closed-form budget-constrained demand, the per-watt preference vector
+// (αⱼ/pⱼ, normalized), least-power allocations for a load target,
+// indifference curves, and the Edgeworth-box geometry of Figs. 5 and 6.
+package utility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pocolo/internal/stats"
+)
+
+// Sample is one profiling observation: a resource allocation vector, the
+// measured performance (max SLO-compliant load for LC apps, throughput for
+// BE apps), and the application-attributed power draw in watts.
+type Sample struct {
+	Alloc []float64
+	Perf  float64
+	Power float64
+}
+
+// Model is a fitted Cobb-Douglas indirect utility model.
+type Model struct {
+	// App names the application the model describes.
+	App string
+	// Resources names the direct resources, e.g. ["cores", "llc-ways"].
+	Resources []string
+	// Alpha0 is the performance scale constant α₀.
+	Alpha0 float64
+	// Alpha holds the fitted performance exponents αⱼ.
+	Alpha []float64
+	// PStatic is the fitted power intercept (the application's apportioned
+	// static power).
+	PStatic float64
+	// P holds the fitted per-unit power coefficients pⱼ.
+	P []float64
+	// PerfR2 and PowerR2 are the coefficients of determination of the two
+	// fits (the paper's Fig. 8 goodness-of-fit metric).
+	PerfR2  float64
+	PowerR2 float64
+	// N is the number of samples used.
+	N int
+}
+
+// Fit estimates a Cobb-Douglas indirect utility model from profiling
+// samples. Samples with non-positive performance or allocation entries are
+// rejected (the log transform requires positivity). At least
+// len(resources)+2 samples are required.
+func Fit(app string, resources []string, samples []Sample) (*Model, error) {
+	k := len(resources)
+	if k == 0 {
+		return nil, errors.New("utility: need at least one resource")
+	}
+	if len(samples) < k+2 {
+		return nil, fmt.Errorf("utility: need at least %d samples to fit %d resources, got %d", k+2, k, len(samples))
+	}
+	logX := make([][]float64, 0, len(samples))
+	logY := make([]float64, 0, len(samples))
+	rawX := make([][]float64, 0, len(samples))
+	powY := make([]float64, 0, len(samples))
+	for i, s := range samples {
+		if len(s.Alloc) != k {
+			return nil, fmt.Errorf("utility: sample %d has %d resources, want %d", i, len(s.Alloc), k)
+		}
+		if s.Perf <= 0 {
+			return nil, fmt.Errorf("utility: sample %d has non-positive performance %v", i, s.Perf)
+		}
+		if s.Power < 0 {
+			return nil, fmt.Errorf("utility: sample %d has negative power %v", i, s.Power)
+		}
+		lx := make([]float64, k)
+		for j, r := range s.Alloc {
+			if r <= 0 {
+				return nil, fmt.Errorf("utility: sample %d has non-positive allocation %v for %s", i, r, resources[j])
+			}
+			lx[j] = math.Log(r)
+		}
+		logX = append(logX, lx)
+		logY = append(logY, math.Log(s.Perf))
+		rawX = append(rawX, append([]float64(nil), s.Alloc...))
+		powY = append(powY, s.Power)
+	}
+
+	perfReg, err := stats.OLS(logX, logY)
+	if err != nil {
+		return nil, fmt.Errorf("utility: performance fit: %w", err)
+	}
+	powReg, err := stats.OLS(rawX, powY)
+	if err != nil {
+		return nil, fmt.Errorf("utility: power fit: %w", err)
+	}
+
+	m := &Model{
+		App:       app,
+		Resources: append([]string(nil), resources...),
+		Alpha0:    math.Exp(perfReg.Intercept()),
+		Alpha:     make([]float64, k),
+		PStatic:   powReg.Intercept(),
+		P:         make([]float64, k),
+		PerfR2:    perfReg.RSquared,
+		PowerR2:   powReg.RSquared,
+		N:         len(samples),
+	}
+	for j := 0; j < k; j++ {
+		m.Alpha[j] = perfReg.Slope(j)
+		m.P[j] = powReg.Slope(j)
+	}
+	return m, nil
+}
+
+// Validate reports whether the fitted parameters describe a usable
+// (monotone, power-consuming) model: all αⱼ and pⱼ must be positive.
+// Models violating this arise from degenerate profiles and cannot drive
+// allocation decisions.
+func (m *Model) Validate() error {
+	if len(m.Alpha) == 0 || len(m.Alpha) != len(m.P) || len(m.Alpha) != len(m.Resources) {
+		return errors.New("utility: inconsistent model dimensions")
+	}
+	if m.Alpha0 <= 0 {
+		return fmt.Errorf("utility: model %s: non-positive scale α₀=%v", m.App, m.Alpha0)
+	}
+	for j := range m.Alpha {
+		if m.Alpha[j] <= 0 {
+			return fmt.Errorf("utility: model %s: non-positive exponent α[%s]=%v", m.App, m.Resources[j], m.Alpha[j])
+		}
+		if m.P[j] <= 0 {
+			return fmt.Errorf("utility: model %s: non-positive power coefficient p[%s]=%v", m.App, m.Resources[j], m.P[j])
+		}
+	}
+	return nil
+}
+
+// Perf evaluates the fitted performance model at allocation r.
+func (m *Model) Perf(r []float64) float64 {
+	v := m.Alpha0
+	for j, rj := range r {
+		if rj <= 0 {
+			return 0
+		}
+		v *= math.Pow(rj, m.Alpha[j])
+	}
+	return v
+}
+
+// Power evaluates the fitted power model at allocation r (watts, including
+// the fitted static intercept).
+func (m *Model) Power(r []float64) float64 {
+	v := m.PStatic
+	for j, rj := range r {
+		v += rj * m.P[j]
+	}
+	return v
+}
+
+// DynamicPower evaluates only the marginal part Σ rⱼ·pⱼ of the power
+// model — the draw attributable to holding the resources, excluding the
+// static intercept. Budget arithmetic against a server-level headroom uses
+// this form.
+func (m *Model) DynamicPower(r []float64) float64 {
+	v := 0.0
+	for j, rj := range r {
+		v += rj * m.P[j]
+	}
+	return v
+}
+
+// alphaSum returns Σⱼ αⱼ.
+func (m *Model) alphaSum() float64 {
+	s := 0.0
+	for _, a := range m.Alpha {
+		s += a
+	}
+	return s
+}
+
+// Demand returns the utility-maximizing allocation under a dynamic power
+// budget (watts, excluding the static intercept): the paper's closed form
+// rⱼ = budget/pⱼ · αⱼ/Σα. A non-positive budget yields the zero vector.
+func (m *Model) Demand(budgetW float64) []float64 {
+	r := make([]float64, len(m.Alpha))
+	if budgetW <= 0 {
+		return r
+	}
+	sum := m.alphaSum()
+	for j := range r {
+		r[j] = budgetW / m.P[j] * m.Alpha[j] / sum
+	}
+	return r
+}
+
+// DemandCapped returns the utility-maximizing allocation under a dynamic
+// power budget and per-resource upper bounds (the spare capacity left by
+// the primary application). It water-fills: resources whose unconstrained
+// demand exceeds the cap are clamped there, their cost is deducted, and the
+// remaining budget is re-optimized over the rest — the KKT solution for
+// Cobb-Douglas utility with a linear budget and box constraints.
+func (m *Model) DemandCapped(budgetW float64, upper []float64) ([]float64, error) {
+	k := len(m.Alpha)
+	if len(upper) != k {
+		return nil, fmt.Errorf("utility: upper bounds have %d entries, want %d", len(upper), k)
+	}
+	r := make([]float64, k)
+	if budgetW <= 0 {
+		return r, nil
+	}
+	active := make([]bool, k)
+	for j := range active {
+		if upper[j] > 0 {
+			active[j] = true
+		}
+	}
+	remaining := budgetW
+	for {
+		sum := 0.0
+		for j := range active {
+			if active[j] {
+				sum += m.Alpha[j]
+			}
+		}
+		if sum == 0 || remaining <= 0 {
+			break
+		}
+		clamped := false
+		for j := range active {
+			if !active[j] {
+				continue
+			}
+			want := remaining / m.P[j] * m.Alpha[j] / sum
+			if want >= upper[j] {
+				r[j] = upper[j]
+				remaining -= upper[j] * m.P[j]
+				active[j] = false
+				clamped = true
+			}
+		}
+		if !clamped {
+			for j := range active {
+				if active[j] {
+					r[j] = remaining / m.P[j] * m.Alpha[j] / sum
+				}
+			}
+			break
+		}
+	}
+	return r, nil
+}
+
+// Preference returns the indirect-utility preference vector (αⱼ/pⱼ)/Σ —
+// the performance-per-watt ranking of the direct resources, normalized to
+// sum to 1 (Section III). It is independent of load and power budget.
+func (m *Model) Preference() []float64 {
+	out := make([]float64, len(m.Alpha))
+	sum := 0.0
+	for j := range out {
+		out[j] = m.Alpha[j] / m.P[j]
+		sum += out[j]
+	}
+	for j := range out {
+		out[j] /= sum
+	}
+	return out
+}
+
+// DirectPreference returns the power-unaware preference vector αⱼ/Σα.
+func (m *Model) DirectPreference() []float64 {
+	out := make([]float64, len(m.Alpha))
+	sum := m.alphaSum()
+	for j := range out {
+		out[j] = m.Alpha[j] / sum
+	}
+	return out
+}
+
+// MinPowerAlloc returns the continuous allocation that achieves the target
+// performance at the least dynamic power: minimizing Σ rⱼ·pⱼ subject to
+// α₀·∏ rⱼ^αⱼ ≥ target gives rⱼ = λ·αⱼ/pⱼ with
+// λ = (target / (α₀·∏(αⱼ/pⱼ)^αⱼ))^(1/Σα). This is the paper's
+// constant-time "power-efficient configuration" (Section IV-C).
+func (m *Model) MinPowerAlloc(targetPerf float64) ([]float64, error) {
+	if targetPerf <= 0 {
+		return nil, fmt.Errorf("utility: target performance %v must be positive", targetPerf)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sum := m.alphaSum()
+	prod := m.Alpha0
+	for j := range m.Alpha {
+		prod *= math.Pow(m.Alpha[j]/m.P[j], m.Alpha[j])
+	}
+	lambda := math.Pow(targetPerf/prod, 1/sum)
+	r := make([]float64, len(m.Alpha))
+	for j := range r {
+		r[j] = lambda * m.Alpha[j] / m.P[j]
+	}
+	return r, nil
+}
+
+// MinPowerAllocBox returns the least-power allocation achieving targetPerf
+// subject to per-resource upper bounds (the physical machine limits). It
+// starts from the unconstrained ray solution and iteratively clamps
+// violating resources at their bounds, re-solving the reduced problem —
+// the KKT solution for this posynomial program. It returns an error when
+// the target is unreachable even at the bounds.
+func (m *Model) MinPowerAllocBox(targetPerf float64, upper []float64) ([]float64, error) {
+	k := len(m.Alpha)
+	if len(upper) != k {
+		return nil, fmt.Errorf("utility: upper bounds have %d entries, want %d", len(upper), k)
+	}
+	if targetPerf <= 0 {
+		return nil, fmt.Errorf("utility: target performance %v must be positive", targetPerf)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for j, u := range upper {
+		if u <= 0 {
+			return nil, fmt.Errorf("utility: upper bound for %s must be positive", m.Resources[j])
+		}
+	}
+	// Feasibility at the box corner.
+	if m.Perf(upper) < targetPerf {
+		return nil, fmt.Errorf("utility: target %v unreachable within bounds %v (max %v)", targetPerf, upper, m.Perf(upper))
+	}
+	r := make([]float64, k)
+	clamped := make([]bool, k)
+	for {
+		// Required product over the unclamped resources.
+		needed := targetPerf / m.Alpha0
+		sumA := 0.0
+		prodRatio := 1.0
+		for j := 0; j < k; j++ {
+			if clamped[j] {
+				needed /= math.Pow(upper[j], m.Alpha[j])
+				continue
+			}
+			sumA += m.Alpha[j]
+			prodRatio *= math.Pow(m.Alpha[j]/m.P[j], m.Alpha[j])
+		}
+		if sumA == 0 {
+			break // everything clamped; feasibility already verified
+		}
+		lambda := math.Pow(needed/prodRatio, 1/sumA)
+		anyNew := false
+		for j := 0; j < k; j++ {
+			if clamped[j] {
+				r[j] = upper[j]
+				continue
+			}
+			r[j] = lambda * m.Alpha[j] / m.P[j]
+			if r[j] > upper[j] {
+				clamped[j] = true
+				anyNew = true
+			}
+		}
+		if !anyNew {
+			break
+		}
+	}
+	for j := range r {
+		if clamped[j] {
+			r[j] = upper[j]
+		}
+	}
+	return r, nil
+}
+
+// MinPowerFor returns the least dynamic power (watts, excluding the static
+// intercept) at which the target performance is achievable.
+func (m *Model) MinPowerFor(targetPerf float64) (float64, error) {
+	r, err := m.MinPowerAlloc(targetPerf)
+	if err != nil {
+		return 0, err
+	}
+	return m.DynamicPower(r), nil
+}
+
+// String renders the fitted parameters compactly.
+func (m *Model) String() string {
+	return fmt.Sprintf("utility[%s: α₀=%.3g α=%v p=%v R²perf=%.2f R²pow=%.2f n=%d]",
+		m.App, m.Alpha0, m.Alpha, m.P, m.PerfR2, m.PowerR2, m.N)
+}

@@ -1,0 +1,341 @@
+package utility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthModel builds a known ground-truth model and returns noiseless
+// samples drawn from it on a grid.
+func synthSamples(alpha0, ac, aw, pstatic, pc, pw float64) []Sample {
+	var out []Sample
+	for c := 1.0; c <= 12; c += 2 {
+		for w := 2.0; w <= 20; w += 3 {
+			perf := alpha0 * math.Pow(c, ac) * math.Pow(w, aw)
+			pow := pstatic + c*pc + w*pw
+			out = append(out, Sample{Alloc: []float64{c, w}, Perf: perf, Power: pow})
+		}
+	}
+	return out
+}
+
+func fitSynth(t *testing.T) *Model {
+	t.Helper()
+	m, err := Fit("synth", []string{"cores", "ways"}, synthSamples(50, 0.6, 0.4, 5, 3, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	m := fitSynth(t)
+	if math.Abs(m.Alpha0-50)/50 > 1e-6 {
+		t.Errorf("α₀ = %v, want 50", m.Alpha0)
+	}
+	if math.Abs(m.Alpha[0]-0.6) > 1e-9 || math.Abs(m.Alpha[1]-0.4) > 1e-9 {
+		t.Errorf("α = %v, want [0.6 0.4]", m.Alpha)
+	}
+	if math.Abs(m.PStatic-5) > 1e-6 {
+		t.Errorf("P_static = %v, want 5", m.PStatic)
+	}
+	if math.Abs(m.P[0]-3) > 1e-9 || math.Abs(m.P[1]-1.5) > 1e-9 {
+		t.Errorf("p = %v, want [3 1.5]", m.P)
+	}
+	if m.PerfR2 < 1-1e-9 || m.PowerR2 < 1-1e-9 {
+		t.Errorf("R² = %v/%v, want 1 for noiseless data", m.PerfR2, m.PowerR2)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if m.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := synthSamples(50, 0.6, 0.4, 5, 3, 1.5)
+	for i := range samples {
+		samples[i].Perf *= 1 + rng.NormFloat64()*0.05
+		if samples[i].Perf <= 0 {
+			samples[i].Perf = 0.01
+		}
+		samples[i].Power *= 1 + rng.NormFloat64()*0.02
+	}
+	m, err := Fit("noisy", []string{"c", "w"}, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerfR2 < 0.9 || m.PowerR2 < 0.9 {
+		t.Errorf("R² too low: %v/%v", m.PerfR2, m.PowerR2)
+	}
+	if math.Abs(m.Alpha[0]-0.6) > 0.1 {
+		t.Errorf("αc = %v, want ≈0.6", m.Alpha[0])
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	good := synthSamples(50, 0.6, 0.4, 5, 3, 1.5)
+	if _, err := Fit("x", nil, good); err == nil {
+		t.Error("expected error for no resources")
+	}
+	if _, err := Fit("x", []string{"c", "w"}, good[:3]); err == nil {
+		t.Error("expected error for too few samples")
+	}
+	bad := append([]Sample(nil), good...)
+	bad[0].Alloc = []float64{1}
+	if _, err := Fit("x", []string{"c", "w"}, bad); err == nil {
+		t.Error("expected error for ragged alloc")
+	}
+	bad = append([]Sample(nil), good...)
+	bad[1].Perf = 0
+	if _, err := Fit("x", []string{"c", "w"}, bad); err == nil {
+		t.Error("expected error for zero perf")
+	}
+	bad = append([]Sample(nil), good...)
+	bad[2].Alloc = []float64{0, 5}
+	if _, err := Fit("x", []string{"c", "w"}, bad); err == nil {
+		t.Error("expected error for zero allocation")
+	}
+	bad = append([]Sample(nil), good...)
+	bad[3].Power = -1
+	if _, err := Fit("x", []string{"c", "w"}, bad); err == nil {
+		t.Error("expected error for negative power")
+	}
+}
+
+func TestValidateCatchesDegenerateModels(t *testing.T) {
+	m := fitSynth(t)
+	cases := []func(*Model){
+		func(m *Model) { m.Alpha0 = 0 },
+		func(m *Model) { m.Alpha[0] = -0.1 },
+		func(m *Model) { m.P[1] = 0 },
+		func(m *Model) { m.Alpha = m.Alpha[:1] },
+	}
+	for i, mutate := range cases {
+		c := *m
+		c.Alpha = append([]float64(nil), m.Alpha...)
+		c.P = append([]float64(nil), m.P...)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPerfAndPowerEvaluation(t *testing.T) {
+	m := fitSynth(t)
+	r := []float64{4, 10}
+	wantPerf := 50 * math.Pow(4, 0.6) * math.Pow(10, 0.4)
+	if got := m.Perf(r); math.Abs(got-wantPerf)/wantPerf > 1e-6 {
+		t.Errorf("Perf = %v, want %v", got, wantPerf)
+	}
+	if got := m.Power(r); math.Abs(got-(5+12+15)) > 1e-6 {
+		t.Errorf("Power = %v, want 32", got)
+	}
+	if got := m.DynamicPower(r); math.Abs(got-27) > 1e-6 {
+		t.Errorf("DynamicPower = %v, want 27", got)
+	}
+	if got := m.Perf([]float64{0, 10}); got != 0 {
+		t.Errorf("Perf with zero resource = %v", got)
+	}
+}
+
+func TestDemandSpendsBudgetBySharares(t *testing.T) {
+	m := fitSynth(t)
+	budget := 60.0
+	r := m.Demand(budget)
+	// Cobb-Douglas expenditure shares: rⱼ·pⱼ = budget·αⱼ/Σα.
+	if got := r[0] * m.P[0]; math.Abs(got-budget*0.6) > 1e-6 {
+		t.Errorf("cores expenditure = %v, want %v", got, budget*0.6)
+	}
+	if got := r[1] * m.P[1]; math.Abs(got-budget*0.4) > 1e-6 {
+		t.Errorf("ways expenditure = %v, want %v", got, budget*0.4)
+	}
+	// Total spend equals the budget.
+	if got := m.DynamicPower(r); math.Abs(got-budget) > 1e-6 {
+		t.Errorf("total spend = %v, want %v", got, budget)
+	}
+	// Degenerate budget.
+	zero := m.Demand(0)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("Demand(0) = %v", zero)
+	}
+	neg := m.Demand(-5)
+	if neg[0] != 0 || neg[1] != 0 {
+		t.Errorf("Demand(-5) = %v", neg)
+	}
+}
+
+func TestDemandIsOptimal(t *testing.T) {
+	// Property: no random feasible allocation under the same budget beats
+	// the closed-form demand.
+	m := fitSynth(t)
+	budget := 45.0
+	best := m.Perf(m.Demand(budget))
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		// Random split of the budget.
+		f := rng.Float64()
+		r := []float64{budget * f / m.P[0], budget * (1 - f) / m.P[1]}
+		if m.Perf(r) > best*(1+1e-9) {
+			t.Fatalf("random split %v beats demand: %v > %v", r, m.Perf(r), best)
+		}
+	}
+}
+
+func TestDemandCapped(t *testing.T) {
+	m := fitSynth(t)
+	// Loose caps: identical to unconstrained demand.
+	budget := 40.0
+	free, err := m.DemandCapped(budget, []float64{1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Demand(budget)
+	for j := range want {
+		if math.Abs(free[j]-want[j]) > 1e-9 {
+			t.Errorf("uncapped demand mismatch at %d: %v vs %v", j, free[j], want[j])
+		}
+	}
+	// Binding cap on cores: cores clamp, leftover budget flows to ways.
+	capped, err := m.DemandCapped(budget, []float64{2, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped[0] != 2 {
+		t.Errorf("cores = %v, want clamped 2", capped[0])
+	}
+	wantWays := (budget - 2*m.P[0]) / m.P[1]
+	if math.Abs(capped[1]-wantWays) > 1e-9 {
+		t.Errorf("ways = %v, want %v", capped[1], wantWays)
+	}
+	// Budget exceeding the cost of everything: all caps.
+	all, err := m.DemandCapped(1e6, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[0] != 3 || all[1] != 7 {
+		t.Errorf("rich demand = %v, want caps", all)
+	}
+	// Zero caps yield zero.
+	none, err := m.DemandCapped(budget, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none[0] != 0 || none[1] != 0 {
+		t.Errorf("zero-cap demand = %v", none)
+	}
+	// Dimension mismatch.
+	if _, err := m.DemandCapped(budget, []float64{1}); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestDemandCappedNeverExceedsBudgetOrCaps(t *testing.T) {
+	m := fitSynth(t)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		budget := rng.Float64() * 120
+		upper := []float64{rng.Float64() * 12, rng.Float64() * 20}
+		r, err := m.DemandCapped(budget, upper)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range r {
+			if r[j] < -1e-9 || r[j] > upper[j]+1e-9 {
+				t.Fatalf("iteration %d: r[%d]=%v outside [0, %v]", i, j, r[j], upper[j])
+			}
+		}
+		if m.DynamicPower(r) > budget+1e-6 {
+			t.Fatalf("iteration %d: spend %v exceeds budget %v", i, m.DynamicPower(r), budget)
+		}
+	}
+}
+
+func TestDemandCappedOptimalVsGrid(t *testing.T) {
+	// Compare against a fine grid search for a binding-cap scenario.
+	m := fitSynth(t)
+	budget := 50.0
+	upper := []float64{4, 30}
+	r, err := m.DemandCapped(budget, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := m.Perf(r)
+	for c := 0.05; c <= upper[0]; c += 0.05 {
+		spent := c * m.P[0]
+		if spent > budget {
+			break
+		}
+		w := math.Min((budget-spent)/m.P[1], upper[1])
+		if w <= 0 {
+			continue
+		}
+		if got := m.Perf([]float64{c, w}); got > best*(1+1e-6) {
+			t.Fatalf("grid point (%v, %v) beats capped demand: %v > %v", c, w, got, best)
+		}
+	}
+}
+
+func TestPreferenceVectors(t *testing.T) {
+	m := fitSynth(t)
+	pref := m.Preference()
+	// αc/pc = 0.2, αw/pw = 0.267 → cores share = 0.2/0.467 ≈ 0.4286.
+	want := (0.6 / 3.0) / (0.6/3.0 + 0.4/1.5)
+	if math.Abs(pref[0]-want) > 1e-6 {
+		t.Errorf("cores preference = %v, want %v", pref[0], want)
+	}
+	if math.Abs(pref[0]+pref[1]-1) > 1e-9 {
+		t.Error("preference should sum to 1")
+	}
+	direct := m.DirectPreference()
+	if math.Abs(direct[0]-0.6) > 1e-9 || math.Abs(direct[1]-0.4) > 1e-9 {
+		t.Errorf("direct preference = %v", direct)
+	}
+}
+
+func TestMinPowerAlloc(t *testing.T) {
+	m := fitSynth(t)
+	target := 300.0
+	r, err := m.MinPowerAlloc(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The allocation achieves the target exactly.
+	if got := m.Perf(r); math.Abs(got-target)/target > 1e-9 {
+		t.Errorf("Perf at min-power alloc = %v, want %v", got, target)
+	}
+	minPower := m.DynamicPower(r)
+	// Property: random iso-performance allocations never use less power.
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 2000; i++ {
+		c := 0.1 + rng.Float64()*30
+		// Solve ways for iso-perf.
+		w := math.Pow(target/(m.Alpha0*math.Pow(c, m.Alpha[0])), 1/m.Alpha[1])
+		p := m.DynamicPower([]float64{c, w})
+		if p < minPower*(1-1e-9) {
+			t.Fatalf("iso-perf point (%v, %v) uses less power: %v < %v", c, w, p, minPower)
+		}
+	}
+	if _, err := m.MinPowerAlloc(0); err == nil {
+		t.Error("expected error for zero target")
+	}
+}
+
+func TestMinPowerForMonotone(t *testing.T) {
+	m := fitSynth(t)
+	prev := 0.0
+	for _, target := range []float64{50, 100, 200, 400, 800} {
+		p, err := m.MinPowerFor(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev {
+			t.Errorf("min power not increasing at target %v: %v <= %v", target, p, prev)
+		}
+		prev = p
+	}
+}

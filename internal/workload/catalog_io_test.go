@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pocolo/internal/machine"
+)
+
+func TestCatalogExportLoadRoundTrip(t *testing.T) {
+	cfg := machine.XeonE52650()
+	orig := MustDefaults()
+	var buf bytes.Buffer
+	if err := ExportCatalog(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.LC()) != 4 || len(loaded.BE()) != 4 {
+		t.Fatalf("loaded %d LC, %d BE", len(loaded.LC()), len(loaded.BE()))
+	}
+	full := cfg.Full()
+	for _, name := range orig.Names() {
+		a, err := orig.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.ByName(name)
+		if err != nil {
+			t.Fatalf("round trip lost %s: %v", name, err)
+		}
+		// The calibrated behaviour must be identical.
+		if math.Abs(a.Capacity(full)-b.Capacity(full))/a.Capacity(full) > 1e-9 {
+			t.Errorf("%s: capacity diverged: %v vs %v", name, a.Capacity(full), b.Capacity(full))
+		}
+		if math.Abs(a.Power(full, a.PeakLoad)-b.Power(full, b.PeakLoad)) > 1e-6 {
+			t.Errorf("%s: power diverged", name)
+		}
+		ac, _ := a.PreferenceTruth()
+		bc, _ := b.PreferenceTruth()
+		if math.Abs(ac-bc) > 1e-9 {
+			t.Errorf("%s: preference diverged: %v vs %v", name, ac, bc)
+		}
+		if a.Class != b.Class || a.SLO != b.SLO {
+			t.Errorf("%s: metadata diverged", name)
+		}
+	}
+}
+
+func TestLoadCatalogCustomApplication(t *testing.T) {
+	// A user-defined two-app catalog: a cache-loving search service and a
+	// core-hungry batch encoder.
+	data := `{
+	  "format": "pocolo-catalog/v1",
+	  "applications": [
+	    {"name": "search", "class": "latency-critical", "domain": "search",
+	     "alphaCores": 0.5, "alphaWays": 0.5, "freqExp": 0.9,
+	     "etaCores": 0.1, "etaWays": 0.05, "powerKappa": 0.08,
+	     "peakLoad": 5000, "sloP95Ms": 5, "sloP99Ms": 9,
+	     "provisionedPowerW": 160, "prefCores": 0.3, "prefWays": 0.7},
+	    {"name": "encoder", "class": "best-effort", "domain": "media",
+	     "alphaCores": 0.8, "alphaWays": 0.2, "freqExp": 0.95,
+	     "etaCores": 0.05, "etaWays": 0.05, "powerKappa": 0.08,
+	     "peakLoad": 100, "fullDynamicPowerW": 120,
+	     "prefCores": 0.75, "prefWays": 0.25}
+	  ]
+	}`
+	cfg := machine.XeonE52650()
+	cat, err := LoadCatalog(strings.NewReader(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	search, err := cat.ByName("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cfg.Full()
+	if got := search.MaxLoadSLO(full); math.Abs(got-5000)/5000 > 1e-9 {
+		t.Errorf("search peak = %v, want 5000", got)
+	}
+	if got := search.Power(full, 5000); math.Abs(got-110) > 0.5 { // 160 − 50 idle
+		t.Errorf("search peak dynamic power = %v, want 110", got)
+	}
+	if c, _ := search.PreferenceTruth(); math.Abs(c-0.3) > 1e-9 {
+		t.Errorf("search preference = %v, want 0.3", c)
+	}
+	encoder, err := cat.ByName("encoder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encoder.Throughput(full); math.Abs(got-100)/100 > 1e-9 {
+		t.Errorf("encoder throughput = %v, want 100", got)
+	}
+	if got := encoder.Power(full, 0); math.Abs(got-120) > 0.5 {
+		t.Errorf("encoder full dynamic power = %v, want 120", got)
+	}
+}
+
+func TestLoadCatalogValidation(t *testing.T) {
+	cfg := machine.XeonE52650()
+	lc := `{"name":"a","class":"latency-critical","alphaCores":0.5,"alphaWays":0.5,"freqExp":0.9,"peakLoad":100,"sloP95Ms":1,"sloP99Ms":2,"provisionedPowerW":150,"prefCores":0.5,"prefWays":0.5}`
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "nope"},
+		{"wrong format", `{"format":"x","applications":[]}`},
+		{"empty", `{"format":"pocolo-catalog/v1","applications":[]}`},
+		{"unknown field", `{"format":"pocolo-catalog/v1","applications":[],"x":1}`},
+		{"no name", `{"format":"pocolo-catalog/v1","applications":[{"class":"best-effort"}]}`},
+		{"dup name", `{"format":"pocolo-catalog/v1","applications":[` + lc + `,` + lc + `]}`},
+		{"bad class", `{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"middling","alphaCores":0.5,"alphaWays":0.5,"peakLoad":1,"prefCores":0.5,"prefWays":0.5}]}`},
+		{"no pref", `{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"best-effort","alphaCores":0.5,"alphaWays":0.5,"peakLoad":1,"fullDynamicPowerW":50}]}`},
+		{"lc no slo", `{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"latency-critical","alphaCores":0.5,"alphaWays":0.5,"peakLoad":1,"provisionedPowerW":150,"prefCores":0.5,"prefWays":0.5}]}`},
+		{"lc power under idle", `{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"latency-critical","alphaCores":0.5,"alphaWays":0.5,"peakLoad":1,"sloP95Ms":1,"sloP99Ms":2,"provisionedPowerW":40,"prefCores":0.5,"prefWays":0.5}]}`},
+		{"be no power", `{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"best-effort","alphaCores":0.5,"alphaWays":0.5,"peakLoad":1,"prefCores":0.5,"prefWays":0.5}]}`},
+		{"zero alpha", `{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"best-effort","alphaCores":0,"alphaWays":0.5,"peakLoad":1,"fullDynamicPowerW":50,"prefCores":0.5,"prefWays":0.5}]}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadCatalog(strings.NewReader(c.data), cfg); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Bad machine config.
+	if _, err := LoadCatalog(strings.NewReader(`{}`), machine.Config{}); err == nil {
+		t.Error("expected error for invalid machine")
+	}
+	// Export of an empty catalog.
+	var buf bytes.Buffer
+	if err := ExportCatalog(&buf, nil); err == nil {
+		t.Error("expected error exporting nil catalog")
+	}
+}

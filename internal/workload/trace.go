@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Trace produces the offered load of a latency-critical application over
+// simulated time, as a fraction of its peak load. Implementations must be
+// safe for concurrent use.
+type Trace interface {
+	// LoadFraction returns the offered load at elapsed time t since the
+	// start of the simulation, in [0, 1] (fraction of the app's PeakLoad).
+	LoadFraction(t time.Duration) float64
+	// Duration returns the natural length of the trace (one period for
+	// cyclic traces). Simulations may run longer; the trace wraps.
+	Duration() time.Duration
+	fmt.Stringer
+}
+
+// DiurnalTrace models the day/night load swing of a user-facing service:
+// a raised sinusoid between Low and High with the given period, as in the
+// paper's Fig. 1 motivation.
+type DiurnalTrace struct {
+	Low    float64       // minimum load fraction (off-peak)
+	High   float64       // maximum load fraction (daily peak)
+	Period time.Duration // length of one diurnal cycle
+	// PeakAt positions the daily peak within the cycle as a fraction of
+	// Period (0.5 = mid-cycle).
+	PeakAt float64
+}
+
+// NewDiurnalTrace validates and builds a diurnal trace.
+func NewDiurnalTrace(low, high float64, period time.Duration) (*DiurnalTrace, error) {
+	if low < 0 || high > 1 || low > high {
+		return nil, fmt.Errorf("workload: diurnal range [%v, %v] invalid", low, high)
+	}
+	if period <= 0 {
+		return nil, errors.New("workload: diurnal period must be positive")
+	}
+	return &DiurnalTrace{Low: low, High: high, Period: period, PeakAt: 0.5}, nil
+}
+
+// LoadFraction implements Trace.
+func (d *DiurnalTrace) LoadFraction(t time.Duration) float64 {
+	frac := math.Mod(t.Seconds()/d.Period.Seconds(), 1)
+	if frac < 0 {
+		frac += 1
+	}
+	// Raised cosine with the peak at PeakAt.
+	phase := 2 * math.Pi * (frac - d.PeakAt)
+	shape := (1 + math.Cos(phase)) / 2 // 1 at peak, 0 at trough
+	return d.Low + (d.High-d.Low)*shape
+}
+
+// Duration implements Trace.
+func (d *DiurnalTrace) Duration() time.Duration { return d.Period }
+
+// String implements fmt.Stringer.
+func (d *DiurnalTrace) String() string {
+	return fmt.Sprintf("diurnal[%.0f%%–%.0f%%/%v]", d.Low*100, d.High*100, d.Period)
+}
+
+// SweepTrace holds each load level for a fixed dwell time, in order. The
+// paper evaluates policies "averaged across the primary load (under a
+// uniform load distribution from 10% to 90% in steps of 10%)"; a SweepTrace
+// over those nine levels reproduces that distribution exactly.
+type SweepTrace struct {
+	Levels []float64
+	Dwell  time.Duration
+}
+
+// NewSweepTrace validates and builds a sweep trace.
+func NewSweepTrace(levels []float64, dwell time.Duration) (*SweepTrace, error) {
+	if len(levels) == 0 {
+		return nil, errors.New("workload: sweep needs at least one level")
+	}
+	for _, l := range levels {
+		if l < 0 || l > 1 {
+			return nil, fmt.Errorf("workload: sweep level %v outside [0, 1]", l)
+		}
+	}
+	if dwell <= 0 {
+		return nil, errors.New("workload: sweep dwell must be positive")
+	}
+	return &SweepTrace{Levels: append([]float64(nil), levels...), Dwell: dwell}, nil
+}
+
+// UniformSweep returns the paper's canonical 10%–90% sweep in steps of 10%.
+func UniformSweep(dwell time.Duration) *SweepTrace {
+	levels := make([]float64, 0, 9)
+	for l := 0.1; l < 0.95; l += 0.1 {
+		levels = append(levels, math.Round(l*10)/10)
+	}
+	t, err := NewSweepTrace(levels, dwell)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	return t
+}
+
+// LoadFraction implements Trace.
+func (s *SweepTrace) LoadFraction(t time.Duration) float64 {
+	idx := int(math.Mod(t.Seconds()/s.Dwell.Seconds(), float64(len(s.Levels))))
+	if idx < 0 {
+		idx += len(s.Levels)
+	}
+	return s.Levels[idx]
+}
+
+// Duration implements Trace.
+func (s *SweepTrace) Duration() time.Duration {
+	return time.Duration(len(s.Levels)) * s.Dwell
+}
+
+// String implements fmt.Stringer.
+func (s *SweepTrace) String() string {
+	return fmt.Sprintf("sweep[%d levels × %v]", len(s.Levels), s.Dwell)
+}
+
+// ConstantTrace holds one load level forever; useful for single operating
+// point experiments such as the paper's Fig. 2/3 (xapian at 10% load).
+type ConstantTrace struct {
+	Level float64
+}
+
+// NewConstantTrace validates and builds a constant trace.
+func NewConstantTrace(level float64) (*ConstantTrace, error) {
+	if level < 0 || level > 1 {
+		return nil, fmt.Errorf("workload: constant level %v outside [0, 1]", level)
+	}
+	return &ConstantTrace{Level: level}, nil
+}
+
+// LoadFraction implements Trace.
+func (c *ConstantTrace) LoadFraction(time.Duration) float64 { return c.Level }
+
+// Duration implements Trace.
+func (c *ConstantTrace) Duration() time.Duration { return time.Minute }
+
+// String implements fmt.Stringer.
+func (c *ConstantTrace) String() string {
+	return fmt.Sprintf("constant[%.0f%%]", c.Level*100)
+}
+
+// StepTrace switches between two levels at a given time, exercising the
+// controller's reaction to sudden load changes (the paper's 50%→80%
+// reclamation example in Section II-C).
+type StepTrace struct {
+	Before, After float64
+	At            time.Duration
+	Span          time.Duration
+}
+
+// NewStepTrace validates and builds a step trace.
+func NewStepTrace(before, after float64, at, span time.Duration) (*StepTrace, error) {
+	if before < 0 || before > 1 || after < 0 || after > 1 {
+		return nil, errors.New("workload: step levels outside [0, 1]")
+	}
+	if at <= 0 || span <= at {
+		return nil, errors.New("workload: step needs 0 < at < span")
+	}
+	return &StepTrace{Before: before, After: after, At: at, Span: span}, nil
+}
+
+// LoadFraction implements Trace.
+func (s *StepTrace) LoadFraction(t time.Duration) float64 {
+	if t < s.At {
+		return s.Before
+	}
+	return s.After
+}
+
+// Duration implements Trace.
+func (s *StepTrace) Duration() time.Duration { return s.Span }
+
+// String implements fmt.Stringer.
+func (s *StepTrace) String() string {
+	return fmt.Sprintf("step[%.0f%%→%.0f%% at %v]", s.Before*100, s.After*100, s.At)
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDiurnalTrace(t *testing.T) {
+	d, err := NewDiurnalTrace(0.1, 0.9, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Duration() != 24*time.Hour {
+		t.Errorf("Duration = %v", d.Duration())
+	}
+	minSeen, maxSeen := 1.0, 0.0
+	for h := 0; h < 48; h++ {
+		v := d.LoadFraction(time.Duration(h) * time.Hour)
+		if v < 0.1-1e-9 || v > 0.9+1e-9 {
+			t.Errorf("hour %d: load %v outside [0.1, 0.9]", h, v)
+		}
+		if v < minSeen {
+			minSeen = v
+		}
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if minSeen > 0.11 || maxSeen < 0.89 {
+		t.Errorf("diurnal range not covered: [%v, %v]", minSeen, maxSeen)
+	}
+	// Peak at PeakAt fraction of the period.
+	peak := d.LoadFraction(12 * time.Hour)
+	if math.Abs(peak-0.9) > 1e-9 {
+		t.Errorf("peak at mid-cycle = %v, want 0.9", peak)
+	}
+	trough := d.LoadFraction(0)
+	if math.Abs(trough-0.1) > 1e-9 {
+		t.Errorf("trough at start = %v, want 0.1", trough)
+	}
+	// Periodicity.
+	if math.Abs(d.LoadFraction(3*time.Hour)-d.LoadFraction(27*time.Hour)) > 1e-9 {
+		t.Error("trace not periodic")
+	}
+	if d.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestDiurnalValidation(t *testing.T) {
+	cases := []struct {
+		low, high float64
+		period    time.Duration
+	}{
+		{-0.1, 0.9, time.Hour},
+		{0.1, 1.1, time.Hour},
+		{0.9, 0.1, time.Hour},
+		{0.1, 0.9, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewDiurnalTrace(c.low, c.high, c.period); err == nil {
+			t.Errorf("NewDiurnalTrace(%v, %v, %v): expected error", c.low, c.high, c.period)
+		}
+	}
+}
+
+func TestUniformSweep(t *testing.T) {
+	s := UniformSweep(10 * time.Second)
+	if len(s.Levels) != 9 {
+		t.Fatalf("levels = %v", s.Levels)
+	}
+	if s.Levels[0] != 0.1 || s.Levels[8] != 0.9 {
+		t.Errorf("levels = %v", s.Levels)
+	}
+	if s.Duration() != 90*time.Second {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	// First dwell at 10%, second at 20%, wraps after the last.
+	if got := s.LoadFraction(0); got != 0.1 {
+		t.Errorf("t=0: %v", got)
+	}
+	if got := s.LoadFraction(15 * time.Second); got != 0.2 {
+		t.Errorf("t=15s: %v", got)
+	}
+	if got := s.LoadFraction(95 * time.Second); got != 0.1 {
+		t.Errorf("t=95s (wrapped): %v", got)
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := NewSweepTrace(nil, time.Second); err == nil {
+		t.Error("expected error for empty levels")
+	}
+	if _, err := NewSweepTrace([]float64{1.5}, time.Second); err == nil {
+		t.Error("expected error for out-of-range level")
+	}
+	if _, err := NewSweepTrace([]float64{0.5}, 0); err == nil {
+		t.Error("expected error for zero dwell")
+	}
+}
+
+func TestConstantTrace(t *testing.T) {
+	c, err := NewConstantTrace(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LoadFraction(0) != 0.1 || c.LoadFraction(time.Hour) != 0.1 {
+		t.Error("constant trace should be constant")
+	}
+	if c.Duration() <= 0 {
+		t.Error("Duration should be positive")
+	}
+	if _, err := NewConstantTrace(-0.1); err == nil {
+		t.Error("expected error for negative level")
+	}
+	if _, err := NewConstantTrace(1.1); err == nil {
+		t.Error("expected error for level > 1")
+	}
+	if c.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestStepTrace(t *testing.T) {
+	s, err := NewStepTrace(0.5, 0.8, 30*time.Second, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadFraction(10 * time.Second); got != 0.5 {
+		t.Errorf("before step: %v", got)
+	}
+	if got := s.LoadFraction(45 * time.Second); got != 0.8 {
+		t.Errorf("after step: %v", got)
+	}
+	if s.Duration() != time.Minute {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+	if _, err := NewStepTrace(-1, 0.5, time.Second, time.Minute); err == nil {
+		t.Error("expected error for bad levels")
+	}
+	if _, err := NewStepTrace(0.5, 0.8, time.Minute, time.Second); err == nil {
+		t.Error("expected error for span before step")
+	}
+}
