@@ -1,0 +1,209 @@
+// Command pocolo-agent runs one managed server as a network agent: the
+// simulated host and its power-optimized manager advance in real time
+// (or faster, with -speed) while an HTTP API lets a cluster controller
+// assign best-effort work and scrape stats and Prometheus metrics.
+//
+// Usage:
+//
+//	pocolo-agent [-name agent-1] [-listen :7001] [-lc xapian] \
+//	             [-be graph,lstm] [-trace diurnal] [-level 0.5] \
+//	             [-noise 0] [-period 4m] [-speed 1] [-seed 42] \
+//	             [-series-cap 4096] [-catalog apps.json]
+//
+// Endpoints: POST /v1/assign, GET /v1/stats, GET /v1/healthz,
+// GET /metrics. SIGINT/SIGTERM shut the agent down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pocolo/internal/controlplane"
+	"pocolo/internal/machine"
+	"pocolo/internal/profiler"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-agent: ")
+	name := flag.String("name", "agent-1", "agent identity, unique across the cluster")
+	listen := flag.String("listen", ":7001", "HTTP listen address")
+	lcName := flag.String("lc", "xapian", "latency-critical primary (img-dnn, sphinx, xapian, tpcc)")
+	beNames := flag.String("be", "graph,lstm", "comma-separated best-effort candidates the controller may assign")
+	traceKind := flag.String("trace", "diurnal", "load trace: constant, diurnal, two-peak, sweep, step, flash, or csv:FILE")
+	level := flag.Float64("level", 0.5, "load level for the constant trace")
+	noise := flag.Float64("noise", 0, "relative load jitter added on top of the trace (e.g. 0.05)")
+	period := flag.Duration("period", 4*time.Minute, "period of the periodic traces (diurnal, two-peak, ...)")
+	speed := flag.Float64("speed", 1, "simulated seconds per wall-clock second (e.g. 60 runs a minute per second)")
+	seriesCap := flag.Int("series-cap", 4096, "telemetry points retained per series (negative for unbounded)")
+	catalogPath := flag.String("catalog", "", "load a custom application catalog from this JSON file")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	if err := run(agentOptions{
+		name: *name, listen: *listen, lc: *lcName, be: *beNames,
+		trace: *traceKind, level: *level, noise: *noise, period: *period,
+		speed: *speed, seriesCap: *seriesCap, catalog: *catalogPath, seed: *seed,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type agentOptions struct {
+	name, listen, lc, be, trace, catalog string
+	level, noise, speed                  float64
+	period                               time.Duration
+	seriesCap                            int
+	seed                                 int64
+}
+
+func run(opts agentOptions) error {
+	if opts.speed <= 0 {
+		return errors.New("-speed must be positive")
+	}
+	cfg := machine.XeonE52650()
+	cat, err := loadCatalog(opts.catalog, cfg)
+	if err != nil {
+		return err
+	}
+	lc, err := cat.ByName(opts.lc)
+	if err != nil {
+		return err
+	}
+	if lc.Class != workload.LatencyCritical {
+		return fmt.Errorf("%s is not a latency-critical application", opts.lc)
+	}
+	var bes []*workload.Spec
+	if opts.be != "" {
+		for _, n := range strings.Split(opts.be, ",") {
+			be, err := cat.ByName(strings.TrimSpace(n))
+			if err != nil {
+				return err
+			}
+			bes = append(bes, be)
+		}
+	}
+
+	trace, err := buildTrace(opts.trace, opts.level, opts.period)
+	if err != nil {
+		return err
+	}
+	if opts.noise > 0 {
+		trace, err = workload.NewNoisyTrace(trace, opts.noise, time.Second, opts.seed)
+		if err != nil {
+			return err
+		}
+	}
+
+	log.Printf("profiling %s and %d best-effort candidates", lc.Name, len(bes))
+	lcModel, err := profiler.ProfileAndFit(profiler.Config{Spec: lc, Machine: cfg, Seed: opts.seed})
+	if err != nil {
+		return err
+	}
+	beModels := make(map[string]*utility.Model, len(bes))
+	for i, be := range bes {
+		m, err := profiler.ProfileAndFit(profiler.Config{Spec: be, Machine: cfg, Seed: opts.seed + int64(i)*101})
+		if err != nil {
+			return err
+		}
+		beModels[be.Name] = m
+	}
+
+	simTick := 100 * time.Millisecond
+	agent, err := controlplane.NewAgent(controlplane.AgentConfig{
+		Name:         opts.name,
+		Machine:      cfg,
+		LC:           lc,
+		LCModel:      lcModel,
+		BECandidates: bes,
+		BEModels:     beModels,
+		Trace:        trace,
+		SimTick:      simTick,
+		RealTick:     time.Duration(float64(simTick) / opts.speed),
+		SeriesCap:    opts.seriesCap,
+		Seed:         opts.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	agent.Start()
+	defer agent.Stop()
+	srv := &http.Server{Addr: opts.listen, Handler: agent.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("agent %s serving %s on %s (lc=%s, candidates=%s, %gx real time)",
+		opts.name, opts.trace, opts.listen, lc.Name, opts.be, opts.speed)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	agent.Stop()
+	st := agent.Stats()
+	log.Printf("stopped after %.0f simulated seconds: lc_ops=%.0f be_ops=%.0f", st.SimSec, st.LCOps, st.BEOps)
+	return nil
+}
+
+// loadCatalog opens the application catalog (defaults when path is empty).
+func loadCatalog(path string, cfg machine.Config) (*workload.Catalog, error) {
+	if path == "" {
+		return workload.Defaults(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.LoadCatalog(f, cfg)
+}
+
+// buildTrace constructs the requested load trace; periodic traces repeat
+// with the given period.
+func buildTrace(kind string, level float64, period time.Duration) (workload.Trace, error) {
+	switch {
+	case kind == "constant":
+		return workload.NewConstantTrace(level)
+	case kind == "diurnal":
+		return workload.NewDiurnalTrace(0.1, 0.9, period)
+	case kind == "two-peak":
+		return workload.NewTwoPeakTrace(0.1, 0.5, 0.9, period)
+	case kind == "sweep":
+		return workload.UniformSweep(period / 9), nil
+	case kind == "step":
+		return workload.NewStepTrace(0.5, 0.8, period/2, period)
+	case kind == "flash":
+		return workload.NewFlashCrowdTrace(0.2, 0.9, period/3, period/6, period)
+	case strings.HasPrefix(kind, "csv:"):
+		path := strings.TrimPrefix(kind, "csv:")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ParseCSVTrace(path, f)
+	default:
+		return nil, fmt.Errorf("unknown trace %q", kind)
+	}
+}

@@ -1,0 +1,122 @@
+// Command pocolo-controller runs the cluster-level half of the control
+// plane: it heartbeats a static set of pocolo-agent endpoints, rebuilds
+// the best-effort x server performance matrix from their reported stats
+// and models, solves the assignment, and pushes placements. Agents that
+// miss K consecutive heartbeats are declared dead and their best-effort
+// work migrates to the survivors; recovered agents rejoin automatically.
+//
+// Usage:
+//
+//	pocolo-controller -agents http://127.0.0.1:7001,http://127.0.0.1:7002 \
+//	                  [-be graph,lstm] [-listen :7100] [-heartbeat 1s] \
+//	                  [-timeout 500ms] [-dead-after 3] [-retries 1] \
+//	                  [-max-backoff 16s] [-jitter 0.2] [-solver lp] \
+//	                  [-resolve-every 30s] [-seed 42]
+//
+// With -listen set, the controller serves its own GET /v1/status (JSON)
+// and GET /metrics (Prometheus). SIGINT/SIGTERM shut it down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pocolo/internal/controlplane"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-controller: ")
+	agents := flag.String("agents", "", "comma-separated agent base URLs (required)")
+	be := flag.String("be", "graph,lstm", "comma-separated best-effort apps to keep placed")
+	listen := flag.String("listen", ":7100", "HTTP listen address for /v1/status and /metrics (empty to disable)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "agent poll interval")
+	timeout := flag.Duration("timeout", 0, "per-request timeout (default heartbeat/2)")
+	deadAfter := flag.Int("dead-after", 3, "consecutive missed heartbeats before an agent is declared dead")
+	retries := flag.Int("retries", 1, "probe retries within one round")
+	maxBackoff := flag.Duration("max-backoff", 0, "probe backoff cap for dead agents (default 16x heartbeat)")
+	jitter := flag.Float64("jitter", 0.2, "relative heartbeat jitter in [0, 1)")
+	solver := flag.String("solver", "lp", "assignment solver: lp, hungarian, or exhaustive")
+	resolveEvery := flag.Duration("resolve-every", 30*time.Second, "periodic re-solve interval (0 to re-solve only on membership changes)")
+	seed := flag.Int64("seed", 42, "random seed for the heartbeat jitter")
+	flag.Parse()
+
+	if err := run(*agents, *be, *listen, controlplane.ControllerConfig{
+		Heartbeat:    *heartbeat,
+		Timeout:      *timeout,
+		DeadAfter:    *deadAfter,
+		Retries:      *retries,
+		MaxBackoff:   *maxBackoff,
+		Jitter:       *jitter,
+		Solver:       *solver,
+		ResolveEvery: *resolveEvery,
+		Seed:         *seed,
+		Logf:         log.Printf,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(agents, be, listen string, cfg controlplane.ControllerConfig) error {
+	if agents == "" {
+		return errors.New("-agents is required (comma-separated base URLs)")
+	}
+	for _, u := range strings.Split(agents, ",") {
+		cfg.AgentURLs = append(cfg.AgentURLs, strings.TrimSpace(u))
+	}
+	if be != "" {
+		for _, n := range strings.Split(be, ",") {
+			cfg.BE = append(cfg.BE, strings.TrimSpace(n))
+		}
+	}
+	ctl, err := controlplane.NewController(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *http.Server
+	httpErr := make(chan error, 1)
+	if listen != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/status", ctl.StatusHandler)
+		mux.HandleFunc("/metrics", ctl.MetricsHandler)
+		srv = &http.Server{Addr: listen, Handler: mux}
+		go func() { httpErr <- srv.ListenAndServe() }()
+		log.Printf("status endpoint on %s", listen)
+	}
+	log.Printf("controlling %d agents, placing %v", len(cfg.AgentURLs), cfg.BE)
+
+	runErr := make(chan error, 1)
+	go func() { runErr <- ctl.Run(ctx) }()
+
+	select {
+	case err := <-httpErr:
+		return err
+	case err := <-runErr:
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	log.Printf("signal received, shutting down")
+	if srv != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+	}
+	st := ctl.Status()
+	log.Printf("stopped after %d rounds: %d solves, %d deaths, %d rejoins", st.Rounds, st.Solves, st.Deaths, st.Rejoins)
+	return nil
+}

@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pocolo/internal/machine"
@@ -148,12 +151,18 @@ func main() {
 	if err := mgr.Attach(engine); err != nil {
 		log.Fatal(err)
 	}
-	if err := engine.Run(*duration); err != nil {
-		log.Fatal(err)
+	// Run in chunks so an interrupt stops the simulation at the next
+	// boundary instead of killing the process: metrics and the -csv
+	// timeline still cover the portion that ran.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ran := runInterruptible(ctx, engine, *duration)
+	if ran < *duration {
+		log.Printf("interrupted after %v of %v simulated", ran, *duration)
 	}
 
 	m := host.Metrics()
-	fmt.Printf("server %s under %v for %v (%s management)\n", *lcName, trace, *duration, mgmt)
+	fmt.Printf("server %s under %v for %v (%s management)\n", *lcName, trace, ran, mgmt)
 	fmt.Printf("  provisioned capacity:  %.0f W\n", m.ProvisionedCapW)
 	fmt.Printf("  mean / peak power:     %.1f / %.1f W (%.1f%% of cap)\n", m.MeanPowerW, m.PeakPowerW, m.PowerUtil*100)
 	fmt.Printf("  time over cap:         %.2f%% (%d excursions)\n", m.CapOverFrac*100, m.CapEvents)
@@ -172,6 +181,30 @@ func main() {
 		}
 		fmt.Printf("timeline written to %s\n", *csvOut)
 	}
+}
+
+// runInterruptible advances the engine in one-second slices until the
+// full duration has run or ctx is cancelled, returning the simulated
+// time actually covered.
+func runInterruptible(ctx context.Context, engine *sim.Engine, duration time.Duration) time.Duration {
+	const chunk = time.Second
+	var ran time.Duration
+	for ran < duration {
+		select {
+		case <-ctx.Done():
+			return ran
+		default:
+		}
+		step := chunk
+		if rest := duration - ran; rest < step {
+			step = rest
+		}
+		if err := engine.Run(step); err != nil {
+			log.Fatal(err)
+		}
+		ran += step
+	}
+	return ran
 }
 
 // buildTrace constructs the requested load trace.

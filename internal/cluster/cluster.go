@@ -44,6 +44,21 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy is the inverse of Policy.String, for flag and config
+// parsing.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "random":
+		return Random, nil
+	case "pom":
+		return POM, nil
+	case "pocolo":
+		return POColo, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown policy %q (want random, pom, or pocolo)", s)
+	}
+}
+
 // Config assembles a cluster evaluation run.
 type Config struct {
 	// Machine is the per-server platform.

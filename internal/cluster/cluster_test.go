@@ -244,6 +244,23 @@ func TestPolicyOrderingMatchesPaper(t *testing.T) {
 	}
 }
 
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{Random, POM, POColo} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	for _, bad := range []string{"", "POM", "lp", "Policy(9)"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunUnknownPolicy(t *testing.T) {
 	cfg := fixture(t)
 	if _, err := Run(cfg, Policy(42)); err == nil {

@@ -1,0 +1,354 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// AgentConfig assembles one per-server agent.
+type AgentConfig struct {
+	// Name identifies the agent to the controller. Names must be unique
+	// across a cluster; required.
+	Name string
+	// Machine is the server platform; required.
+	Machine machine.Config
+	// LC is the latency-critical primary; required.
+	LC *workload.Spec
+	// LCModel is the fitted utility model of the primary; required.
+	LCModel *utility.Model
+	// BECandidates lists the best-effort apps this server can host. The
+	// controller may assign any of them; they start evicted.
+	BECandidates []*workload.Spec
+	// BEModels optionally maps candidate names to fitted models (used by
+	// the manager's spare split and reported to the controller).
+	BEModels map[string]*utility.Model
+	// Trace drives the primary's offered load; required.
+	Trace workload.Trace
+	// SimTick is the simulated time advanced per pacing step (default
+	// 100 ms, the engine tick).
+	SimTick time.Duration
+	// RealTick is the wall-clock interval between pacing steps (default
+	// SimTick, i.e. real time). Tests shrink it to run the simulation
+	// faster than real time.
+	RealTick time.Duration
+	// TargetSlack overrides the manager's latency slack guard.
+	TargetSlack float64
+	// SeriesCap bounds the host's telemetry series (default 4096 points;
+	// negative disables the bound).
+	SeriesCap int
+	// Seed drives the host's noise streams and the manager's baseline
+	// choice.
+	Seed int64
+}
+
+// Agent wraps one simulated host and its server manager behind the HTTP
+// API. All host/manager/engine access is serialized by mu: the pacing
+// goroutine advances simulated time, and HTTP handlers read state or
+// change assignments between steps.
+type Agent struct {
+	name     string
+	machine  machine.Config
+	lc       *workload.Spec
+	lcModel  *utility.Model
+	beModels map[string]*utility.Model
+	byName   map[string]*workload.Spec
+	realTick time.Duration
+	simTick  time.Duration
+
+	mu       sync.Mutex
+	host     *sim.Host
+	mgr      *servermgr.Manager
+	engine   *sim.Engine
+	assigned string
+	ticks    uint64
+
+	started   time.Time
+	stop      chan struct{}
+	done      chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+
+	mux *http.ServeMux
+}
+
+// NewAgent validates the configuration and builds an agent. The host
+// starts with every best-effort candidate registered but parked; work
+// arrives only via Assign (directly or over HTTP).
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("controlplane: agent needs a name")
+	}
+	if cfg.LC == nil {
+		return nil, errors.New("controlplane: agent needs a latency-critical primary")
+	}
+	if cfg.LCModel == nil {
+		return nil, errors.New("controlplane: agent needs a fitted LC model")
+	}
+	if cfg.Trace == nil {
+		return nil, errors.New("controlplane: agent needs a load trace")
+	}
+	if cfg.SimTick == 0 {
+		cfg.SimTick = 100 * time.Millisecond
+	}
+	if cfg.RealTick == 0 {
+		cfg.RealTick = cfg.SimTick
+	}
+	if cfg.SimTick <= 0 || cfg.RealTick <= 0 {
+		return nil, errors.New("controlplane: agent ticks must be positive")
+	}
+	seriesCap := cfg.SeriesCap
+	if seriesCap == 0 {
+		seriesCap = 4096
+	}
+	if seriesCap < 0 {
+		seriesCap = 0 // unbounded, at the caller's explicit request
+	}
+	hc := sim.HostConfig{
+		Name:      cfg.Name,
+		Machine:   cfg.Machine,
+		LC:        cfg.LC,
+		Trace:     cfg.Trace,
+		Seed:      cfg.Seed,
+		SeriesCap: seriesCap,
+	}
+	if len(cfg.BECandidates) > 0 {
+		hc.BE = cfg.BECandidates[0]
+		hc.ExtraBE = cfg.BECandidates[1:]
+	}
+	host, err := sim.NewHost(hc)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := sim.NewEngine(cfg.SimTick)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.AddHost(host); err != nil {
+		return nil, err
+	}
+	mgr, err := servermgr.New(servermgr.Config{
+		Host:        host,
+		Model:       cfg.LCModel,
+		Policy:      servermgr.PowerOptimized,
+		TargetSlack: cfg.TargetSlack,
+		BEModels:    cfg.BEModels,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Candidates idle until the controller assigns one.
+	mgr.SetBEParked(true)
+	if err := mgr.Attach(engine); err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*workload.Spec, len(cfg.BECandidates))
+	for _, be := range cfg.BECandidates {
+		byName[be.Name] = be
+	}
+	a := &Agent{
+		name:     cfg.Name,
+		machine:  cfg.Machine,
+		lc:       cfg.LC,
+		lcModel:  cfg.LCModel,
+		beModels: cfg.BEModels,
+		byName:   byName,
+		realTick: cfg.RealTick,
+		simTick:  cfg.SimTick,
+		host:     host,
+		mgr:      mgr,
+		engine:   engine,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	a.mux = http.NewServeMux()
+	a.mux.HandleFunc(RouteAssign, a.handleAssign)
+	a.mux.HandleFunc(RouteStats, a.handleStats)
+	a.mux.HandleFunc(RouteHealthz, a.handleHealthz)
+	a.mux.HandleFunc(RouteMetrics, a.handleMetrics)
+	return a, nil
+}
+
+// Name returns the agent's identity.
+func (a *Agent) Name() string { return a.name }
+
+// LCName returns the name of the latency-critical primary.
+func (a *Agent) LCName() string { return a.lc.Name }
+
+// Handler returns the agent's HTTP API.
+func (a *Agent) Handler() http.Handler { return a.mux }
+
+// Start launches the pacing loop: every RealTick of wall-clock time the
+// simulation advances by SimTick. Start is idempotent.
+func (a *Agent) Start() {
+	a.startOnce.Do(func() {
+		a.mu.Lock()
+		a.started = time.Now()
+		a.mu.Unlock()
+		go func() {
+			defer close(a.done)
+			ticker := time.NewTicker(a.realTick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-a.stop:
+					return
+				case <-ticker.C:
+					a.mu.Lock()
+					_ = a.engine.Run(a.simTick)
+					a.ticks++
+					a.mu.Unlock()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the pacing loop and waits for it to exit. Stop is idempotent
+// and safe to call even if Start never ran.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.startOnce.Do(func() { close(a.done) }) // never started: nothing to wait for
+	<-a.done
+}
+
+// Assign places the named best-effort candidate (or evicts and parks the
+// best-effort partition when name is empty). The change applies
+// immediately, without waiting for the next control tick.
+func (a *Agent) Assign(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if name == "" {
+		a.mgr.SetBEParked(true)
+		a.assigned = ""
+		return nil
+	}
+	if _, ok := a.byName[name]; !ok {
+		return fmt.Errorf("controlplane: agent %s has no best-effort candidate %q", a.name, name)
+	}
+	a.mgr.SetBEParked(false)
+	if err := a.mgr.SetActiveBE(name); err != nil {
+		a.mgr.SetBEParked(true)
+		return err
+	}
+	a.assigned = name
+	return nil
+}
+
+// Assigned returns the currently placed best-effort app, or "".
+func (a *Agent) Assigned() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.assigned
+}
+
+// Stats returns the agent's state snapshot.
+func (a *Agent) Stats() StatsResponse {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.statsLocked()
+}
+
+// statsLocked assembles the snapshot. Callers must hold a.mu.
+func (a *Agent) statsLocked() StatsResponse {
+	m := a.host.Metrics()
+	candidates := make([]string, 0, len(a.byName))
+	for _, be := range a.host.BEs() {
+		candidates = append(candidates, be.Name)
+	}
+	control, throttles, restores := a.mgr.Counters()
+	return StatsResponse{
+		Agent:             a.name,
+		Machine:           a.machine,
+		LC:                a.lc.Name,
+		PeakLoad:          a.lc.PeakLoad,
+		ProvisionedPowerW: a.lc.ProvisionedPowerW,
+		OfferedLoad:       a.host.OfferedLoad(),
+		Slack:             a.host.Slack(),
+		P99Ms:             a.host.ObservedP99(),
+		PowerW:            a.host.MeterReading().Watts,
+		CapW:              a.mgr.CapW(),
+		BEThroughput:      a.host.BEThroughput(),
+		AssignedBE:        a.assigned,
+		BECandidates:      candidates,
+		LCOps:             m.LCOps,
+		BEOps:             m.BEOps,
+		BEOpsBy:           m.BEOpsBy,
+		ControlTicks:      control,
+		CapThrottles:      throttles,
+		CapRestores:       restores,
+		SimSec:            a.engine.Elapsed().Seconds(),
+		LCModel:           a.lcModel,
+		BEModels:          a.beModels,
+	}
+}
+
+// handleAssign serves POST /v1/assign.
+func (a *Agent) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AssignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding assign request: %v", err)
+		return
+	}
+	if err := a.Assign(req.BE); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AssignResponse{Agent: a.name, AssignedBE: a.Assigned()})
+}
+
+// handleStats serves GET /v1/stats.
+func (a *Agent) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Stats())
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (a *Agent) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	a.mu.Lock()
+	resp := HealthResponse{
+		OK:     true,
+		Agent:  a.name,
+		SimSec: a.engine.Elapsed().Seconds(),
+		Ticks:  a.ticks,
+	}
+	if !a.started.IsZero() {
+		resp.UptimeSec = time.Since(a.started).Seconds()
+	}
+	a.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (a *Agent) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	a.mu.Lock()
+	stats := a.statsLocked()
+	a.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeAgentMetrics(w, stats)
+}

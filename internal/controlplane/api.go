@@ -1,0 +1,113 @@
+// Package controlplane networks the paper's two-level design: a per-server
+// agent wraps one servermgr.Manager behind an HTTP/JSON API, and a cluster
+// controller discovers agents from static configuration, polls their
+// heartbeats, rebuilds the BE×LC performance matrix from reported stats,
+// and re-solves placement with the internal/assign LP solver. The
+// controller is failure-aware — per-request timeouts, capped exponential
+// backoff with a retry budget, dead-after-K-misses detection — and migrates
+// a dead server's best-effort work to the survivors, degrading to the
+// last-known-good placement when the solver or a majority of agents are
+// unreachable.
+//
+// Wire types live in this file. All endpoints speak JSON except GET
+// /metrics, which emits Prometheus text exposition format (version 0.0.4).
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/utility"
+)
+
+// API routes served by an agent.
+const (
+	// RouteAssign (POST) places or evicts a best-effort app.
+	RouteAssign = "/v1/assign"
+	// RouteStats (GET) reports the agent's full state snapshot.
+	RouteStats = "/v1/stats"
+	// RouteHealthz (GET) is the liveness probe.
+	RouteHealthz = "/v1/healthz"
+	// RouteMetrics (GET) is the Prometheus text exposition.
+	RouteMetrics = "/metrics"
+)
+
+// AssignRequest asks an agent to run a best-effort app (or, with an empty
+// BE, to evict whatever is running and park the best-effort partition).
+type AssignRequest struct {
+	BE string `json:"be"`
+}
+
+// AssignResponse acknowledges an assignment change.
+type AssignResponse struct {
+	Agent      string `json:"agent"`
+	AssignedBE string `json:"assigned_be"`
+}
+
+// HealthResponse is the liveness probe body.
+type HealthResponse struct {
+	OK        bool    `json:"ok"`
+	Agent     string  `json:"agent"`
+	SimSec    float64 `json:"sim_seconds"`
+	Ticks     uint64  `json:"ticks"`
+	UptimeSec float64 `json:"uptime_seconds"`
+}
+
+// StatsResponse is an agent's full state snapshot. It carries everything
+// the controller needs to rebuild its performance matrix — the host's
+// machine configuration, the LC application's operating envelope, and the
+// fitted utility models — so the controller needs no application catalog
+// of its own.
+type StatsResponse struct {
+	Agent   string         `json:"agent"`
+	Machine machine.Config `json:"machine"`
+
+	// LC application identity and envelope.
+	LC                string  `json:"lc"`
+	PeakLoad          float64 `json:"peak_load"`
+	ProvisionedPowerW float64 `json:"provisioned_power_w"`
+
+	// Live operating point.
+	OfferedLoad  float64 `json:"offered_load_rps"`
+	Slack        float64 `json:"slack"`
+	P99Ms        float64 `json:"p99_ms"`
+	PowerW       float64 `json:"power_w"`
+	CapW         float64 `json:"cap_w"`
+	BEThroughput float64 `json:"be_throughput_ops"`
+
+	// Assignment state.
+	AssignedBE   string   `json:"assigned_be"`
+	BECandidates []string `json:"be_candidates"`
+
+	// Cumulative counters.
+	LCOps        float64            `json:"lc_ops_total"`
+	BEOps        float64            `json:"be_ops_total"`
+	BEOpsBy      map[string]float64 `json:"be_ops_by"`
+	ControlTicks int                `json:"control_ticks"`
+	CapThrottles int                `json:"cap_throttles"`
+	CapRestores  int                `json:"cap_restores"`
+	SimSec       float64            `json:"sim_seconds"`
+
+	// Fitted models, for the controller's matrix rebuild.
+	LCModel  *utility.Model            `json:"lc_model,omitempty"`
+	BEModels map[string]*utility.Model `json:"be_models,omitempty"`
+}
+
+// errorResponse is the JSON body of a non-2xx agent reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends a JSON error body.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,651 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pocolo/internal/cluster"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// ControllerConfig assembles the cluster controller.
+type ControllerConfig struct {
+	// AgentURLs lists the agents' base URLs (static discovery), e.g.
+	// "http://127.0.0.1:7001"; required.
+	AgentURLs []string
+	// BE names the best-effort apps to keep placed across the cluster.
+	BE []string
+	// Heartbeat is the poll interval (default 1 s). Each round is jittered
+	// by ±Jitter·Heartbeat so a fleet of controllers does not thunder.
+	Heartbeat time.Duration
+	// Timeout bounds each agent request (default Heartbeat/2).
+	Timeout time.Duration
+	// DeadAfter is K: an alive agent missing K consecutive heartbeats is
+	// declared dead and its best-effort work is migrated (default 3).
+	DeadAfter int
+	// Retries is the per-probe retry budget within one round (default 1
+	// retry, i.e. two attempts).
+	Retries int
+	// MaxBackoff caps the exponential probe backoff for dead agents
+	// (default 16×Heartbeat).
+	MaxBackoff time.Duration
+	// Jitter is the relative heartbeat jitter in [0, 1) (default 0.2).
+	Jitter float64
+	// Solver selects the assignment solver: "lp" (default), "hungarian",
+	// or "exhaustive".
+	Solver string
+	// ResolveEvery forces a periodic placement re-solve even without
+	// membership changes, picking up drifting model reports (default 0:
+	// re-solve only on membership changes).
+	ResolveEvery time.Duration
+	// Seed drives the heartbeat jitter.
+	Seed int64
+	// Logf, when set, receives controller event logs.
+	Logf func(format string, args ...any)
+	// Client overrides the HTTP client (tests); Timeout still applies
+	// per request via context.
+	Client *http.Client
+}
+
+// agentState is the controller's view of one agent.
+type agentState struct {
+	url  string
+	name string // reported identity; URL until first contact
+	lc   string
+
+	alive    bool
+	everSeen bool
+	misses   int
+	backoff  time.Duration
+	nextDue  time.Time
+	lastErr  string
+	last     StatsResponse
+}
+
+// AgentStatus is the exported per-agent view.
+type AgentStatus struct {
+	URL        string  `json:"url"`
+	Name       string  `json:"name"`
+	LC         string  `json:"lc"`
+	Alive      bool    `json:"alive"`
+	Misses     int     `json:"misses"`
+	LastError  string  `json:"last_error,omitempty"`
+	AssignedBE string  `json:"assigned_be"`
+	Slack      float64 `json:"slack"`
+	PowerW     float64 `json:"power_w"`
+}
+
+// Status is a snapshot of the controller's state.
+type Status struct {
+	Agents    []AgentStatus     `json:"agents"`
+	Placement map[string]string `json:"placement"` // BE app → agent name
+	Unplaced  []string          `json:"unplaced,omitempty"`
+	Degraded  bool              `json:"degraded"`
+	Rounds    int               `json:"rounds"`
+	Solves    int               `json:"solves"`
+	Deaths    int               `json:"deaths"`
+	Rejoins   int               `json:"rejoins"`
+}
+
+// Controller polls agents, detects failures, and keeps the cluster's
+// best-effort placement solved against the live membership.
+type Controller struct {
+	cfg    ControllerConfig
+	client *http.Client
+	rng    *rand.Rand
+	logf   func(string, ...any)
+
+	mu        sync.Mutex
+	agents    []*agentState
+	placement map[string]string // BE → agent URL
+	lastGood  map[string]string
+	unplaced  []string
+	degraded  bool
+	lastSolve time.Time
+	rounds    int
+	solves    int
+	deaths    int
+	rejoins   int
+}
+
+// NewController validates the configuration and builds a controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	if len(cfg.AgentURLs) == 0 {
+		return nil, errors.New("controlplane: controller needs at least one agent URL")
+	}
+	seen := make(map[string]bool, len(cfg.AgentURLs))
+	for _, u := range cfg.AgentURLs {
+		if u == "" {
+			return nil, errors.New("controlplane: empty agent URL")
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("controlplane: duplicate agent URL %s", u)
+		}
+		seen[u] = true
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.Heartbeat < 0 {
+		return nil, errors.New("controlplane: heartbeat must be positive")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = cfg.Heartbeat / 2
+	}
+	if cfg.DeadAfter == 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.DeadAfter < 1 {
+		return nil, errors.New("controlplane: dead-after must be at least 1")
+	}
+	if cfg.Retries < 0 {
+		return nil, errors.New("controlplane: retry budget must be non-negative")
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 16 * cfg.Heartbeat
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.Jitter < 0 || cfg.Jitter >= 1 {
+		return nil, fmt.Errorf("controlplane: jitter %v outside [0, 1)", cfg.Jitter)
+	}
+	if cfg.Solver == "" {
+		cfg.Solver = "lp"
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	c := &Controller{
+		cfg:    cfg,
+		client: client,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		logf:   logf,
+	}
+	for _, u := range cfg.AgentURLs {
+		c.agents = append(c.agents, &agentState{url: u, name: u})
+	}
+	return c, nil
+}
+
+// Run polls until ctx is cancelled.
+func (c *Controller) Run(ctx context.Context) error {
+	for {
+		c.Round(ctx)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.jitteredHeartbeat()):
+		}
+	}
+}
+
+// jitteredHeartbeat returns the next poll delay: Heartbeat ± Jitter.
+func (c *Controller) jitteredHeartbeat() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := 1 + c.cfg.Jitter*(2*c.rng.Float64()-1)
+	return time.Duration(float64(c.cfg.Heartbeat) * j)
+}
+
+// Round performs one heartbeat cycle: probe due agents, update liveness,
+// re-solve placement if membership changed, and reconcile live agents
+// toward the desired assignment. Exposed for deterministic tests; Run
+// calls it on the jittered interval.
+func (c *Controller) Round(ctx context.Context) {
+	now := time.Now()
+
+	// Snapshot who is due without holding the lock across network calls.
+	c.mu.Lock()
+	due := make([]*agentState, 0, len(c.agents))
+	for _, a := range c.agents {
+		if a.alive || !a.nextDue.After(now) {
+			due = append(due, a)
+		}
+	}
+	c.mu.Unlock()
+
+	type probeResult struct {
+		agent *agentState
+		stats StatsResponse
+		err   error
+	}
+	results := make([]probeResult, len(due))
+	var wg sync.WaitGroup
+	for i, a := range due {
+		wg.Add(1)
+		go func(i int, a *agentState) {
+			defer wg.Done()
+			stats, err := c.probe(ctx, a.url)
+			results[i] = probeResult{agent: a, stats: stats, err: err}
+		}(i, a)
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rounds++
+	membershipChanged := false
+	for _, r := range results {
+		a := r.agent
+		if r.err != nil {
+			a.lastErr = r.err.Error()
+			a.misses++
+			if a.alive && a.misses >= c.cfg.DeadAfter {
+				a.alive = false
+				c.deaths++
+				membershipChanged = true
+				c.logf("agent %s (%s) dead after %d missed heartbeats: %v", a.name, a.url, a.misses, r.err)
+			}
+			if !a.alive {
+				// Capped exponential probe backoff for dead agents.
+				if a.backoff == 0 {
+					a.backoff = c.cfg.Heartbeat
+				} else {
+					a.backoff *= 2
+				}
+				if a.backoff > c.cfg.MaxBackoff {
+					a.backoff = c.cfg.MaxBackoff
+				}
+				a.nextDue = now.Add(a.backoff)
+			}
+			continue
+		}
+		if !a.alive || !a.everSeen {
+			membershipChanged = true
+			if a.everSeen {
+				c.rejoins++
+				c.logf("agent %s (%s) rejoined", r.stats.Agent, a.url)
+			} else {
+				c.logf("agent %s (%s) discovered, lc=%s", r.stats.Agent, a.url, r.stats.LC)
+			}
+		}
+		a.alive = true
+		a.everSeen = true
+		a.misses = 0
+		a.backoff = 0
+		a.nextDue = now
+		a.lastErr = ""
+		a.name = r.stats.Agent
+		a.lc = r.stats.LC
+		a.last = r.stats
+	}
+
+	needResolve := membershipChanged ||
+		(c.placement == nil && c.liveCountLocked() > 0) ||
+		(c.cfg.ResolveEvery > 0 && now.Sub(c.lastSolve) >= c.cfg.ResolveEvery)
+	if needResolve {
+		c.resolveLocked(now)
+	}
+	c.reconcileLocked(ctx)
+}
+
+// probe fetches an agent's stats with the per-request timeout, retrying up
+// to the configured budget with short exponential spacing.
+func (c *Controller) probe(ctx context.Context, baseURL string) (StatsResponse, error) {
+	var lastErr error
+	backoff := 10 * time.Millisecond
+	if max := c.cfg.Timeout / 8; max > 0 && backoff > max {
+		backoff = max
+	}
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return StatsResponse{}, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var stats StatsResponse
+		err := c.getJSON(ctx, baseURL+RouteStats, &stats)
+		if err == nil {
+			return stats, nil
+		}
+		lastErr = err
+	}
+	return StatsResponse{}, lastErr
+}
+
+// getJSON performs a GET with the configured timeout and decodes the body.
+func (c *Controller) getJSON(ctx context.Context, url string, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postAssign pushes an assignment to an agent.
+func (c *Controller) postAssign(ctx context.Context, baseURL, be string) error {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	body, err := json.Marshal(AssignRequest{BE: be})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+RouteAssign, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %s: %s", baseURL+RouteAssign, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// liveCountLocked counts agents currently believed alive.
+func (c *Controller) liveCountLocked() int {
+	n := 0
+	for _, a := range c.agents {
+		if a.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// resolveLocked rebuilds the performance matrix from the live agents'
+// reported stats and re-solves the placement. On solver failure or when a
+// majority of agents are unreachable it degrades to the last-known-good
+// placement instead of churning assignments.
+func (c *Controller) resolveLocked(now time.Time) {
+	live := make([]*agentState, 0, len(c.agents))
+	for _, a := range c.agents {
+		if a.alive && a.last.LCModel != nil {
+			live = append(live, a)
+		}
+	}
+	if len(live) == 0 {
+		c.degradeLocked("no live agents")
+		return
+	}
+	// Majority-unreachable guard: with most of the fleet dark the reports
+	// left are too thin to trust a re-solve; hold the last placement.
+	if c.lastGood != nil && 2*len(live) < len(c.agents) {
+		c.degradeLocked(fmt.Sprintf("only %d/%d agents reachable", len(live), len(c.agents)))
+		return
+	}
+	if len(c.cfg.BE) == 0 {
+		c.placement = map[string]string{}
+		c.lastGood = map[string]string{}
+		c.unplaced = nil
+		c.degraded = false
+		c.lastSolve = now
+		return
+	}
+
+	placement, unplaced, err := c.solve(live)
+	if err != nil {
+		c.degradeLocked(fmt.Sprintf("solve failed: %v", err))
+		return
+	}
+	c.placement = placement
+	c.lastGood = clone(placement)
+	c.unplaced = unplaced
+	c.degraded = false
+	c.lastSolve = now
+	c.solves++
+	c.logf("placement solved over %d agents: %v (unplaced %v)", len(live), placement, unplaced)
+}
+
+// degradeLocked keeps the last-known-good placement, restricted to agents
+// that still exist, and flags degraded mode.
+func (c *Controller) degradeLocked(reason string) {
+	if !c.degraded {
+		c.logf("degraded: %s; holding last-known-good placement", reason)
+	}
+	c.degraded = true
+	if c.lastGood != nil {
+		c.placement = clone(c.lastGood)
+	}
+}
+
+// solve builds the BE×LC matrix from reported stats and runs the
+// assignment solver. Servers are columns keyed by agent name; the minimal
+// workload specs are reconstructed from the agents' reports, so the
+// controller needs no local catalog. When there are more best-effort apps
+// than live servers, the overflow (lowest best-case value first) is
+// reported as unplaced.
+func (c *Controller) solve(live []*agentState) (map[string]string, []string, error) {
+	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
+	lcSpecs := make([]*workload.Spec, len(live))
+	models := make(map[string]*utility.Model, len(live)+len(c.cfg.BE))
+	byName := make(map[string]*agentState, len(live))
+	for i, a := range live {
+		if _, dup := byName[a.name]; dup {
+			return nil, nil, fmt.Errorf("duplicate agent name %q", a.name)
+		}
+		byName[a.name] = a
+		// The matrix builder only consumes the LC envelope (peak load and
+		// provisioned power) plus the fitted model, all reported in stats.
+		lcSpecs[i] = &workload.Spec{
+			Name:              a.name,
+			Class:             workload.LatencyCritical,
+			PeakLoad:          a.last.PeakLoad,
+			ProvisionedPowerW: a.last.ProvisionedPowerW,
+		}
+		models[a.name] = a.last.LCModel
+	}
+	beSpecs := make([]*workload.Spec, 0, len(c.cfg.BE))
+	for _, be := range c.cfg.BE {
+		var model *utility.Model
+		for _, a := range live {
+			if m, ok := a.last.BEModels[be]; ok && m != nil {
+				model = m
+				break
+			}
+		}
+		if model == nil {
+			return nil, nil, fmt.Errorf("no live agent reports a model for best-effort app %q", be)
+		}
+		models[be] = model
+		beSpecs = append(beSpecs, &workload.Spec{Name: be, Class: workload.BestEffort})
+	}
+
+	machine := live[0].last.Machine
+	mx, err := cluster.BuildMatrix(cluster.MatrixConfig{
+		Machine: machine,
+		LC:      lcSpecs,
+		BE:      beSpecs,
+		Models:  models,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// More BE apps than servers: keep the rows with the highest best-case
+	// value, report the rest unplaced.
+	var unplaced []string
+	if len(mx.BENames) > len(mx.LCNames) {
+		type rowVal struct {
+			idx int
+			max float64
+		}
+		rows := make([]rowVal, len(mx.BENames))
+		for i, row := range mx.Value {
+			best := 0.0
+			for _, v := range row {
+				if v > best {
+					best = v
+				}
+			}
+			rows[i] = rowVal{idx: i, max: best}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].max > rows[j].max })
+		keep := rows[:len(mx.LCNames)]
+		sort.Slice(keep, func(i, j int) bool { return keep[i].idx < keep[j].idx })
+		trimmed := &cluster.Matrix{LCNames: mx.LCNames}
+		for _, r := range keep {
+			trimmed.BENames = append(trimmed.BENames, mx.BENames[r.idx])
+			trimmed.Value = append(trimmed.Value, mx.Value[r.idx])
+		}
+		for _, r := range rows[len(mx.LCNames):] {
+			unplaced = append(unplaced, mx.BENames[r.idx])
+		}
+		sort.Strings(unplaced)
+		mx = trimmed
+	}
+
+	byBE, _, err := mx.Solve(c.cfg.Solver)
+	if err != nil {
+		return nil, nil, err
+	}
+	placement := make(map[string]string, len(byBE))
+	for be, agentName := range byBE {
+		placement[be] = byName[agentName].url
+	}
+	return placement, unplaced, nil
+}
+
+// reconcileLocked drives each live agent toward its desired assignment.
+// Pushes happen outside the lock; failures are logged and retried on the
+// next round (the desired state is re-derived every cycle, so a lost push
+// self-heals).
+func (c *Controller) reconcileLocked(ctx context.Context) {
+	if c.placement == nil {
+		return
+	}
+	desired := make(map[string]string, len(c.agents)) // url → BE ("" = park)
+	for _, a := range c.agents {
+		if a.alive {
+			desired[a.url] = ""
+		}
+	}
+	for be, url := range c.placement {
+		if _, live := desired[url]; live {
+			desired[url] = be
+		}
+	}
+	type push struct {
+		url, name, be string
+	}
+	var pushes []push
+	for _, a := range c.agents {
+		if !a.alive {
+			continue
+		}
+		want := desired[a.url]
+		if a.last.AssignedBE != want {
+			pushes = append(pushes, push{url: a.url, name: a.name, be: want})
+		}
+	}
+	if len(pushes) == 0 {
+		return
+	}
+	// Drop the lock for the network round-trips.
+	c.mu.Unlock()
+	for _, p := range pushes {
+		if err := c.postAssign(ctx, p.url, p.be); err != nil {
+			c.logf("assign %q to %s (%s) failed: %v", p.be, p.name, p.url, err)
+			continue
+		}
+		c.logf("assigned %q to %s (%s)", p.be, p.name, p.url)
+	}
+	c.mu.Lock()
+	// Optimistically record the acks so the next round does not re-push
+	// before its probe refreshes the truth.
+	for _, p := range pushes {
+		for _, a := range c.agents {
+			if a.url == p.url && a.alive {
+				a.last.AssignedBE = p.be
+			}
+		}
+	}
+}
+
+// Status returns a snapshot of the controller state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Placement: make(map[string]string, len(c.placement)),
+		Unplaced:  append([]string(nil), c.unplaced...),
+		Degraded:  c.degraded,
+		Rounds:    c.rounds,
+		Solves:    c.solves,
+		Deaths:    c.deaths,
+		Rejoins:   c.rejoins,
+	}
+	urlToName := make(map[string]string, len(c.agents))
+	for _, a := range c.agents {
+		urlToName[a.url] = a.name
+		st.Agents = append(st.Agents, AgentStatus{
+			URL:        a.url,
+			Name:       a.name,
+			LC:         a.lc,
+			Alive:      a.alive,
+			Misses:     a.misses,
+			LastError:  a.lastErr,
+			AssignedBE: a.last.AssignedBE,
+			Slack:      a.last.Slack,
+			PowerW:     a.last.PowerW,
+		})
+	}
+	for be, url := range c.placement {
+		st.Placement[be] = urlToName[url]
+	}
+	return st
+}
+
+// StatusHandler serves the controller's own state as JSON (GET /v1/status
+// in cmd/pocolo-controller).
+func (c *Controller) StatusHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// MetricsHandler serves the controller's own Prometheus exposition.
+func (c *Controller) MetricsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = writeControllerMetrics(w, c.Status())
+}
+
+// clone copies a placement map.
+func clone(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -74,8 +74,13 @@ type Config struct {
 	// the capper neither throttles nor restores (default 0.03).
 	CapGuard float64
 	// Seed drives the power-unaware baseline's arbitrary choice among
-	// feasible allocations; POM ignores it.
+	// feasible allocations; POM ignores it. Ignored when Rand is set.
 	Seed int64
+	// Rand, when non-nil, is the random source the manager uses instead of
+	// deriving one from Seed. Each manager must get its own *rand.Rand —
+	// the source is not locked, so sharing one across concurrently ticking
+	// managers would race.
+	Rand *rand.Rand
 	// BEModels optionally maps co-runner names to their fitted utility
 	// models. With two or more co-runners on the host, the manager uses
 	// them to split the spare resources spatially (the paper's Section
@@ -116,6 +121,10 @@ type Manager struct {
 	// activeBE, when non-empty, restricts the spare resources to a single
 	// co-runner (the temporal-sharing scheduler's hook); the others idle.
 	activeBE string
+	// beParked, when set, withholds the spare resources from every
+	// co-runner — the control plane's eviction state for a server whose
+	// best-effort tenant has been migrated elsewhere.
+	beParked bool
 	// capOverrideW replaces the host's provisioned capacity as the capper's
 	// budget when positive — the hook a cluster-level power budgeter uses
 	// to assign dynamic per-server budgets.
@@ -167,7 +176,10 @@ func New(cfg Config) (*Manager, error) {
 		beDuty:        1,
 		beModels:      cfg.BEModels,
 		dutyFirst:     cfg.DutyFirst,
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		rng:           cfg.Rand,
+	}
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
 	if m.targetSlack == 0 {
 		m.targetSlack = 0.10
@@ -351,6 +363,12 @@ func (m *Manager) apply(lcCores, lcWays int) {
 // an even split.
 func (m *Manager) splitSpare(bes []*workload.Spec, freeCores, freeWays int) map[string]machine.Alloc {
 	out := make(map[string]machine.Alloc, len(bes))
+	if m.beParked {
+		for _, be := range bes {
+			out[be.Name] = machine.Alloc{}
+		}
+		return out
+	}
 	if m.activeBE != "" {
 		for _, be := range bes {
 			if be.Name == m.activeBE {
@@ -455,6 +473,24 @@ func (m *Manager) SetActiveBE(name string) error {
 // ActiveBE returns the co-runner currently granted the spare resources
 // exclusively, or "" when all co-runners share.
 func (m *Manager) ActiveBE() string { return m.activeBE }
+
+// SetBEParked withholds (parked) or restores (unparked) the spare
+// resources for the host's whole best-effort partition. A cluster
+// controller parks a server's co-runners after migrating their work
+// elsewhere; the primary keeps its allocation either way. The change takes
+// effect immediately.
+func (m *Manager) SetBEParked(parked bool) {
+	if m.beParked == parked {
+		return
+	}
+	m.beParked = parked
+	if a, err := m.host.Server().Alloc(m.host.LC().Name); err == nil {
+		m.apply(a.Cores, a.Ways)
+	}
+}
+
+// BEParked reports whether the best-effort partition is parked.
+func (m *Manager) BEParked() bool { return m.beParked }
 
 // CapTick runs one iteration of the 100 ms power capper. The throttle
 // state is shared by the host's whole best-effort partition: every

@@ -1,6 +1,7 @@
 package servermgr
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -280,6 +281,97 @@ func TestBEReceivesAllSpareResources(t *testing.T) {
 	}
 	if lcAlloc.Ways+beAlloc.Ways != cfg.LLCWays {
 		t.Errorf("ways unused: lc=%d be=%d", lcAlloc.Ways, beAlloc.Ways)
+	}
+}
+
+func TestBEParkWithholdsAndRestoresSpare(t *testing.T) {
+	b := newBench(t, "xapian", "lstm", constTrace(t, 0.3), PowerOptimized)
+	if err := b.eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := b.host.Server()
+	if a, err := srv.Alloc("lstm"); err != nil || a.IsZero() {
+		t.Fatalf("precondition: lstm should hold spare resources, got %v, %v", a, err)
+	}
+
+	b.mgr.SetBEParked(true)
+	if !b.mgr.BEParked() {
+		t.Error("BEParked should report true")
+	}
+	// Parking applies immediately, without waiting for a control tick.
+	if a, err := srv.Alloc("lstm"); err != nil || !a.IsZero() {
+		t.Errorf("parked lstm should hold nothing, got %v, %v", a, err)
+	}
+	// And it must stick across subsequent control ticks.
+	if err := b.eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := srv.Alloc("lstm"); err != nil || !a.IsZero() {
+		t.Errorf("parked lstm regained resources across ticks: %v, %v", a, err)
+	}
+	if b.host.BEThroughput() != 0 {
+		t.Errorf("parked BE throughput = %v, want 0", b.host.BEThroughput())
+	}
+
+	b.mgr.SetBEParked(false)
+	if a, err := srv.Alloc("lstm"); err != nil || a.IsZero() {
+		t.Errorf("unparked lstm should regain the spare immediately, got %v, %v", a, err)
+	}
+}
+
+func TestInjectedRandReproducesBaseline(t *testing.T) {
+	// Two baseline managers sharing a seed — one via Seed, one via an
+	// injected *rand.Rand from the same source — must pick the same
+	// frontier points.
+	run := func(inject bool) (int, int) {
+		cat := workload.MustDefaults()
+		lc, err := cat.ByName("xapian")
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := sim.NewHost(sim.HostConfig{
+			Name:    "bench",
+			Machine: machine.XeonE52650(),
+			LC:      lc,
+			Trace:   constTrace(t, 0.5),
+			Seed:    21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Host: host, Model: fitted(t, "xapian"), Policy: PowerUnaware}
+		if inject {
+			cfg.Rand = rand.New(rand.NewSource(99))
+		} else {
+			cfg.Seed = 99
+		}
+		mgr, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := sim.NewEngine(100 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AddHost(host); err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.Attach(eng); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		a, err := host.Server().Alloc("xapian")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Cores, a.Ways
+	}
+	c1, w1 := run(false)
+	c2, w2 := run(true)
+	if c1 != c2 || w1 != w2 {
+		t.Errorf("seeded (%d, %d) and injected (%d, %d) runs diverged", c1, w1, c2, w2)
 	}
 }
 

@@ -52,6 +52,11 @@ type HostConfig struct {
 	LatencyNoise float64
 	// Seed makes the host's noise streams reproducible.
 	Seed int64
+	// SeriesCap bounds each telemetry series to the most recent SeriesCap
+	// points (ring buffer). Zero keeps the series unbounded — the
+	// experiments harness reads whole timelines back; long-running
+	// control-plane agents set a cap so memory stays flat.
+	SeriesCap int
 }
 
 // Host is one simulated server in the cluster.
@@ -162,6 +167,9 @@ func NewHost(hc HostConfig) (*Host, error) {
 	if latNoise == 0 {
 		latNoise = 0.03
 	}
+	newSeries := func(suffix string) *telemetry.Series {
+		return telemetry.NewBoundedSeries(hc.Name+suffix, hc.SeriesCap)
+	}
 	h := &Host{
 		name:        hc.Name,
 		cfg:         hc.Machine,
@@ -173,12 +181,12 @@ func NewHost(hc HostConfig) (*Host, error) {
 		capTrack:    capTrack,
 		latNoise:    latNoise,
 		rng:         rand.New(rand.NewSource(hc.Seed)),
-		powerSeries: telemetry.NewSeries(hc.Name + "/power"),
-		p95Series:   telemetry.NewSeries(hc.Name + "/p95"),
-		p99Series:   telemetry.NewSeries(hc.Name + "/p99"),
-		loadSeries:  telemetry.NewSeries(hc.Name + "/load"),
-		beThrSeries: telemetry.NewSeries(hc.Name + "/be-throughput"),
-		slackSeries: telemetry.NewSeries(hc.Name + "/slack"),
+		powerSeries: newSeries("/power"),
+		p95Series:   newSeries("/p95"),
+		p99Series:   newSeries("/p99"),
+		loadSeries:  newSeries("/load"),
+		beThrSeries: newSeries("/be-throughput"),
+		slackSeries: newSeries("/slack"),
 		beOpsBy:     make(map[string]*telemetry.Counter, len(bes)),
 	}
 	for _, be := range bes {
@@ -428,3 +436,9 @@ func (h *Host) LoadSeries() *telemetry.Series { return h.loadSeries }
 
 // BEThroughputSeries returns the per-tick BE throughput series.
 func (h *Host) BEThroughputSeries() *telemetry.Series { return h.beThrSeries }
+
+// SlackSeries returns the per-tick relative p99 slack series.
+func (h *Host) SlackSeries() *telemetry.Series { return h.slackSeries }
+
+// BEThroughput returns the instantaneous best-effort throughput in ops/s.
+func (h *Host) BEThroughput() float64 { return h.curBEThr }

@@ -3,7 +3,8 @@
 // aggregation and monotonic counters. Private datacenters collect exactly
 // this kind of per-application performance and power telemetry at fine
 // granularity (the paper cites Dynamo and WSMeter); the experiments harness
-// reads these series to regenerate the paper's figures.
+// reads these series to regenerate the paper's figures, and the control
+// plane's agents expose them over HTTP in Prometheus text format.
 package telemetry
 
 import (
@@ -19,99 +20,168 @@ type Point struct {
 }
 
 // Series is an append-only time series. It is safe for concurrent use.
+//
+// A series is unbounded by default — the experiments harness reads the
+// whole timeline back. Long-running producers (the control-plane agents)
+// use NewBoundedSeries instead, which retains only the most recent
+// observations in a fixed-size ring.
 type Series struct {
 	name string
 
-	mu  sync.Mutex
-	pts []Point
+	mu sync.Mutex
+	// Unbounded mode (cap == 0): pts grows by append.
+	// Bounded mode (cap > 0): pts is a ring of size cap; head indexes the
+	// oldest retained point and n counts the points held.
+	pts  []Point
+	cap  int
+	head int
+	n    int
 }
 
-// NewSeries creates a named series.
+// NewSeries creates a named, unbounded series.
 func NewSeries(name string) *Series {
 	return &Series{name: name}
+}
+
+// NewBoundedSeries creates a named series retaining only the most recent
+// capacity observations (a ring buffer). A capacity below one falls back
+// to an unbounded series.
+func NewBoundedSeries(name string, capacity int) *Series {
+	if capacity < 1 {
+		return NewSeries(name)
+	}
+	return &Series{name: name, cap: capacity}
 }
 
 // Name returns the series name.
 func (s *Series) Name() string { return s.name }
 
-// Append adds an observation. Timestamps should be non-decreasing; callers
-// appending out of order get an error and the point is dropped.
-func (s *Series) Append(t time.Time, v float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n := len(s.pts); n > 0 && t.Before(s.pts[n-1].Time) {
-		return errors.New("telemetry: out-of-order append")
-	}
-	s.pts = append(s.pts, Point{Time: t, Value: v})
-	return nil
-}
+// Cap returns the retention capacity, or 0 for an unbounded series.
+func (s *Series) Cap() int { return s.cap }
 
-// Len returns the number of points.
-func (s *Series) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// size returns the number of retained points. Callers must hold s.mu.
+func (s *Series) size() int {
+	if s.cap > 0 {
+		return s.n
+	}
 	return len(s.pts)
 }
 
-// Points returns a copy of all observations.
+// at returns the i-th oldest retained point. Callers must hold s.mu.
+func (s *Series) at(i int) Point {
+	if s.cap > 0 {
+		return s.pts[(s.head+i)%s.cap]
+	}
+	return s.pts[i]
+}
+
+// Append adds an observation. Timestamps should be non-decreasing; callers
+// appending out of order get an error and the point is dropped. A bounded
+// series evicts its oldest point once full.
+func (s *Series) Append(t time.Time, v float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.size(); n > 0 && t.Before(s.at(n-1).Time) {
+		return errors.New("telemetry: out-of-order append")
+	}
+	if s.cap == 0 {
+		s.pts = append(s.pts, Point{Time: t, Value: v})
+		return nil
+	}
+	if s.pts == nil {
+		s.pts = make([]Point, s.cap)
+	}
+	if s.n < s.cap {
+		s.pts[(s.head+s.n)%s.cap] = Point{Time: t, Value: v}
+		s.n++
+		return nil
+	}
+	s.pts[s.head] = Point{Time: t, Value: v}
+	s.head = (s.head + 1) % s.cap
+	return nil
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size()
+}
+
+// Last returns the most recent observation, if any.
+func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.size()
+	if n == 0 {
+		return Point{}, false
+	}
+	return s.at(n - 1), true
+}
+
+// Points returns a copy of the retained observations, oldest first.
 func (s *Series) Points() []Point {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Point(nil), s.pts...)
-}
-
-// Values returns a copy of the observation values only.
-func (s *Series) Values() []float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]float64, len(s.pts))
-	for i, p := range s.pts {
-		out[i] = p.Value
+	out := make([]Point, s.size())
+	for i := range out {
+		out[i] = s.at(i)
 	}
 	return out
 }
 
-// TimeWeightedMean returns the mean of the series weighting each value by
-// the time it held (piecewise-constant, left-continuous). A series with
-// fewer than two points returns the plain mean of what it has.
+// Values returns a copy of the retained observation values, oldest first.
+func (s *Series) Values() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, s.size())
+	for i := range out {
+		out[i] = s.at(i).Value
+	}
+	return out
+}
+
+// TimeWeightedMean returns the mean of the retained window weighting each
+// value by the time it held (piecewise-constant, left-continuous). A series
+// with fewer than two points returns the plain mean of what it has.
 func (s *Series) TimeWeightedMean() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := len(s.pts)
+	n := s.size()
 	switch n {
 	case 0:
 		return 0
 	case 1:
-		return s.pts[0].Value
+		return s.at(0).Value
 	}
 	var weighted, total float64
 	for i := 0; i < n-1; i++ {
-		dt := s.pts[i+1].Time.Sub(s.pts[i].Time).Seconds()
+		dt := s.at(i + 1).Time.Sub(s.at(i).Time).Seconds()
 		if dt <= 0 {
 			continue
 		}
-		weighted += s.pts[i].Value * dt
+		weighted += s.at(i).Value * dt
 		total += dt
 	}
 	if total == 0 {
 		// All points share one timestamp; fall back to the plain mean.
 		sum := 0.0
-		for _, p := range s.pts {
-			sum += p.Value
+		for i := 0; i < n; i++ {
+			sum += s.at(i).Value
 		}
 		return sum / float64(n)
 	}
 	return weighted / total
 }
 
-// Max returns the largest value, or 0 for an empty series.
+// Max returns the largest retained value, or 0 for an empty series.
 func (s *Series) Max() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := 0.0
-	for i, p := range s.pts {
-		if i == 0 || p.Value > m {
-			m = p.Value
+	for i := 0; i < s.size(); i++ {
+		if v := s.at(i).Value; i == 0 || v > m {
+			m = v
 		}
 	}
 	return m

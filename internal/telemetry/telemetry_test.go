@@ -102,6 +102,92 @@ func TestSeriesMaxEmptyAndNegative(t *testing.T) {
 	}
 }
 
+func TestBoundedSeriesEvictsOldest(t *testing.T) {
+	s := NewBoundedSeries("ring", 3)
+	if s.Cap() != 3 {
+		t.Errorf("Cap = %d, want 3", s.Cap())
+	}
+	start := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(start.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		wantLen := i + 1
+		if wantLen > 3 {
+			wantLen = 3
+		}
+		if s.Len() != wantLen {
+			t.Fatalf("after %d appends Len = %d, want %d", i+1, s.Len(), wantLen)
+		}
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[0] != 7 || vals[1] != 8 || vals[2] != 9 {
+		t.Errorf("Values = %v, want [7 8 9]", vals)
+	}
+	pts := s.Points()
+	if len(pts) != 3 || !pts[0].Time.Equal(start.Add(7*time.Second)) {
+		t.Errorf("Points = %v", pts)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	if last, ok := s.Last(); !ok || last.Value != 9 {
+		t.Errorf("Last = %v, %v", last, ok)
+	}
+}
+
+func TestBoundedSeriesOutOfOrderAndAggregates(t *testing.T) {
+	s := NewBoundedSeries("ring", 2)
+	start := time.Unix(0, 0)
+	if err := s.Append(start.Add(10*time.Second), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(start, 2); err == nil {
+		t.Error("expected out-of-order error after wrap reference point")
+	}
+	if err := s.Append(start.Add(20*time.Second), 3); err != nil {
+		t.Fatal(err)
+	}
+	// Ring is full; evict and keep aggregating over the retained window:
+	// value 3 holds for 10 s before 5 arrives.
+	if err := s.Append(start.Add(30*time.Second), 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TimeWeightedMean(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("TimeWeightedMean = %v, want 3", got)
+	}
+}
+
+func TestBoundedSeriesInvalidCapacityFallsBack(t *testing.T) {
+	s := NewBoundedSeries("x", 0)
+	if s.Cap() != 0 {
+		t.Errorf("Cap = %d, want unbounded fallback", s.Cap())
+	}
+	start := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		if err := s.Append(start.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d, want 100 (unbounded)", s.Len())
+	}
+}
+
+func TestSeriesLast(t *testing.T) {
+	s := NewSeries("last")
+	if _, ok := s.Last(); ok {
+		t.Error("empty series should have no last point")
+	}
+	at := time.Unix(3, 0)
+	if err := s.Append(at, 42); err != nil {
+		t.Fatal(err)
+	}
+	if last, ok := s.Last(); !ok || last.Value != 42 || !last.Time.Equal(at) {
+		t.Errorf("Last = %v, %v", last, ok)
+	}
+}
+
 func TestCounter(t *testing.T) {
 	var c Counter
 	c.Add(5)

@@ -244,6 +244,34 @@ func TestParseCSVTrace(t *testing.T) {
 	}
 }
 
+func TestParseCSVTraceErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"non-numeric seconds", "0,0.2\nten,0.4\n"},
+		{"non-numeric load", "0,0.2\n10,high\n"},
+		{"non-numeric row past header", "seconds,load\n0,0.2\nbad,row\n"},
+		{"wrong column count", "0,0.2\n10,0.4,0.6\n"},
+		{"missing load column", "0\n10\n"},
+		{"empty input", ""},
+		{"header only", "seconds,load\n"},
+		{"single data point", "0,0.2\n"},
+		{"decreasing seconds", "0,0.2\n20,0.4\n10,0.6\n"},
+		{"repeated seconds", "0,0.2\n10,0.4\n10,0.6\n"},
+		{"negative start", "-5,0.2\n10,0.4\n"},
+		{"load above one", "0,0.2\n10,1.4\n"},
+		{"negative load", "0,-0.2\n10,0.4\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCSVTrace("csv", strings.NewReader(tc.csv)); err == nil {
+				t.Errorf("ParseCSVTrace accepted %q", tc.csv)
+			}
+		})
+	}
+}
+
 func TestTracesSatisfyInterface(t *testing.T) {
 	inner, _ := NewConstantTrace(0.5)
 	noisy, _ := NewNoisyTrace(inner, 0.05, time.Second, 1)
