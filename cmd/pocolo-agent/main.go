@@ -8,10 +8,12 @@
 //	pocolo-agent [-name agent-1] [-listen :7001] [-lc xapian] \
 //	             [-be graph,lstm] [-trace diurnal] [-level 0.5] \
 //	             [-noise 0] [-period 4m] [-speed 1] [-seed 42] \
-//	             [-series-cap 4096] [-catalog apps.json]
+//	             [-series-cap 4096] [-catalog apps.json] [-pprof :6060]
 //
 // Endpoints: POST /v1/assign, GET /v1/stats, GET /v1/healthz,
-// GET /metrics. SIGINT/SIGTERM shut the agent down gracefully.
+// GET /metrics. SIGINT/SIGTERM shut the agent down gracefully. With
+// -pprof a net/http/pprof debug server is exposed on a separate
+// listener (keep it off public interfaces).
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the optional -pprof listener only
 	"os"
 	"os/signal"
 	"strings"
@@ -49,12 +52,14 @@ func main() {
 	seriesCap := flag.Int("series-cap", 4096, "telemetry points retained per series (negative for unbounded)")
 	catalogPath := flag.String("catalog", "", "load a custom application catalog from this JSON file")
 	seed := flag.Int64("seed", 42, "random seed")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 
 	if err := run(agentOptions{
 		name: *name, listen: *listen, lc: *lcName, be: *beNames,
 		trace: *traceKind, level: *level, noise: *noise, period: *period,
 		speed: *speed, seriesCap: *seriesCap, catalog: *catalogPath, seed: *seed,
+		pprofAddr: *pprofAddr,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +71,7 @@ type agentOptions struct {
 	period                               time.Duration
 	seriesCap                            int
 	seed                                 int64
+	pprofAddr                            string
 }
 
 func run(opts agentOptions) error {
@@ -140,6 +146,18 @@ func run(opts agentOptions) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if opts.pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux, which the agent's API server never serves — so the
+		// profiling endpoints only exist on this dedicated listener.
+		go func() {
+			log.Printf("pprof listening on %s", opts.pprofAddr)
+			if err := http.ListenAndServe(opts.pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	agent.Start()
 	defer agent.Stop()

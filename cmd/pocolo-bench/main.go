@@ -1,0 +1,147 @@
+// Command pocolo-bench runs the repository benchmark harness via
+// `go test -bench -benchmem`, parses the standard benchmark output, and
+// writes a machine-readable snapshot to BENCH_<date>.json so performance
+// regressions are diffable across commits.
+//
+// Usage:
+//
+//	pocolo-bench [-bench Fig12|Fig14] [-benchtime 1x] [-count 1]
+//	             [-o BENCH_2026-08-05.json] [-dir .] [-note "before memo"]
+//
+// The snapshot records goos/goarch/cpu, the exact go test invocation, and
+// one entry per benchmark with ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the full BENCH_<date>.json payload.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	Note      string   `json:"note,omitempty"`
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Package   string   `json:"pkg,omitempty"`
+	Command   []string `json:"command"`
+	Results   []Result `json:"results"`
+	RawOutput string   `json:"raw_output,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-bench: ")
+	bench := flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime (e.g. 1x, 5x, 100ms)")
+	count := flag.Int("count", 1, "passed to go test -count")
+	dir := flag.String("dir", ".", "module directory to benchmark")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json in -dir)")
+	note := flag.String("note", "", "free-form annotation stored in the snapshot")
+	raw := flag.Bool("raw", false, "also embed the raw go test output in the snapshot")
+	flag.Parse()
+
+	date := time.Now().Format("2006-01-02")
+	if *out == "" {
+		*out = fmt.Sprintf("%s/BENCH_%s.json", strings.TrimRight(*dir, "/"), date)
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchmem", "-benchtime", *benchtime, "-count", strconv.Itoa(*count), "."}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = *dir
+	cmd.Stderr = os.Stderr
+	log.Printf("running go %s", strings.Join(args, " "))
+	outBytes, err := cmd.Output()
+	text := string(outBytes)
+	if err != nil {
+		// go test prints failures on stdout; surface them before dying.
+		fmt.Fprint(os.Stderr, text)
+		log.Fatalf("go test: %v", err)
+	}
+
+	snap := Parse(text)
+	snap.Date = date
+	snap.Note = *note
+	snap.Command = append([]string{"go"}, args...)
+	if *raw {
+		snap.RawOutput = text
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprint(os.Stderr, text)
+		log.Fatalf("no benchmark results matched -bench=%q", *bench)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark results to %s", len(snap.Results), *out)
+}
+
+// benchLine matches standard `go test -bench -benchmem` result lines:
+//
+//	BenchmarkFig14-4   5   23925592 ns/op   5606963 B/op   28530 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse extracts benchmark results and environment headers from go test
+// output.
+func Parse(text string) Snapshot {
+	var snap Snapshot
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			snap.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			r := Result{Name: m[1]}
+			r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	return snap
+}

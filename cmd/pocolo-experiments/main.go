@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	pocolo-experiments [-seed N] [-dwell 5s] [-only fig12,fig13] [-markdown]
+//	pocolo-experiments [-seed N] [-dwell 5s] [-parallel N] [-only fig12,fig13] [-markdown]
+//	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,15 +27,31 @@ func main() {
 	log.SetPrefix("pocolo-experiments: ")
 	seed := flag.Int64("seed", 42, "random seed for profiling noise and placement sampling")
 	dwell := flag.Duration("dwell", 5*time.Second, "simulated time per load level in cluster runs")
+	par := flag.Int("parallel", 0, "worker pool size for independent simulation units (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	only := flag.String("only", "", "comma-separated subset, e.g. fig12,fig13 (default: all)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of text tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	suite, err := experiments.NewSuite(*seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	suite.Dwell = *dwell
+	suite.Parallel = *par
 
 	type runner struct {
 		name string
@@ -93,6 +112,17 @@ func main() {
 			fmt.Println(tbl.String())
 		}
 		ran++
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("-memprofile: %v", err)
+		}
+		f.Close()
 	}
 	if ran == 0 {
 		log.Printf("no experiment matched -only=%q", *only)

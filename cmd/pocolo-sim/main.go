@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-models models.json]
+//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	policyName := flag.String("policy", "pocolo", "cluster policy: random, pom, or pocolo")
 	seed := flag.Int64("seed", 42, "random seed")
 	dwell := flag.Duration("dwell", 5*time.Second, "simulated time per load level")
+	par := flag.Int("parallel", 0, "worker pool size for independent hosts and trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	modelsPath := flag.String("models", "", "load fitted models from this JSON file (see pocolo-profile -o) instead of re-profiling")
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sys.Dwell = *dwell
+	sys.Parallel = *par
 
 	var res pocolo.Result
 	switch *policyName {

@@ -3,11 +3,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
 
 	"pocolo/internal/machine"
+	"pocolo/internal/parallel"
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
 	"pocolo/internal/utility"
@@ -81,6 +83,12 @@ type Config struct {
 	// (default: the manager's own 0.10 default). Used by the slack
 	// sensitivity ablation.
 	TargetSlack float64
+	// Parallel bounds the worker pool the run fans independent simulation
+	// units (hosts, trials, load levels) through: 0 means GOMAXPROCS, 1
+	// forces the sequential path. Results are identical at every setting —
+	// every unit has its own seeded noise streams and aggregation order is
+	// fixed — so Parallel trades only wall-clock time.
+	Parallel int
 }
 
 func (c *Config) defaults() error {
@@ -165,6 +173,13 @@ func Place(cfg Config) (map[string]string, float64, error) {
 
 // RunPlacement simulates the cluster under an explicit placement with the
 // given server-level management policy.
+//
+// Hosts are fully independent — each gets its own machine, server manager,
+// and seeded noise streams — so every host+manager pair runs on its own
+// single-host engine in a bounded worker pool (cfg.Parallel) and the
+// per-host metrics are aggregated in fixed LC order afterwards. The result
+// is bit-identical to stepping all hosts on one sequential engine.
+// Finished runs are memoized process-wide (see cache.go).
 func RunPlacement(cfg Config, placement map[string]string, mgmt servermgr.LCPolicy) (Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return Result{}, err
@@ -182,73 +197,104 @@ func RunPlacement(cfg Config, placement map[string]string, mgmt servermgr.LCPoli
 		beBy[lcName] = b
 	}
 
-	engine, err := sim.NewEngine(cfg.Tick)
+	key := placementKey(&cfg, placement, mgmt)
+	if res, ok := memoGetPlacement(key); ok {
+		return res, nil
+	}
+
+	duration := workload.UniformSweep(cfg.Dwell).Duration()
+	perHost := make([]sim.Metrics, len(cfg.LC))
+	err := parallel.ForEach(len(cfg.LC), cfg.Parallel, func(i int) error {
+		lc := cfg.LC[i]
+		m, err := runManagedHost(cfg, lc, beBy[lc.Name], cfg.Seed+int64(i)*977, cfg.Seed+int64(i)*389, mgmt, duration)
+		if err != nil {
+			return err
+		}
+		perHost[i] = m
+		return nil
+	})
 	if err != nil {
-		return Result{}, err
-	}
-	hosts := make([]*sim.Host, 0, len(cfg.LC))
-	for i, lc := range cfg.LC {
-		trace := workload.UniformSweep(cfg.Dwell)
-		host, err := sim.NewHost(sim.HostConfig{
-			Name:    lc.Name,
-			Machine: cfg.Machine,
-			LC:      lc,
-			BE:      beBy[lc.Name],
-			Trace:   trace,
-			Seed:    cfg.Seed + int64(i)*977,
-		})
-		if err != nil {
-			return Result{}, err
-		}
-		if err := engine.AddHost(host); err != nil {
-			return Result{}, err
-		}
-		mgr, err := servermgr.New(servermgr.Config{
-			Host:        host,
-			Model:       cfg.Models[lc.Name],
-			Policy:      mgmt,
-			TargetSlack: cfg.TargetSlack,
-			Seed:        cfg.Seed + int64(i)*389,
-		})
-		if err != nil {
-			return Result{}, err
-		}
-		if err := mgr.Attach(engine); err != nil {
-			return Result{}, err
-		}
-		hosts = append(hosts, host)
-	}
-	sweep := workload.UniformSweep(cfg.Dwell)
-	if err := engine.Run(sweep.Duration()); err != nil {
 		return Result{}, err
 	}
 
 	res := Result{
 		Placement: placement,
-		Hosts:     make(map[string]sim.Metrics, len(hosts)),
+		Hosts:     make(map[string]sim.Metrics, len(cfg.LC)),
 	}
 	var normSum float64
 	var normCount int
 	var utilSum float64
-	for _, h := range hosts {
-		m := h.Metrics()
-		res.Hosts[h.Name()] = m
+	for i, lc := range cfg.LC {
+		m := perHost[i]
+		res.Hosts[lc.Name] = m
 		res.TotalEnergyKWh += m.EnergyKWh
 		res.TotalBEOps += m.BEOps
 		utilSum += m.PowerUtil
 		if m.SLOViolFrac > res.SLOViolFrac {
 			res.SLOViolFrac = m.SLOViolFrac
 		}
-		if be := h.BE(); be != nil {
+		if be := beBy[lc.Name]; be != nil {
 			normSum += m.BEMeanThr / be.PeakLoad
 			normCount++
 		}
 	}
-	res.MeanPowerUtil = utilSum / float64(len(hosts))
+	res.MeanPowerUtil = utilSum / float64(len(cfg.LC))
 	if normCount > 0 {
 		res.BENormThroughput = normSum / float64(normCount)
 	}
+	memoPutPlacement(key, res)
 	return res, nil
+}
+
+// runManagedHost simulates one host with its server manager on a private
+// single-host engine for the given duration and returns its metrics.
+func runManagedHost(cfg Config, lc, be *workload.Spec, hostSeed, mgrSeed int64, mgmt servermgr.LCPolicy, duration time.Duration) (sim.Metrics, error) {
+	trace := workload.UniformSweep(cfg.Dwell)
+	host, err := sim.NewHost(sim.HostConfig{
+		Name:       lc.Name,
+		Machine:    cfg.Machine,
+		LC:         lc,
+		BE:         be,
+		Trace:      trace,
+		Seed:       hostSeed,
+		SeriesHint: seriesHint(duration, cfg.Tick),
+	})
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	engine, err := sim.NewEngine(cfg.Tick)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	if err := engine.AddHost(host); err != nil {
+		return sim.Metrics{}, err
+	}
+	mgr, err := servermgr.New(servermgr.Config{
+		Host:        host,
+		Model:       cfg.Models[lc.Name],
+		Policy:      mgmt,
+		TargetSlack: cfg.TargetSlack,
+		Seed:        mgrSeed,
+	})
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	if err := mgr.Attach(engine); err != nil {
+		return sim.Metrics{}, err
+	}
+	if err := engine.Run(duration); err != nil {
+		return sim.Metrics{}, err
+	}
+	return host.Metrics(), nil
+}
+
+// seriesHint sizes the per-host telemetry series for a run of the given
+// length so the hot path appends without reallocating.
+func seriesHint(duration, tick time.Duration) int {
+	if tick <= 0 {
+		return 0
+	}
+	return int(duration/tick) + 2
 }
 
 // Run evaluates the cluster under one of the paper's three policies. For
@@ -289,21 +335,33 @@ func Run(cfg Config, policy Policy) (Result, error) {
 const RandomTrials = 6
 
 // runRandomExpectation averages cluster metrics over sampled random
-// placements.
+// placements. The trials are independent (each has its own derived seed),
+// so they run concurrently through the worker pool; aggregation stays in
+// trial order, keeping the average bit-identical to the sequential loop.
 func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
+	trials := make([]Result, RandomTrials)
+	err := parallel.ForEach(RandomTrials, cfg.Parallel, func(trial int) error {
+		placement := PlaceRandom(cfg.LC, cfg.BE, cfg.Seed+int64(trial)*31)
+		trialCfg := cfg
+		trialCfg.Seed = cfg.Seed + int64(trial)*7919
+		res, err := RunPlacement(trialCfg, placement, mgmt)
+		if err != nil {
+			return err
+		}
+		trials[trial] = res
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
 	agg := Result{
 		Hosts:     make(map[string]sim.Metrics),
 		Placement: make(map[string]string),
 	}
 	hostAgg := make(map[string]sim.Metrics)
 	for trial := 0; trial < RandomTrials; trial++ {
-		placement := PlaceRandom(cfg.LC, cfg.BE, cfg.Seed+int64(trial)*31)
-		trialCfg := cfg
-		trialCfg.Seed = cfg.Seed + int64(trial)*7919
-		res, err := RunPlacement(trialCfg, placement, mgmt)
-		if err != nil {
-			return Result{}, err
-		}
+		res := trials[trial]
 		agg.BENormThroughput += res.BENormThroughput
 		agg.MeanPowerUtil += res.MeanPowerUtil
 		agg.TotalEnergyKWh += res.TotalEnergyKWh
@@ -345,7 +403,9 @@ func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
 		m.SLOViolFrac /= n
 		m.MeanSlack /= n
 		m.DurationSec /= n
-		m.CapEvents = int(float64(m.CapEvents) / n)
+		// Round the averaged count to nearest: truncation would report one
+		// excursion as zero whenever fewer than half the trials saw it.
+		m.CapEvents = int(math.Round(float64(m.CapEvents) / n))
 		agg.Hosts[name] = m
 	}
 	return agg, nil
@@ -367,34 +427,46 @@ type PairResult struct {
 // RunPair simulates a single server hosting the LC app with the BE
 // co-runner across the load sweep under power-optimized management and
 // reports the combined normalized throughput per load level.
+//
+// The load levels are independent single-host runs (seeds derive from the
+// load fraction, not the sweep order), so they run concurrently through
+// the worker pool and the per-level results land at their load's index.
+// Finished sweeps are memoized process-wide, so the sixteen sweeps behind
+// Fig. 14 are simulated once and shared across figure regenerations.
 func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return PairResult{}, err
 	}
+	key := pairKey(&cfg, lc, be)
+	if pr, ok := memoGetPair(key); ok {
+		return pr, nil
+	}
 	loads := DefaultLoadRange()
-	pr := PairResult{LC: lc.Name, BE: be.Name, Loads: loads}
-	for _, frac := range loads {
+	pr := PairResult{LC: lc.Name, BE: be.Name, Loads: loads, TotalNorm: make([]float64, len(loads))}
+	err := parallel.ForEach(len(loads), cfg.Parallel, func(i int) error {
+		frac := loads[i]
 		trace, err := workload.NewConstantTrace(frac)
 		if err != nil {
-			return PairResult{}, err
+			return err
 		}
 		host, err := sim.NewHost(sim.HostConfig{
-			Name:    fmt.Sprintf("%s+%s@%.0f", lc.Name, be.Name, frac*100),
-			Machine: cfg.Machine,
-			LC:      lc,
-			BE:      be,
-			Trace:   trace,
-			Seed:    cfg.Seed + int64(frac*1000),
+			Name:       fmt.Sprintf("%s+%s@%.0f", lc.Name, be.Name, frac*100),
+			Machine:    cfg.Machine,
+			LC:         lc,
+			BE:         be,
+			Trace:      trace,
+			Seed:       cfg.Seed + int64(frac*1000),
+			SeriesHint: seriesHint(cfg.Dwell, cfg.Tick),
 		})
 		if err != nil {
-			return PairResult{}, err
+			return err
 		}
 		engine, err := sim.NewEngine(cfg.Tick)
 		if err != nil {
-			return PairResult{}, err
+			return err
 		}
 		if err := engine.AddHost(host); err != nil {
-			return PairResult{}, err
+			return err
 		}
 		mgr, err := servermgr.New(servermgr.Config{
 			Host:   host,
@@ -402,20 +474,26 @@ func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 			Policy: servermgr.PowerOptimized,
 		})
 		if err != nil {
-			return PairResult{}, err
+			return err
 		}
 		if err := mgr.Attach(engine); err != nil {
-			return PairResult{}, err
+			return err
 		}
 		if err := engine.Run(cfg.Dwell); err != nil {
-			return PairResult{}, err
+			return err
 		}
 		m := host.Metrics()
-		norm := m.LCOps/(lc.PeakLoad*m.DurationSec) + m.BEMeanThr/be.PeakLoad
-		pr.TotalNorm = append(pr.TotalNorm, norm)
+		pr.TotalNorm[i] = m.LCOps/(lc.PeakLoad*m.DurationSec) + m.BEMeanThr/be.PeakLoad
+		return nil
+	})
+	if err != nil {
+		return PairResult{}, err
+	}
+	for _, norm := range pr.TotalNorm {
 		pr.Mean += norm
 	}
 	pr.Mean /= float64(len(loads))
+	memoPutPair(key, pr)
 	return pr, nil
 }
 

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"pocolo/internal/servermgr"
+	"pocolo/internal/workload"
+)
+
+// TestParallelMatchesSequential is the golden equality check behind the
+// whole parallel layer: with the memo off (every run live), a cluster run
+// fanned across a worker pool must be bit-identical to the sequential run —
+// same hosts, same trials, same load levels, same aggregates.
+func TestParallelMatchesSequential(t *testing.T) {
+	prev := SetMemo(false)
+	defer func() { SetMemo(prev); ResetMemo() }()
+
+	cfg := fixture(t)
+	placement := mustPlace(t, cfg)
+	cat := workload.MustDefaults()
+	lc, _ := cat.ByName("sphinx")
+	be, _ := cat.ByName("graph")
+
+	seq, par := cfg, cfg
+	seq.Parallel = 1
+	par.Parallel = 4
+
+	seqPlaced, err := RunPlacement(seq, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPlaced, err := RunPlacement(par, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqPlaced, parPlaced) {
+		t.Errorf("RunPlacement diverges:\nsequential %+v\nparallel   %+v", seqPlaced, parPlaced)
+	}
+
+	// Random exercises the trial fan-out in runRandomExpectation.
+	seqRand, err := Run(seq, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRand, err := Run(par, Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRand, parRand) {
+		t.Errorf("Run(Random) diverges:\nsequential %+v\nparallel   %+v", seqRand, parRand)
+	}
+
+	seqPair, err := RunPair(seq, lc, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPair, err := RunPair(par, lc, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqPair, parPair) {
+		t.Errorf("RunPair diverges:\nsequential %+v\nparallel   %+v", seqPair, parPair)
+	}
+}
+
+// TestMemoServesIdenticalIsolatedResults: a repeated run is a cache hit,
+// returns exactly the first result, and hands out an independent copy the
+// caller may mutate.
+func TestMemoServesIdenticalIsolatedResults(t *testing.T) {
+	prev := SetMemo(true)
+	ResetMemo()
+	defer func() { SetMemo(prev); ResetMemo() }()
+
+	cfg := fixture(t)
+	placement := mustPlace(t, cfg)
+
+	first, err := RunPlacement(cfg, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := MemoStats(); hits != 0 || misses == 0 {
+		t.Fatalf("after first run: hits=%d misses=%d", hits, misses)
+	}
+	second, err := RunPlacement(cfg, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := MemoStats(); hits == 0 {
+		t.Fatal("second identical run was not a cache hit")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cache-served result diverges:\nfirst  %+v\nsecond %+v", first, second)
+	}
+
+	// Mutating a served result must not corrupt the cache.
+	for name := range second.Hosts {
+		m := second.Hosts[name]
+		m.BEMeanThr = -1
+		second.Hosts[name] = m
+	}
+	second.Placement["graph"] = "tampered"
+	third, err := RunPlacement(cfg, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Error("mutating a cache-served result leaked into the cache")
+	}
+
+	// A different seed is a different fingerprint — a miss, not a hit.
+	other := cfg
+	other.Seed = cfg.Seed + 1
+	hitsBefore, _ := MemoStats()
+	if _, err := RunPlacement(other, placement, servermgr.PowerOptimized); err != nil {
+		t.Fatal(err)
+	}
+	if hitsAfter, _ := MemoStats(); hitsAfter != hitsBefore {
+		t.Error("run with a different seed was served from the cache")
+	}
+
+	cat := workload.MustDefaults()
+	lc, _ := cat.ByName("sphinx")
+	be, _ := cat.ByName("graph")
+	firstPair, err := RunPair(cfg, lc, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondPair, err := RunPair(cfg, lc, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(firstPair, secondPair) {
+		t.Errorf("cache-served pair diverges:\nfirst  %+v\nsecond %+v", firstPair, secondPair)
+	}
+	secondPair.TotalNorm[0] = -1
+	thirdPair, err := RunPair(cfg, lc, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(firstPair, thirdPair) {
+		t.Error("mutating a cache-served pair leaked into the cache")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pocolo/internal/cluster"
+	"pocolo/internal/parallel"
 	"pocolo/internal/profiler"
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
@@ -109,20 +110,27 @@ func (s *Suite) AblationSlack() (AblationSlackResult, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, slack := range []float64{0.05, 0.10, 0.20} {
+	slacks := []float64{0.05, 0.10, 0.20}
+	rows := make([]SlackRow, len(slacks))
+	err = parallel.ForEach(len(slacks), s.Parallel, func(i int) error {
 		cfg := s.clusterConfig()
-		cfg.TargetSlack = slack
+		cfg.TargetSlack = slacks[i]
 		run, err := cluster.RunPlacement(cfg, placement, servermgr.PowerOptimized)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Rows = append(res.Rows, SlackRow{
-			TargetSlack: slack,
+		rows[i] = SlackRow{
+			TargetSlack: slacks[i],
 			BEThrNorm:   run.BENormThroughput,
 			SLOViolFrac: run.SLOViolFrac,
 			PowerUtil:   run.MeanPowerUtil,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -162,57 +170,65 @@ type AblationKnobOrderResult struct {
 // table.
 func (s *Suite) AblationKnobOrder() (AblationKnobOrderResult, error) {
 	var res AblationKnobOrderResult
-	for _, dutyFirst := range []bool{false, true} {
+	orders := []bool{false, true}
+	rows := make([]KnobOrderRow, len(orders))
+	err := parallel.ForEach(len(orders), s.Parallel, func(oi int) error {
+		dutyFirst := orders[oi]
 		trace, err := workload.NewConstantTrace(0.1)
 		if err != nil {
-			return res, err
+			return err
 		}
 		lc, err := s.spec("xapian")
 		if err != nil {
-			return res, err
+			return err
 		}
 		be, err := s.spec("graph")
 		if err != nil {
-			return res, err
+			return err
 		}
 		host, err := sim.NewHost(sim.HostConfig{
 			Name: "knob", Machine: s.Machine, LC: lc, BE: be, Trace: trace, Seed: s.Seed,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		model, err := s.model("xapian")
 		if err != nil {
-			return res, err
+			return err
 		}
 		mgr, err := servermgr.New(servermgr.Config{
 			Host: host, Model: model, Policy: servermgr.PowerOptimized, DutyFirst: dutyFirst,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		engine, err := sim.NewEngine(100 * time.Millisecond)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if err := engine.AddHost(host); err != nil {
-			return res, err
+			return err
 		}
 		if err := mgr.Attach(engine); err != nil {
-			return res, err
+			return err
 		}
 		if err := engine.Run(60 * time.Second); err != nil {
-			return res, err
+			return err
 		}
 		m := host.Metrics()
 		order := "freq→duty (paper)"
 		if dutyFirst {
 			order = "duty→freq"
 		}
-		res.Rows = append(res.Rows, KnobOrderRow{
+		rows[oi] = KnobOrderRow{
 			Order: order, BEThr: m.BEMeanThr, CapOverFrac: m.CapOverFrac, EnergyKWh: m.EnergyKWh,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -256,25 +272,32 @@ func (s *Suite) AblationMyopic() (AblationMyopicResult, error) {
 		{"myopic (50% only)", []float64{0.5}},
 		{"myopic (10% only)", []float64{0.1}},
 	}
-	for _, v := range variants {
+	rows := make([]MyopicRow, len(variants))
+	err := parallel.ForEach(len(variants), s.Parallel, func(i int) error {
+		v := variants[i]
 		mx, err := cluster.BuildMatrix(cluster.MatrixConfig{
 			Machine: s.Machine, LC: s.Catalog.LC(), BE: s.Catalog.BE(), Models: s.Models, Loads: v.loads,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		placement, _, err := mx.Solve("lp")
 		if err != nil {
-			return res, err
+			return err
 		}
 		run, err := cluster.RunPlacement(s.clusterConfig(), placement, servermgr.PowerOptimized)
 		if err != nil {
-			return res, err
+			return err
 		}
-		res.Rows = append(res.Rows, MyopicRow{
+		rows[i] = MyopicRow{
 			Variant: v.name, Placement: placement, BEThrNorm: run.BENormThroughput,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

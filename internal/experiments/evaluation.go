@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pocolo/internal/cluster"
+	"pocolo/internal/parallel"
 	"pocolo/internal/tco"
 )
 
@@ -32,6 +33,9 @@ type Fig12Result struct {
 // the four-server cluster with the uniform 10–90% load distribution.
 func (s *Suite) Fig12() (Fig12Result, error) {
 	res := Fig12Result{Mean: make(map[string]float64)}
+	if err := s.prefetchPolicies(cluster.Random, cluster.POM, cluster.POColo); err != nil {
+		return res, err
+	}
 	for _, p := range []cluster.Policy{cluster.Random, cluster.POM, cluster.POColo} {
 		run, err := s.policyRun(p)
 		if err != nil {
@@ -87,6 +91,9 @@ type Fig13Result struct {
 // provisioned capacity under the three policies (shares Fig. 12's runs).
 func (s *Suite) Fig13() (Fig13Result, error) {
 	res := Fig13Result{Mean: make(map[string]float64)}
+	if err := s.prefetchPolicies(cluster.Random, cluster.POM, cluster.POColo); err != nil {
+		return res, err
+	}
 	for _, p := range []cluster.Policy{cluster.Random, cluster.POM, cluster.POColo} {
 		run, err := s.policyRun(p)
 		if err != nil {
@@ -146,24 +153,34 @@ func (s *Suite) Fig14() (Fig14Result, error) {
 		return Fig14Result{}, err
 	}
 	res := Fig14Result{Placement: placement, BestBEPerLC: make(map[string]string)}
+	// All sixteen (LC, BE) sweeps are independent: fan them through the
+	// worker pool, then reduce in the fixed row-major order.
+	lcs, bes := s.Catalog.LC(), s.Catalog.BE()
+	pairs := make([]cluster.PairResult, len(lcs)*len(bes))
+	err = parallel.ForEach(len(pairs), s.Parallel, func(i int) error {
+		pr, err := cluster.RunPair(cfg, lcs[i/len(bes)], bes[i%len(bes)])
+		if err != nil {
+			return err
+		}
+		pairs[i] = pr
+		return nil
+	})
+	if err != nil {
+		return Fig14Result{}, err
+	}
 	best := make(map[string]float64)
-	for _, lc := range s.Catalog.LC() {
-		for _, be := range s.Catalog.BE() {
-			pr, err := cluster.RunPair(cfg, lc, be)
-			if err != nil {
-				return Fig14Result{}, err
-			}
-			cell := Fig14Cell{
-				LC:       lc.Name,
-				BE:       be.Name,
-				MeanNorm: pr.Mean,
-				Chosen:   placement[be.Name] == lc.Name,
-			}
-			res.Cells = append(res.Cells, cell)
-			if pr.Mean > best[lc.Name] {
-				best[lc.Name] = pr.Mean
-				res.BestBEPerLC[lc.Name] = be.Name
-			}
+	for i, pr := range pairs {
+		lc, be := lcs[i/len(bes)], bes[i%len(bes)]
+		cell := Fig14Cell{
+			LC:       lc.Name,
+			BE:       be.Name,
+			MeanNorm: pr.Mean,
+			Chosen:   placement[be.Name] == lc.Name,
+		}
+		res.Cells = append(res.Cells, cell)
+		if pr.Mean > best[lc.Name] {
+			best[lc.Name] = pr.Mean
+			res.BestBEPerLC[lc.Name] = be.Name
 		}
 	}
 	return res, nil
@@ -209,6 +226,9 @@ type Fig15Result struct {
 // Random(NoCap) variant provisions every server for the worst-case 185 W
 // instead of right-sizing.
 func (s *Suite) Fig15() (Fig15Result, error) {
+	if err := s.prefetchPolicies(cluster.Random, cluster.POM, cluster.POColo); err != nil {
+		return Fig15Result{}, err
+	}
 	random, err := s.policyRun(cluster.Random)
 	if err != nil {
 		return Fig15Result{}, err

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pocolo/internal/cluster"
+)
+
+// TestExperimentsParallelMatchesSequential: whole figures regenerated
+// through the worker pool must equal their sequential regeneration, with
+// the cluster memo off so every simulation actually runs in both modes.
+func TestExperimentsParallelMatchesSequential(t *testing.T) {
+	prev := cluster.SetMemo(false)
+	defer func() { cluster.SetMemo(prev); cluster.ResetMemo() }()
+
+	build := func(par int) *Suite {
+		s, err := NewSuite(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Dwell = 2 * time.Second
+		s.Parallel = par
+		return s
+	}
+	seq, par := build(1), build(4)
+
+	seqFig14, err := seq.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parFig14, err := par.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqFig14, parFig14) {
+		t.Errorf("Fig14 diverges:\nsequential %+v\nparallel   %+v", seqFig14, parFig14)
+	}
+
+	seqFig12, err := seq.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parFig12, err := par.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqFig12, parFig12) {
+		t.Errorf("Fig12 diverges:\nsequential %+v\nparallel   %+v", seqFig12, parFig12)
+	}
+}

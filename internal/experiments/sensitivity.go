@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pocolo/internal/cluster"
+	"pocolo/internal/parallel"
 	"pocolo/internal/stats"
 )
 
@@ -34,31 +35,47 @@ func (s *Suite) SeedSensitivity(seeds ...int64) (SeedSensitivityResult, error) {
 		seeds = []int64{s.Seed, s.Seed + 1000, s.Seed + 2000}
 	}
 	var res SeedSensitivityResult
-	var poms, pocolos []float64
-	for _, seed := range seeds {
+	// Each replica is a fully independent pipeline (its own profiling
+	// noise, models, placements, and simulations), so the replicas fan out
+	// through the worker pool; rows land at their seed's index.
+	rows := make([]SeedRow, len(seeds))
+	err := parallel.ForEach(len(seeds), s.Parallel, func(i int) error {
+		seed := seeds[i]
 		sub, err := NewSuite(seed)
 		if err != nil {
-			return res, err
+			return err
 		}
 		sub.Dwell = minDuration(s.Dwell, 3*time.Second)
+		sub.Parallel = s.Parallel
+		if err := sub.prefetchPolicies(cluster.Random, cluster.POM, cluster.POColo); err != nil {
+			return err
+		}
 		random, err := sub.policyRun(cluster.Random)
 		if err != nil {
-			return res, err
+			return err
 		}
 		pom, err := sub.policyRun(cluster.POM)
 		if err != nil {
-			return res, err
+			return err
 		}
 		pocolo, err := sub.policyRun(cluster.POColo)
 		if err != nil {
-			return res, err
+			return err
 		}
 		row := SeedRow{Seed: seed}
 		if random.BENormThroughput > 0 {
 			row.ImprovementPOM = pom.BENormThroughput/random.BENormThroughput - 1
 			row.ImprovementPOColo = pocolo.BENormThroughput/random.BENormThroughput - 1
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
+	var poms, pocolos []float64
+	for _, row := range rows {
 		poms = append(poms, row.ImprovementPOM)
 		pocolos = append(pocolos, row.ImprovementPOColo)
 	}

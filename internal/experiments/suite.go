@@ -7,10 +7,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pocolo/internal/cluster"
 	"pocolo/internal/machine"
+	"pocolo/internal/parallel"
 	"pocolo/internal/profiler"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
@@ -26,7 +28,12 @@ type Suite struct {
 	// Dwell is the simulated time per load level in cluster runs (default
 	// 5 s; experiments sweep nine levels).
 	Dwell time.Duration
+	// Parallel bounds the worker pool every experiment fans its
+	// independent simulation units through (0 = GOMAXPROCS, 1 =
+	// sequential). Results are identical at every setting.
+	Parallel int
 
+	mu         sync.Mutex
 	policyRuns map[cluster.Policy]*cluster.Result
 }
 
@@ -55,27 +62,44 @@ func NewSuite(seed int64) (*Suite, error) {
 // clusterConfig assembles the shared cluster configuration.
 func (s *Suite) clusterConfig() cluster.Config {
 	return cluster.Config{
-		Machine: s.Machine,
-		LC:      s.Catalog.LC(),
-		BE:      s.Catalog.BE(),
-		Models:  s.Models,
-		Dwell:   s.Dwell,
-		Seed:    s.Seed,
+		Machine:  s.Machine,
+		LC:       s.Catalog.LC(),
+		BE:       s.Catalog.BE(),
+		Models:   s.Models,
+		Dwell:    s.Dwell,
+		Seed:     s.Seed,
+		Parallel: s.Parallel,
 	}
 }
 
 // policyRun runs (and memoizes) the cluster evaluation for one policy;
-// Figs. 12, 13, and 15 share these runs.
+// Figs. 12, 13, and 15 share these runs. Safe for concurrent use: the
+// figure methods prefetch all three policies through the worker pool.
 func (s *Suite) policyRun(p cluster.Policy) (*cluster.Result, error) {
+	s.mu.Lock()
 	if r, ok := s.policyRuns[p]; ok {
+		s.mu.Unlock()
 		return r, nil
 	}
+	s.mu.Unlock()
 	r, err := cluster.Run(s.clusterConfig(), p)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %v cluster run: %w", p, err)
 	}
+	s.mu.Lock()
 	s.policyRuns[p] = &r
+	s.mu.Unlock()
 	return &r, nil
+}
+
+// prefetchPolicies fans the (independent) policy cluster runs through the
+// worker pool so a figure needing several pays the wall-clock of the
+// slowest, not the sum. Memoized runs are skipped.
+func (s *Suite) prefetchPolicies(ps ...cluster.Policy) error {
+	return parallel.ForEach(len(ps), s.Parallel, func(i int) error {
+		_, err := s.policyRun(ps[i])
+		return err
+	})
 }
 
 func (s *Suite) spec(name string) (*workload.Spec, error) {

@@ -137,6 +137,12 @@ type Manager struct {
 	// sizing itself is wrong, not merely stale.
 	lastTarget float64
 
+	// Scratch buffers reused across ticks: the grid scans in feasibleAlloc
+	// and bestPairSplit run every control period on every host and must not
+	// allocate per candidate.
+	vecA, vecB [2]float64
+	frontier   []gridPoint
+
 	// counters for introspection and tests
 	controlTicks int
 	capThrottles int
@@ -241,12 +247,13 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 		// indifference curve — the paper's baseline does not differentiate
 		// resources by their power use, so the choice among minimal
 		// feasible allocations is arbitrary (uniformly random here).
-		type point struct{ c, w int }
-		var frontier []point
+		frontier := m.frontier[:0]
 		for c := 1; c <= cfg.Cores; c++ {
 			w := -1
+			m.vecA[0] = float64(c)
 			for cand := 1; cand <= cfg.LLCWays; cand++ {
-				if m.model.Perf([]float64{float64(c), float64(cand)}) >= target {
+				m.vecA[1] = float64(cand)
+				if m.model.Perf(m.vecA[:]) >= target {
 					w = cand
 					break
 				}
@@ -259,8 +266,9 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 			if n := len(frontier); n > 0 && frontier[n-1].w == w {
 				continue
 			}
-			frontier = append(frontier, point{c, w})
+			frontier = append(frontier, gridPoint{c, w})
 		}
+		m.frontier = frontier
 		if len(frontier) == 0 {
 			return 0, 0, false
 		}
@@ -268,6 +276,9 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 		return p.c, p.w, true
 	}
 }
+
+// gridPoint is one (cores, ways) candidate in the manager's grid scans.
+type gridPoint struct{ c, w int }
 
 // ControlTick runs one iteration of the 1 s LC allocation loop.
 func (m *Manager) ControlTick(now time.Time) {
@@ -418,8 +429,9 @@ func (m *Manager) bestPairSplit(a, b *utility.Model, freeCores, freeWays int) (c
 	bestScore := -1.0
 	for c1 := 0; c1 <= freeCores; c1++ {
 		for w1 := 0; w1 <= freeWays; w1++ {
-			r1 := []float64{float64(c1), float64(w1)}
-			r2 := []float64{float64(freeCores - c1), float64(freeWays - w1)}
+			m.vecA[0], m.vecA[1] = float64(c1), float64(w1)
+			m.vecB[0], m.vecB[1] = float64(freeCores-c1), float64(freeWays-w1)
+			r1, r2 := m.vecA[:], m.vecB[:]
 			perf := a.Perf(r1) + b.Perf(r2)
 			if headroom > 0 {
 				if p := a.DynamicPower(r1) + b.DynamicPower(r2); p > headroom {

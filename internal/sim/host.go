@@ -57,6 +57,11 @@ type HostConfig struct {
 	// experiments harness reads whole timelines back; long-running
 	// control-plane agents set a cap so memory stays flat.
 	SeriesCap int
+	// SeriesHint preallocates each unbounded telemetry series for the
+	// expected number of points (one per engine tick), so a fixed-length
+	// run's hot path appends without reallocating. Ignored when SeriesCap
+	// bounds the series.
+	SeriesHint int
 }
 
 // Host is one simulated server in the cluster.
@@ -168,7 +173,11 @@ func NewHost(hc HostConfig) (*Host, error) {
 		latNoise = 0.03
 	}
 	newSeries := func(suffix string) *telemetry.Series {
-		return telemetry.NewBoundedSeries(hc.Name+suffix, hc.SeriesCap)
+		s := telemetry.NewBoundedSeries(hc.Name+suffix, hc.SeriesCap)
+		if hc.SeriesHint > 0 {
+			s.Reserve(hc.SeriesHint)
+		}
+		return s
 	}
 	h := &Host{
 		name:        hc.Name,
@@ -308,21 +317,8 @@ func (h *Host) step(start, now time.Time, dt time.Duration) {
 	if err != nil {
 		lcAlloc = machine.Alloc{}
 	}
-	// Ground-truth tails with observation noise. Saturated measurements
-	// report a latency far beyond the SLO rather than +Inf so controllers
-	// see a huge-but-finite signal, as a timeout-bounded measurement would.
-	observe := func(truth, slo float64) float64 {
-		if isInf(truth) {
-			return slo * 10
-		}
-		v := truth * (1 + h.rng.NormFloat64()*h.latNoise)
-		if v < 0 {
-			return 0
-		}
-		return v
-	}
-	h.curP95 = observe(h.lc.P95(lcAlloc, h.curLoad), h.lc.SLO.P95Ms)
-	h.curP99 = observe(h.lc.P99(lcAlloc, h.curLoad), h.lc.SLO.P99Ms)
+	h.curP95 = h.observe(h.lc.P95(lcAlloc, h.curLoad), h.lc.SLO.P95Ms)
+	h.curP99 = h.observe(h.lc.P99(lcAlloc, h.curLoad), h.lc.SLO.P99Ms)
 
 	// Goodput: the queue serves at most its SLO-compliant capacity.
 	maxLoad := h.lc.MaxLoadSLO(lcAlloc)
@@ -369,6 +365,22 @@ func (h *Host) step(start, now time.Time, dt time.Duration) {
 	_ = h.loadSeries.Append(now, h.curLoad)
 	_ = h.beThrSeries.Append(now, h.curBEThr)
 	_ = h.slackSeries.Append(now, h.Slack())
+}
+
+// observe adds measurement noise to a ground-truth tail latency. Saturated
+// measurements report a latency far beyond the SLO rather than +Inf so
+// controllers see a huge-but-finite signal, as a timeout-bounded
+// measurement would. (A method, not a per-step closure: step is the
+// simulation's hot path and must not allocate.)
+func (h *Host) observe(truth, slo float64) float64 {
+	if isInf(truth) {
+		return slo * 10
+	}
+	v := truth * (1 + h.rng.NormFloat64()*h.latNoise)
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

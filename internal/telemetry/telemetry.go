@@ -56,6 +56,22 @@ func NewBoundedSeries(name string, capacity int) *Series {
 // Name returns the series name.
 func (s *Series) Name() string { return s.name }
 
+// Reserve grows an unbounded series' backing array so at least n points
+// can be appended without reallocating. Producers that know their run
+// length (the evaluation harness appends one point per engine tick) call
+// this once so the per-tick append path allocates nothing. No-op for
+// bounded series and for capacities already reserved.
+func (s *Series) Reserve(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cap > 0 || n <= cap(s.pts) {
+		return
+	}
+	pts := make([]Point, len(s.pts), n)
+	copy(pts, s.pts)
+	s.pts = pts
+}
+
 // Cap returns the retention capacity, or 0 for an unbounded series.
 func (s *Series) Cap() int { return s.cap }
 

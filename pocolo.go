@@ -274,6 +274,10 @@ type System struct {
 	// Dwell is the simulated time per load level in cluster runs
 	// (default 5s).
 	Dwell time.Duration
+	// Parallel bounds the worker pool cluster runs fan their independent
+	// hosts, trials, and load levels through (0 = GOMAXPROCS, 1 =
+	// sequential). Results are identical at every setting.
+	Parallel int
 }
 
 // NewSystem profiles and fits every application on the Table I platform.
@@ -302,12 +306,13 @@ func NewSystemOn(cfg MachineConfig, seed int64) (*System, error) {
 
 func (s *System) clusterConfig() cluster.Config {
 	return cluster.Config{
-		Machine: s.Machine,
-		LC:      s.Catalog.LC(),
-		BE:      s.Catalog.BE(),
-		Models:  s.Models,
-		Dwell:   s.Dwell,
-		Seed:    s.Seed,
+		Machine:  s.Machine,
+		LC:       s.Catalog.LC(),
+		BE:       s.Catalog.BE(),
+		Models:   s.Models,
+		Dwell:    s.Dwell,
+		Seed:     s.Seed,
+		Parallel: s.Parallel,
 	}
 }
 
@@ -709,5 +714,6 @@ func (s *System) Experiments() (*Suite, error) {
 		return nil, err
 	}
 	suite.Dwell = s.Dwell
+	suite.Parallel = s.Parallel
 	return suite, nil
 }
