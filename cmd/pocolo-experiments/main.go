@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pocolo-experiments [-seed N] [-dwell 5s] [-parallel N] [-only fig12,fig13] [-markdown]
-//	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                   [-invariants] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown instead of text tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	invariants := flag.Bool("invariants", false, "check cross-layer invariants on every simulated tick of every cluster run; any violation aborts the experiment")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -52,6 +53,7 @@ func main() {
 	}
 	suite.Dwell = *dwell
 	suite.Parallel = *par
+	suite.Invariants = *invariants
 
 	type runner struct {
 		name string

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json]
+//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json] [-invariants]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	dwell := flag.Duration("dwell", 5*time.Second, "simulated time per load level")
 	par := flag.Int("parallel", 0, "worker pool size for independent hosts and trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	modelsPath := flag.String("models", "", "load fitted models from this JSON file (see pocolo-profile -o) instead of re-profiling")
+	invariants := flag.Bool("invariants", false, "check cross-layer invariants (resource conservation, power-cap compliance, slack recovery, physical sanity) on every simulated tick; any violation aborts the run")
 	flag.Parse()
 
 	var sys *pocolo.System
@@ -49,6 +50,7 @@ func main() {
 	}
 	sys.Dwell = *dwell
 	sys.Parallel = *par
+	sys.Invariants = *invariants
 
 	var res pocolo.Result
 	switch *policyName {

@@ -1,0 +1,160 @@
+package assign_test
+
+import (
+	"math"
+	"testing"
+
+	"pocolo/internal/assign"
+	"pocolo/internal/invariant"
+)
+
+// bruteBest finds the optimal assignment total by trying every injective
+// worker→task mapping — an oracle independent of the package's own
+// Exhaustive solver, tractable for n ≤ 6.
+func bruteBest(value [][]float64) float64 {
+	n, m := len(value), len(value[0])
+	used := make([]bool, m)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == n {
+			return 0
+		}
+		best := math.Inf(-1)
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			if v := value[i][j] + rec(i+1); v > best {
+				best = v
+			}
+			used[j] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// TestDegenerateMatrices drives every solver through the classic simplex
+// and Hungarian trouble spots — total ties, zero-throughput rows,
+// rectangular matrices, near-ties at floating-point noise scale — and
+// cross-checks each result against an independent brute force: the
+// assignment must be a valid matching and its total must be optimal.
+func TestDegenerateMatrices(t *testing.T) {
+	cases := []struct {
+		name  string
+		value [][]float64
+	}{
+		{"single-cell", [][]float64{{7}}},
+		{"single-row-rect", [][]float64{{3, 1, 2}}},
+		{"all-ties-2x2", [][]float64{{1, 1}, {1, 1}}},
+		{"all-ties-4x4", [][]float64{
+			{2, 2, 2, 2}, {2, 2, 2, 2}, {2, 2, 2, 2}, {2, 2, 2, 2},
+		}},
+		{"negative-ties", [][]float64{{-1, -1}, {-1, -1}}},
+		{"all-zero-3x3", [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}},
+		{"zero-throughput-row", [][]float64{
+			{0, 0, 0}, {1, 2, 3}, {3, 2, 1},
+		}},
+		{"two-zero-rows-rect", [][]float64{
+			{0, 0, 0, 0}, {0, 0, 0, 0}, {1, 5, 2, 4},
+		}},
+		{"duplicate-columns", [][]float64{
+			{4, 4, 1}, {2, 2, 9}, {5, 5, 3},
+		}},
+		{"rect-2x5", [][]float64{
+			{1, 9, 2, 8, 3}, {7, 1, 6, 2, 5},
+		}},
+		{"rect-ties-3x6", [][]float64{
+			{1, 1, 1, 1, 1, 1}, {0, 1, 0, 1, 0, 1}, {2, 2, 2, 2, 2, 2},
+		}},
+		{"near-ties-eps", [][]float64{
+			{1, 1 + 1e-12}, {1 + 1e-12, 1},
+		}},
+		{"mixed-signs", [][]float64{
+			{-5, 3, 0}, {0, -2, 4}, {1, 0, -7},
+		}},
+		{"six-by-six-blocks", [][]float64{
+			{9, 9, 0, 0, 0, 0},
+			{9, 9, 0, 0, 0, 0},
+			{0, 0, 5, 5, 0, 0},
+			{0, 0, 5, 5, 0, 0},
+			{0, 0, 0, 0, 1, 1},
+			{0, 0, 0, 0, 1, 1},
+		}},
+	}
+	solvers := []struct {
+		name string
+		fn   func([][]float64) ([]int, float64, error)
+	}{
+		{"hungarian", assign.Hungarian},
+		{"lp", assign.LP},
+		{"exhaustive", assign.Exhaustive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := bruteBest(tc.value)
+			for _, s := range solvers {
+				idx, val, err := s.fn(tc.value)
+				if err != nil {
+					t.Errorf("%s: %v", s.name, err)
+					continue
+				}
+				if err := invariant.CheckAssignment(tc.value, idx, val); err != nil {
+					t.Errorf("%s returned an inconsistent assignment: %v", s.name, err)
+					continue
+				}
+				if math.Abs(val-want) > 1e-6*math.Max(1, math.Abs(want)) {
+					t.Errorf("%s total = %v, brute force optimum = %v (assignment %v)",
+						s.name, val, want, idx)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomSolvedDegenerates fuzzes small matrices with heavy ties and
+// zeros (seeded, deterministic) and requires solver/brute-force agreement
+// on all of them.
+func TestRandomSolvedDegenerates(t *testing.T) {
+	// Small integer values make ties frequent; division by 2 adds
+	// repeated halves without float noise.
+	vals := []float64{0, 0, 0.5, 1, 1, 2}
+	next := func(state *uint64) float64 {
+		// xorshift64: deterministic across platforms, no rand dependency.
+		x := *state
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		*state = x
+		return vals[x%uint64(len(vals))]
+	}
+	state := uint64(0x9E3779B97F4A7C15)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + int(trial%5)      // 1..5 workers
+		m := n + int(trial/20)     // up to 2 extra tasks
+		value := make([][]float64, n)
+		for i := range value {
+			value[i] = make([]float64, m)
+			for j := range value[i] {
+				value[i][j] = next(&state)
+			}
+		}
+		want := bruteBest(value)
+		for _, s := range []struct {
+			name string
+			fn   func([][]float64) ([]int, float64, error)
+		}{{"hungarian", assign.Hungarian}, {"lp", assign.LP}, {"exhaustive", assign.Exhaustive}} {
+			idx, val, err := s.fn(value)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v (matrix %v)", trial, s.name, err, value)
+			}
+			if err := invariant.CheckAssignment(value, idx, val); err != nil {
+				t.Fatalf("trial %d %s inconsistent: %v (matrix %v)", trial, s.name, err, value)
+			}
+			if math.Abs(val-want) > 1e-6 {
+				t.Fatalf("trial %d %s total = %v, want %v (matrix %v)", trial, s.name, val, want, value)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
 	"pocolo/internal/parallel"
 	"pocolo/internal/servermgr"
@@ -89,6 +90,12 @@ type Config struct {
 	// every unit has its own seeded noise streams and aggregation order is
 	// fixed — so Parallel trades only wall-clock time.
 	Parallel int
+	// Invariants binds the invariant harness to every managed host's
+	// per-tick observe path: resource conservation, power-cap compliance,
+	// slack-recovery liveness, and physical sanity are asserted on every
+	// tick, and any violation fails the run with an error. Checking does
+	// not perturb results — observers run after the tick's state is final.
+	Invariants bool
 }
 
 func (c *Config) defaults() error {
@@ -282,8 +289,23 @@ func runManagedHost(cfg Config, lc, be *workload.Spec, hostSeed, mgrSeed int64, 
 	if err := mgr.Attach(engine); err != nil {
 		return sim.Metrics{}, err
 	}
+	var harness *invariant.Harness
+	if cfg.Invariants {
+		harness = invariant.NewHarness()
+		if err := harness.Watch(host, mgr); err != nil {
+			return sim.Metrics{}, err
+		}
+		if err := harness.Bind(engine); err != nil {
+			return sim.Metrics{}, err
+		}
+	}
 	if err := engine.Run(duration); err != nil {
 		return sim.Metrics{}, err
+	}
+	if harness != nil {
+		if err := harness.Err(); err != nil {
+			return sim.Metrics{}, fmt.Errorf("cluster: host %s: %w", lc.Name, err)
+		}
 	}
 	return host.Metrics(), nil
 }
@@ -354,13 +376,21 @@ func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return aggregateTrials(trials), nil
+}
 
+// aggregateTrials averages per-trial cluster results in trial order.
+// Scalar metrics and per-host gauges are arithmetic means; SLOViolFrac is
+// the worst trial (the paper reports worst-case SLO compliance); the
+// per-host ProvisionedCapW passes through unchanged; and averaged event
+// counts round to nearest rather than truncate.
+func aggregateTrials(trials []Result) Result {
 	agg := Result{
 		Hosts:     make(map[string]sim.Metrics),
 		Placement: make(map[string]string),
 	}
 	hostAgg := make(map[string]sim.Metrics)
-	for trial := 0; trial < RandomTrials; trial++ {
+	for trial := 0; trial < len(trials); trial++ {
 		res := trials[trial]
 		agg.BENormThroughput += res.BENormThroughput
 		agg.MeanPowerUtil += res.MeanPowerUtil
@@ -387,7 +417,7 @@ func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
 			hostAgg[name] = acc
 		}
 	}
-	n := float64(RandomTrials)
+	n := float64(len(trials))
 	agg.BENormThroughput /= n
 	agg.MeanPowerUtil /= n
 	agg.TotalEnergyKWh /= n
@@ -408,7 +438,7 @@ func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
 		m.CapEvents = int(math.Round(float64(m.CapEvents) / n))
 		agg.Hosts[name] = m
 	}
-	return agg, nil
+	return agg
 }
 
 // PairResult is one cell of the exhaustive 4×4 placement study (Fig. 14):
@@ -479,8 +509,23 @@ func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 		if err := mgr.Attach(engine); err != nil {
 			return err
 		}
+		var harness *invariant.Harness
+		if cfg.Invariants {
+			harness = invariant.NewHarness()
+			if err := harness.Watch(host, mgr); err != nil {
+				return err
+			}
+			if err := harness.Bind(engine); err != nil {
+				return err
+			}
+		}
 		if err := engine.Run(cfg.Dwell); err != nil {
 			return err
+		}
+		if harness != nil {
+			if err := harness.Err(); err != nil {
+				return fmt.Errorf("cluster: pair %s+%s: %w", lc.Name, be.Name, err)
+			}
 		}
 		m := host.Metrics()
 		pr.TotalNorm[i] = m.LCOps/(lc.PeakLoad*m.DurationSec) + m.BEMeanThr/be.PeakLoad

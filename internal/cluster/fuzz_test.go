@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// FuzzParsePolicy checks that ParsePolicy never panics and stays an exact
+// inverse of Policy.String: every accepted input round-trips through the
+// Policy value back to itself.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add("random")
+	f.Add("pom")
+	f.Add("pocolo")
+	f.Add("POCOLO")
+	f.Add("pocolo ")
+	f.Add("")
+	f.Add("hungarian")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		if p.String() != s {
+			t.Fatalf("ParsePolicy(%q) = %v, but String() = %q", s, p, p.String())
+		}
+		if back, err := ParsePolicy(p.String()); err != nil || back != p {
+			t.Fatalf("round-trip of %v failed: %v, %v", p, back, err)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"pocolo/internal/assign"
+	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
@@ -160,6 +161,13 @@ func (mx *Matrix) Solve(method string) (map[string]string, float64, error) {
 	}
 	if err != nil {
 		return nil, 0, err
+	}
+	// Validate the solver's output at the call site: the assignment must be
+	// a matching inside the matrix and the reported total must equal the
+	// recomputed sum, so a solver regression cannot leak a bogus placement
+	// into an experiment table.
+	if err := invariant.CheckAssignment(mx.Value, idx, val); err != nil {
+		return nil, 0, fmt.Errorf("cluster: solver %q: %w", method, err)
 	}
 	placement := make(map[string]string, len(idx))
 	for i, j := range idx {

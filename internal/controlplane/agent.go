@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
@@ -49,6 +50,12 @@ type AgentConfig struct {
 	// Seed drives the host's noise streams and the manager's baseline
 	// choice.
 	Seed int64
+	// Invariants, when non-nil, is bound to the agent's per-tick observe
+	// path: every registered invariant is checked against this host's
+	// state on every simulated tick. One harness may be shared across a
+	// cluster's agents (it is internally locked), or each agent may get
+	// its own for per-server attribution.
+	Invariants *invariant.Harness
 }
 
 // Agent wraps one simulated host and its server manager behind the HTTP
@@ -152,6 +159,18 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if err := mgr.Attach(engine); err != nil {
 		return nil, err
 	}
+	if cfg.Invariants != nil {
+		// Snapshot only this agent's host on its own engine ticks: the
+		// engine runs under a.mu, so capturing another agent's host here
+		// would race with that agent's pacing loop. Harness.Run is
+		// internally locked, so the harness itself may be shared.
+		h := cfg.Invariants
+		if err := engine.Observe(func(now time.Time) {
+			h.Run(invariant.Capture(host, mgr, now))
+		}); err != nil {
+			return nil, err
+		}
+	}
 	byName := make(map[string]*workload.Spec, len(cfg.BECandidates))
 	for _, be := range cfg.BECandidates {
 		byName[be.Name] = be
@@ -212,6 +231,20 @@ func (a *Agent) Start() {
 			}
 		}()
 	})
+}
+
+// Advance steps the agent's simulation by d of simulated time without the
+// wall-clock pacing loop. Deterministic drivers (fault campaigns, tests)
+// use it instead of Start so a run is a pure function of its seeds; mixing
+// Advance with a Start-ed pacing loop is safe but forfeits determinism.
+func (a *Agent) Advance(d time.Duration) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.engine.Run(d); err != nil {
+		return err
+	}
+	a.ticks++
+	return nil
 }
 
 // Stop halts the pacing loop and waits for it to exit. Stop is idempotent

@@ -1,0 +1,471 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pocolo/internal/invariant"
+	"pocolo/internal/workload"
+)
+
+// A fault campaign replays a seeded, fully explicit fault schedule through
+// a real controller and real agents — same HTTP codecs, same solver, same
+// server managers — with every nondeterministic ingredient removed: agents
+// advance simulated time via Advance instead of wall-clock pacing, the
+// controller's Round is called directly instead of on its jittered timer,
+// and requests travel over an in-process loopback transport whose failures
+// come from the schedule, not the network. The invariant harness rides the
+// agents' per-tick observe path throughout, so the campaign asserts not
+// just that the control plane converges after crashes, partitions, delays,
+// and load spikes, but that no physical invariant breaks on any tick on
+// the way down or back up.
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// FaultCrash kills the agent process: requests fail and its simulation
+	// stops advancing until the fault expires (crash-and-restore; host
+	// state survives, as with a paused container).
+	FaultCrash FaultKind = iota
+	// FaultDropHeartbeats partitions the agent from the controller:
+	// requests fail but the agent keeps running.
+	FaultDropHeartbeats
+	// FaultDelayResponses delays every response from the agent by Delay.
+	// Pick Delay decisively above or below the controller's Timeout; near
+	// the boundary the outcome depends on scheduler timing.
+	FaultDelayResponses
+	// FaultLoadSpike forces the agent's LC offered-load fraction to Level.
+	FaultLoadSpike
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDropHeartbeats:
+		return "drop-heartbeats"
+	case FaultDelayResponses:
+		return "delay-responses"
+	case FaultLoadSpike:
+		return "load-spike"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultEvent schedules one fault against one agent.
+type FaultEvent struct {
+	// At is the campaign time the fault begins.
+	At time.Duration
+	// Agent indexes CampaignConfig.Agents.
+	Agent int
+	// Kind selects the fault class.
+	Kind FaultKind
+	// Duration is how long the fault lasts.
+	Duration time.Duration
+	// Delay is the response delay for FaultDelayResponses.
+	Delay time.Duration
+	// Level is the forced load fraction in [0, 1] for FaultLoadSpike.
+	Level float64
+}
+
+// RandomFaults draws a seeded fault schedule: n events spread over the
+// campaign, uniform over agents and fault kinds. The schedule is a pure
+// function of its arguments — replaying the same seed replays the faults.
+func RandomFaults(seed int64, agents, n int, campaign, heartbeat time.Duration) []FaultEvent {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]FaultEvent, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Int63n(int64(campaign * 3 / 4)))
+		dur := heartbeat * time.Duration(2+rng.Intn(8))
+		ev := FaultEvent{
+			At:       at.Round(heartbeat),
+			Agent:    rng.Intn(agents),
+			Kind:     FaultKind(rng.Intn(4)),
+			Duration: dur,
+		}
+		if ev.Kind == FaultDelayResponses {
+			// Decisively beyond any sane probe timeout.
+			ev.Delay = time.Second
+		}
+		if ev.Kind == FaultLoadSpike {
+			ev.Level = 0.7 + rng.Float64()*0.3
+		}
+		events = append(events, ev)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// CampaignConfig assembles a deterministic fault campaign.
+type CampaignConfig struct {
+	// Agents configures the fleet. Traces are wrapped for load-spike
+	// injection; Invariants is overridden with the campaign's harness.
+	Agents []AgentConfig
+	// BE names the best-effort apps the controller keeps placed.
+	BE []string
+	// Faults is the schedule to replay (see RandomFaults).
+	Faults []FaultEvent
+	// Duration is the total campaign length in simulated time; after the
+	// last fault expires the remainder is the recovery window.
+	Duration time.Duration
+	// Heartbeat is the simulated time per controller round (default 1 s):
+	// each round advances every running agent by Heartbeat, then polls.
+	Heartbeat time.Duration
+	// Timeout is the real-time probe timeout (default 250 ms). Only
+	// delayed responses ever consume it; healthy loopback probes return
+	// immediately.
+	Timeout time.Duration
+	// DeadAfter, Solver, Seed configure the controller as in
+	// ControllerConfig.
+	DeadAfter int
+	Solver    string
+	Seed      int64
+	// Harness receives every invariant violation (default: a fresh
+	// harness with DefaultCheckers).
+	Harness *invariant.Harness
+	// Logf, when set, receives controller and campaign event logs.
+	Logf func(format string, args ...any)
+}
+
+// CampaignReport summarizes a finished campaign.
+type CampaignReport struct {
+	// Rounds is the number of controller rounds driven.
+	Rounds int
+	// Status is the controller's final state.
+	Status Status
+	// Violations holds every invariant violation the harness recorded.
+	Violations []invariant.Violation
+	// PlacementErrors holds per-round placement-consistency failures.
+	PlacementErrors []error
+	// Deaths and Rejoins are the controller's failure-handling counters.
+	Deaths, Rejoins int
+}
+
+// Err returns nil when the campaign finished with no invariant violations,
+// no placement inconsistencies, and a fully recovered cluster.
+func (r *CampaignReport) Err() error {
+	if len(r.Violations) > 0 {
+		return fmt.Errorf("controlplane: campaign: %d invariant violation(s), first: %s", len(r.Violations), r.Violations[0])
+	}
+	if len(r.PlacementErrors) > 0 {
+		return fmt.Errorf("controlplane: campaign: %d placement inconsistencies, first: %w", len(r.PlacementErrors), r.PlacementErrors[0])
+	}
+	if r.Status.Degraded {
+		return errors.New("controlplane: campaign ended degraded")
+	}
+	for _, a := range r.Status.Agents {
+		if !a.Alive {
+			return fmt.Errorf("controlplane: campaign ended with agent %s dead", a.Name)
+		}
+	}
+	return nil
+}
+
+// Campaign drives a controller and a fleet of agents through a fault
+// schedule in lockstep simulated time.
+type Campaign struct {
+	cfg       CampaignConfig
+	agents    []*Agent
+	spikes    []*spikeTrace
+	transport *loopbackTransport
+	ctl       *Controller
+	harness   *invariant.Harness
+
+	clockMu sync.Mutex
+	clock   time.Time // synthetic controller clock; advances one heartbeat per round
+}
+
+// NewCampaign builds the fleet, the loopback fabric, and the controller.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if len(cfg.Agents) == 0 {
+		return nil, errors.New("controlplane: campaign needs agents")
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("controlplane: campaign duration must be positive")
+	}
+	for _, ev := range cfg.Faults {
+		if ev.Agent < 0 || ev.Agent >= len(cfg.Agents) {
+			return nil, fmt.Errorf("controlplane: fault targets agent %d of %d", ev.Agent, len(cfg.Agents))
+		}
+		if ev.Duration <= 0 {
+			return nil, fmt.Errorf("controlplane: fault at %v has no duration", ev.At)
+		}
+	}
+	if cfg.Harness == nil {
+		cfg.Harness = invariant.NewHarness()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	c := &Campaign{cfg: cfg, harness: cfg.Harness}
+	c.transport = newLoopbackTransport()
+	urls := make([]string, len(cfg.Agents))
+	for i, ac := range cfg.Agents {
+		if ac.Trace == nil {
+			return nil, fmt.Errorf("controlplane: agent %d has no trace", i)
+		}
+		spike := &spikeTrace{inner: ac.Trace}
+		ac.Trace = spike
+		ac.Invariants = cfg.Harness
+		agent, err := NewAgent(ac)
+		if err != nil {
+			return nil, err
+		}
+		host := fmt.Sprintf("campaign-agent-%d", i)
+		c.transport.add(host, agent.Handler())
+		c.agents = append(c.agents, agent)
+		c.spikes = append(c.spikes, spike)
+		urls[i] = "http://" + host
+	}
+	// The controller measures probe backoff and re-solve periods on the
+	// campaign's synthetic clock, which advances exactly one heartbeat per
+	// round: backoff windows become round counts, independent of how fast
+	// the rounds execute in wall time. MaxBackoff is capped at four
+	// heartbeats so crashed agents rejoin within a short recovery window.
+	c.clock = time.Unix(1_700_000_000, 0)
+	ctl, err := NewController(ControllerConfig{
+		AgentURLs:  urls,
+		BE:         cfg.BE,
+		Heartbeat:  cfg.Heartbeat,
+		Timeout:    cfg.Timeout,
+		DeadAfter:  cfg.DeadAfter,
+		MaxBackoff: 4 * cfg.Heartbeat,
+		Solver:     cfg.Solver,
+		Seed:       cfg.Seed,
+		Logf:       cfg.Logf,
+		Client:     &http.Client{Transport: c.transport},
+		Now: func() time.Time {
+			c.clockMu.Lock()
+			defer c.clockMu.Unlock()
+			return c.clock
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.ctl = ctl
+	return c, nil
+}
+
+// Agents returns the campaign's fleet (for test inspection).
+func (c *Campaign) Agents() []*Agent { return c.agents }
+
+// Controller returns the campaign's controller (for test inspection).
+func (c *Campaign) Controller() *Controller { return c.ctl }
+
+// Run replays the schedule: each step applies the faults active at the
+// current campaign time, advances every running agent by one heartbeat of
+// simulated time, then drives one controller round and checks placement
+// consistency. It returns the report; call report.Err() for the verdict.
+func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
+	report := &CampaignReport{}
+	steps := int(c.cfg.Duration / c.cfg.Heartbeat)
+	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		now := time.Duration(step) * c.cfg.Heartbeat
+		c.clockMu.Lock()
+		c.clock = c.clock.Add(c.cfg.Heartbeat)
+		c.clockMu.Unlock()
+
+		crashed := make([]bool, len(c.agents))
+		down := make([]bool, len(c.agents))
+		delay := make([]time.Duration, len(c.agents))
+		level := make([]float64, len(c.agents))
+		spiked := make([]bool, len(c.agents))
+		for _, ev := range c.cfg.Faults {
+			if now < ev.At || now >= ev.At+ev.Duration {
+				continue
+			}
+			switch ev.Kind {
+			case FaultCrash:
+				crashed[ev.Agent] = true
+				down[ev.Agent] = true
+			case FaultDropHeartbeats:
+				down[ev.Agent] = true
+			case FaultDelayResponses:
+				if ev.Delay > delay[ev.Agent] {
+					delay[ev.Agent] = ev.Delay
+				}
+			case FaultLoadSpike:
+				spiked[ev.Agent] = true
+				level[ev.Agent] = ev.Level
+			}
+		}
+		for i := range c.agents {
+			c.transport.set(fmt.Sprintf("campaign-agent-%d", i), down[i], delay[i])
+			c.spikes[i].set(spiked[i], level[i])
+		}
+
+		for i, a := range c.agents {
+			if crashed[i] {
+				continue // a dead process does not advance its simulation
+			}
+			if err := a.Advance(c.cfg.Heartbeat); err != nil {
+				return report, fmt.Errorf("controlplane: advancing agent %d: %w", i, err)
+			}
+		}
+
+		c.ctl.Round(ctx)
+		report.Rounds++
+		if err := c.checkPlacement(); err != nil {
+			report.PlacementErrors = append(report.PlacementErrors, fmt.Errorf("round %d (t=%v): %w", report.Rounds, now, err))
+		}
+	}
+	report.Status = c.ctl.Status()
+	report.Violations = c.harness.Violations()
+	report.Deaths = report.Status.Deaths
+	report.Rejoins = report.Status.Rejoins
+	return report, nil
+}
+
+// checkPlacement validates the controller's placement against its own
+// liveness view. Outside degraded mode every placed best-effort app must
+// sit on a distinct agent the controller believes alive; in degraded mode
+// the held last-known-good placement may legitimately reference dead
+// agents, so only the matching property (distinct, known agents) applies.
+func (c *Campaign) checkPlacement() error {
+	st := c.ctl.Status()
+	known := make(map[string]bool, len(st.Agents))
+	alive := make(map[string]bool, len(st.Agents))
+	for _, a := range st.Agents {
+		known[a.Name] = true
+		if a.Alive {
+			alive[a.Name] = true
+		}
+	}
+	if st.Degraded {
+		return invariant.CheckPlacement(st.Placement, known)
+	}
+	return invariant.CheckPlacement(st.Placement, alive)
+}
+
+// spikeTrace wraps a trace with a campaign-controlled override level. Only
+// the campaign goroutine mutates it, and the engine reads it from Advance
+// on the same goroutine, but the accessors are locked anyway so a pacing
+// loop (Start) mixed into a campaign stays race-free.
+type spikeTrace struct {
+	mu     sync.Mutex
+	inner  workload.Trace
+	active bool
+	level  float64
+}
+
+// String implements workload.Trace.
+func (t *spikeTrace) String() string { return t.inner.String() + "+spike" }
+
+// Duration implements workload.Trace.
+func (t *spikeTrace) Duration() time.Duration { return t.inner.Duration() }
+
+// LoadFraction implements workload.Trace.
+func (t *spikeTrace) LoadFraction(elapsed time.Duration) float64 {
+	t.mu.Lock()
+	active, level := t.active, t.level
+	t.mu.Unlock()
+	if active {
+		return level
+	}
+	return t.inner.LoadFraction(elapsed)
+}
+
+func (t *spikeTrace) set(active bool, level float64) {
+	t.mu.Lock()
+	t.active = active
+	t.level = level
+	t.mu.Unlock()
+}
+
+// loopbackTransport routes HTTP requests straight to registered handlers
+// in-process, with per-host fault switches. It implements
+// http.RoundTripper.
+type loopbackTransport struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	down     map[string]bool
+	delay    map[string]time.Duration
+}
+
+func newLoopbackTransport() *loopbackTransport {
+	return &loopbackTransport{
+		handlers: make(map[string]http.Handler),
+		down:     make(map[string]bool),
+		delay:    make(map[string]time.Duration),
+	}
+}
+
+func (t *loopbackTransport) add(host string, h http.Handler) {
+	t.mu.Lock()
+	t.handlers[host] = h
+	t.mu.Unlock()
+}
+
+func (t *loopbackTransport) set(host string, down bool, delay time.Duration) {
+	t.mu.Lock()
+	t.down[host] = down
+	t.delay[host] = delay
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.Lock()
+	h := t.handlers[host]
+	down := t.down[host]
+	delay := t.delay[host]
+	t.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("loopback: no route to %s", host)
+	}
+	if down {
+		return nil, fmt.Errorf("loopback: connect %s: connection refused", host)
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	rec := &responseRecorder{header: make(http.Header), status: http.StatusOK}
+	h.ServeHTTP(rec, req)
+	return &http.Response{
+		StatusCode:    rec.status,
+		Status:        http.StatusText(rec.status),
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is a minimal in-memory http.ResponseWriter.
+type responseRecorder struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (r *responseRecorder) Header() http.Header         { return r.header }
+func (r *responseRecorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+func (r *responseRecorder) WriteHeader(status int)      { r.status = status }

@@ -1,0 +1,272 @@
+package controlplane
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"pocolo/internal/invariant"
+	"pocolo/internal/machine"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// campaignAgentConfigs builds one AgentConfig per LC app, each offering
+// every BE app, on the Table I server with a two-peak trace.
+func campaignAgentConfigs(t *testing.T, lcs, bes []string) []AgentConfig {
+	t.Helper()
+	models := fixtureModels(t)
+	cfgs := make([]AgentConfig, 0, len(lcs))
+	for i, lc := range lcs {
+		trace, err := workload.NewTwoPeakTrace(0.3, 0.5, 0.8, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cands []*workload.Spec
+		beModels := make(map[string]*utility.Model, len(bes))
+		for _, be := range bes {
+			cands = append(cands, spec(t, be))
+			beModels[be] = models[be]
+		}
+		cfgs = append(cfgs, AgentConfig{
+			Name:         "agent-" + lc,
+			Machine:      machine.XeonE52650(),
+			LC:           spec(t, lc),
+			LCModel:      models[lc],
+			BECandidates: cands,
+			BEModels:     beModels,
+			Trace:        trace,
+			SimTick:      100 * time.Millisecond,
+			Seed:         int64(31 + i),
+		})
+	}
+	return cfgs
+}
+
+// TestCampaignQuiet runs a faultless campaign: every best-effort app must
+// end up placed on a live agent with zero deaths and zero invariant
+// violations.
+func TestCampaignQuiet(t *testing.T) {
+	lcs := []string{"img-dnn", "sphinx", "xapian"}
+	bes := []string{"graph", "lstm"}
+	camp, err := NewCampaign(CampaignConfig{
+		Agents:   campaignAgentConfigs(t, lcs, bes),
+		BE:       bes,
+		Duration: 15 * time.Second,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if report.Rounds != 15 {
+		t.Fatalf("Rounds = %d, want 15", report.Rounds)
+	}
+	if report.Deaths != 0 {
+		t.Fatalf("Deaths = %d in a faultless campaign", report.Deaths)
+	}
+	if len(report.Status.Unplaced) != 0 {
+		t.Fatalf("unplaced BEs: %v", report.Status.Unplaced)
+	}
+	if len(report.Status.Placement) != len(bes) {
+		t.Fatalf("placement = %v, want all of %v placed", report.Status.Placement, bes)
+	}
+}
+
+// TestCampaignCrashAndPartition injects the acceptance scenario — an agent
+// crash plus a heartbeat partition — and requires detection, migration,
+// rejoin, and a clean invariant record.
+func TestCampaignCrashAndPartition(t *testing.T) {
+	lcs := []string{"img-dnn", "sphinx", "xapian"}
+	bes := []string{"graph", "lstm"}
+	hb := time.Second
+	camp, err := NewCampaign(CampaignConfig{
+		Agents: campaignAgentConfigs(t, lcs, bes),
+		BE:     bes,
+		Faults: []FaultEvent{
+			{At: 5 * hb, Agent: 0, Kind: FaultCrash, Duration: 4 * hb},
+			{At: 10 * hb, Agent: 1, Kind: FaultDropHeartbeats, Duration: 3 * hb},
+		},
+		Duration:  30 * time.Second,
+		Heartbeat: hb,
+		DeadAfter: 2,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if report.Deaths < 2 {
+		t.Fatalf("Deaths = %d, want both faulted agents declared dead", report.Deaths)
+	}
+	if report.Rejoins < 2 {
+		t.Fatalf("Rejoins = %d, want both faulted agents back", report.Rejoins)
+	}
+	if len(report.Status.Unplaced) != 0 {
+		t.Fatalf("unplaced BEs after recovery: %v", report.Status.Unplaced)
+	}
+}
+
+// TestCampaignDelayAndSpike covers the two remaining fault kinds: delayed
+// responses beyond the probe timeout read as missed heartbeats, and a load
+// spike must not break any invariant while the spiked server sheds its
+// best-effort work.
+func TestCampaignDelayAndSpike(t *testing.T) {
+	lcs := []string{"img-dnn", "sphinx"}
+	bes := []string{"graph"}
+	hb := time.Second
+	camp, err := NewCampaign(CampaignConfig{
+		Agents: campaignAgentConfigs(t, lcs, bes),
+		BE:     bes,
+		Faults: []FaultEvent{
+			{At: 4 * hb, Agent: 0, Kind: FaultDelayResponses, Duration: 3 * hb, Delay: time.Second},
+			{At: 9 * hb, Agent: 1, Kind: FaultLoadSpike, Duration: 5 * hb, Level: 0.95},
+		},
+		Duration:  25 * time.Second,
+		Heartbeat: hb,
+		Timeout:   50 * time.Millisecond,
+		DeadAfter: 2,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if report.Deaths < 1 {
+		t.Fatalf("Deaths = %d, want the delayed agent declared dead", report.Deaths)
+	}
+	if report.Rejoins < 1 {
+		t.Fatalf("Rejoins = %d, want the delayed agent back", report.Rejoins)
+	}
+}
+
+// TestCampaignSeededScheduleDeterministic replays the same seeded schedule
+// twice and requires identical failure accounting and final placement —
+// the property that makes fault campaigns debuggable.
+func TestCampaignSeededScheduleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full campaigns in -short mode")
+	}
+	lcs := []string{"img-dnn", "sphinx", "xapian"}
+	bes := []string{"graph", "lstm"}
+	faults := RandomFaults(99, len(lcs), 4, 30*time.Second, time.Second)
+	if got := RandomFaults(99, len(lcs), 4, 30*time.Second, time.Second); !reflect.DeepEqual(got, faults) {
+		t.Fatalf("RandomFaults not reproducible:\n%v\n%v", got, faults)
+	}
+	run := func() *CampaignReport {
+		camp, err := NewCampaign(CampaignConfig{
+			Agents:    campaignAgentConfigs(t, lcs, bes),
+			BE:        bes,
+			Faults:    faults,
+			Duration:  40 * time.Second,
+			DeadAfter: 2,
+			Timeout:   50 * time.Millisecond,
+			Seed:      4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := camp.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return report
+	}
+	a, b := run(), run()
+	if a.Deaths != b.Deaths || a.Rejoins != b.Rejoins || a.Rounds != b.Rounds {
+		t.Fatalf("replay diverged: deaths %d/%d rejoins %d/%d rounds %d/%d",
+			a.Deaths, b.Deaths, a.Rejoins, b.Rejoins, a.Rounds, b.Rounds)
+	}
+	if !reflect.DeepEqual(a.Status.Placement, b.Status.Placement) {
+		t.Fatalf("replay placement diverged: %v vs %v", a.Status.Placement, b.Status.Placement)
+	}
+}
+
+// TestCampaignValidation exercises configuration rejection.
+func TestCampaignValidation(t *testing.T) {
+	bes := []string{"graph"}
+	base := func() CampaignConfig {
+		return CampaignConfig{
+			Agents:   campaignAgentConfigs(t, []string{"img-dnn"}, bes),
+			BE:       bes,
+			Duration: 5 * time.Second,
+		}
+	}
+	if _, err := NewCampaign(CampaignConfig{Duration: time.Second}); err == nil {
+		t.Fatal("no agents accepted")
+	}
+	cfg := base()
+	cfg.Duration = 0
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	cfg = base()
+	cfg.Faults = []FaultEvent{{At: time.Second, Agent: 5, Kind: FaultCrash, Duration: time.Second}}
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("out-of-range fault target accepted")
+	}
+	cfg = base()
+	cfg.Faults = []FaultEvent{{At: time.Second, Agent: 0, Kind: FaultCrash}}
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("zero-duration fault accepted")
+	}
+	cfg = base()
+	cfg.Agents[0].Trace = nil
+	if _, err := NewCampaign(cfg); err == nil {
+		t.Fatal("traceless agent accepted")
+	}
+}
+
+// TestCampaignHarnessObserves proves the invariant harness actually rides
+// the campaign's tick path: a registered counting checker must see one
+// snapshot per simulated tick per running agent.
+func TestCampaignHarnessObserves(t *testing.T) {
+	bes := []string{"graph"}
+	h := invariant.NewHarness()
+	ticks := 0
+	if err := h.Register(invariant.Checker{
+		Name:  "count-snapshots",
+		Check: func(s *invariant.Snapshot) error { ticks++; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	camp, err := NewCampaign(CampaignConfig{
+		Agents:   campaignAgentConfigs(t, []string{"img-dnn", "sphinx"}, bes),
+		BE:       bes,
+		Duration: 5 * time.Second,
+		Harness:  h,
+		Seed:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := camp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// 2 agents x 5 s x 10 ticks/s.
+	if want := 100; ticks != want {
+		t.Fatalf("counting checker saw %d snapshots, want %d", ticks, want)
+	}
+}

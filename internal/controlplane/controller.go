@@ -55,6 +55,12 @@ type ControllerConfig struct {
 	// Client overrides the HTTP client (tests); Timeout still applies
 	// per request via context.
 	Client *http.Client
+	// Now overrides the clock used for liveness bookkeeping — dead-agent
+	// probe backoff and periodic re-solve scheduling (default time.Now).
+	// Deterministic drivers (the fault campaign) substitute a clock that
+	// advances one heartbeat per round so backoff windows are measured in
+	// rounds, not wall time.
+	Now func() time.Time
 }
 
 // agentState is the controller's view of one agent.
@@ -104,6 +110,7 @@ type Controller struct {
 	client *http.Client
 	rng    *rand.Rand
 	logf   func(string, ...any)
+	now    func() time.Time
 
 	mu        sync.Mutex
 	agents    []*agentState
@@ -171,11 +178,16 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	c := &Controller{
 		cfg:    cfg,
 		client: client,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		logf:   logf,
+		now:    now,
 	}
 	for _, u := range cfg.AgentURLs {
 		c.agents = append(c.agents, &agentState{url: u, name: u})
@@ -208,7 +220,7 @@ func (c *Controller) jitteredHeartbeat() time.Duration {
 // toward the desired assignment. Exposed for deterministic tests; Run
 // calls it on the jittered interval.
 func (c *Controller) Round(ctx context.Context) {
-	now := time.Now()
+	now := c.now()
 
 	// Snapshot who is due without holding the lock across network calls.
 	c.mu.Lock()

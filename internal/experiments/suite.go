@@ -32,6 +32,10 @@ type Suite struct {
 	// independent simulation units through (0 = GOMAXPROCS, 1 =
 	// sequential). Results are identical at every setting.
 	Parallel int
+	// Invariants runs every underlying cluster simulation with the
+	// invariant harness bound to its per-tick observe path; a violation
+	// fails the experiment instead of producing a silently wrong table.
+	Invariants bool
 
 	mu         sync.Mutex
 	policyRuns map[cluster.Policy]*cluster.Result
@@ -66,9 +70,10 @@ func (s *Suite) clusterConfig() cluster.Config {
 		LC:       s.Catalog.LC(),
 		BE:       s.Catalog.BE(),
 		Models:   s.Models,
-		Dwell:    s.Dwell,
-		Seed:     s.Seed,
-		Parallel: s.Parallel,
+		Dwell:      s.Dwell,
+		Seed:       s.Seed,
+		Parallel:   s.Parallel,
+		Invariants: s.Invariants,
 	}
 }
 

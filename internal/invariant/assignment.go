@@ -1,0 +1,74 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckAssignment validates a solver's output against its input matrix:
+// the assignment must be a matching (every row assigned a distinct column
+// inside the matrix), every matrix entry must be finite, and the reported
+// total must equal the recomputed sum of the assigned entries. The cluster
+// layer runs this on every Matrix.Solve result so a solver regression is
+// caught at the call site, not three layers up in an experiment table.
+func CheckAssignment(value [][]float64, assignment []int, total float64) error {
+	n := len(value)
+	if len(assignment) != n {
+		return fmt.Errorf("invariant: assignment length %d for %d rows", len(assignment), n)
+	}
+	if n == 0 {
+		if total != 0 {
+			return fmt.Errorf("invariant: empty assignment reports total %v", total)
+		}
+		return nil
+	}
+	m := len(value[0])
+	used := make(map[int]int, n)
+	sum := 0.0
+	for i, j := range assignment {
+		if len(value[i]) != m {
+			return fmt.Errorf("invariant: ragged matrix row %d (%d columns, want %d)", i, len(value[i]), m)
+		}
+		if j < 0 || j >= m {
+			return fmt.Errorf("invariant: row %d assigned column %d outside [0, %d)", i, j, m)
+		}
+		if prev, dup := used[j]; dup {
+			return fmt.Errorf("invariant: rows %d and %d both assigned column %d (not a matching)", prev, i, j)
+		}
+		used[j] = i
+		v := value[i][j]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("invariant: assigned entry value[%d][%d] = %v is not finite", i, j, v)
+		}
+		sum += v
+	}
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return fmt.Errorf("invariant: reported total %v is not finite", total)
+	}
+	scale := math.Max(1, math.Max(math.Abs(sum), math.Abs(total)))
+	if math.Abs(sum-total) > 1e-6*scale {
+		return fmt.Errorf("invariant: reported total %v != recomputed %v", total, sum)
+	}
+	return nil
+}
+
+// CheckPlacement validates a cluster placement map (best-effort job →
+// host): every target host must be in the live set and no two jobs may
+// share a host. The fault-campaign driver runs this against the set of
+// agents the controller believes alive after each round.
+func CheckPlacement(placement map[string]string, liveHosts map[string]bool) error {
+	byHost := make(map[string]string, len(placement))
+	for job, host := range placement {
+		if host == "" {
+			return fmt.Errorf("invariant: job %q placed on empty host", job)
+		}
+		if !liveHosts[host] {
+			return fmt.Errorf("invariant: job %q placed on host %q outside the live set", job, host)
+		}
+		if prev, dup := byHost[host]; dup {
+			return fmt.Errorf("invariant: jobs %q and %q both placed on host %q", prev, job, host)
+		}
+		byHost[host] = job
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pocolo/internal/servermgr"
+)
+
+// DefaultCheckers returns fresh instances of every standard invariant
+// checker: resource conservation, power-cap compliance, slack-recovery
+// liveness, and physical sanity.
+func DefaultCheckers() []Checker {
+	return []Checker{
+		NewResourceConservation(),
+		NewPowerCapCompliance(),
+		NewSlackRecovery(),
+		NewPhysicalSanity(),
+	}
+}
+
+// NewResourceConservation checks that allocations conserve machine
+// capacity: no tenant holds negative or over-capacity resources, and owned
+// plus free units equal exactly the platform's core and LLC-way counts (a
+// double-owned unit would be counted twice and break the sum). When the
+// snapshot carries the live *machine.Server it also runs the server's deep
+// Audit, which validates the owner slices and per-tenant DVFS/duty state
+// under the server's own lock.
+func NewResourceConservation() Checker {
+	return Checker{
+		Name: "resource-conservation",
+		Check: func(s *Snapshot) error {
+			sumCores, sumWays := 0, 0
+			for name, a := range s.Allocations {
+				if a.Cores < 0 || a.Ways < 0 {
+					return fmt.Errorf("tenant %q holds negative resources (%d cores, %d ways)", name, a.Cores, a.Ways)
+				}
+				if a.Cores > s.Machine.Cores {
+					return fmt.Errorf("tenant %q holds %d cores on a %d-core machine", name, a.Cores, s.Machine.Cores)
+				}
+				if a.Ways > s.Machine.LLCWays {
+					return fmt.Errorf("tenant %q holds %d ways on a %d-way machine", name, a.Ways, s.Machine.LLCWays)
+				}
+				sumCores += a.Cores
+				sumWays += a.Ways
+			}
+			if sumCores+s.FreeCores != s.Machine.Cores {
+				return fmt.Errorf("core conservation broken: %d owned + %d free != %d capacity (double ownership or leak)",
+					sumCores, s.FreeCores, s.Machine.Cores)
+			}
+			if sumWays+s.FreeWays != s.Machine.LLCWays {
+				return fmt.Errorf("way conservation broken: %d owned + %d free != %d capacity (double ownership or leak)",
+					sumWays, s.FreeWays, s.Machine.LLCWays)
+			}
+			if s.Server != nil {
+				return s.Server.Audit()
+			}
+			return nil
+		},
+	}
+}
+
+// capState is the per-host memory of the power-cap checker.
+type capState struct {
+	// Responsiveness: the earliest uncleared over-cap observation and the
+	// throttle count at that moment.
+	pending          bool
+	pendingSince     time.Time
+	pendingThrottles int
+	// Convergence: when the current continuous over-cap excursion began.
+	overSince time.Time
+	inOver    bool
+}
+
+// capTolerance is the relative margin on the cap before the checker flags:
+// the meter carries ~1 % gaussian noise, so a reading a few percent over
+// budget is indistinguishable from compliance at the cap.
+const capTolerance = 0.05
+
+// capGraceMultiple bounds how long a sustained over-cap excursion may last
+// before the checker calls it a violation even though throttling continues:
+// the capper halves frequency step-by-step and then decays duty, so it
+// reaches the floor well inside 20 capper periods (2 s at defaults).
+const capGraceMultiple = 20
+
+// NewPowerCapCompliance checks the paper's capping contract on managed
+// hosts: whenever the metered power sits above the enforced cap, the
+// capper must take a throttle action within one capper period, and a
+// sustained excursion must end within a small grace window unless the
+// best-effort throttle has already bottomed out (duty at DutyFloor and
+// DVFS at the platform minimum) or there is no best-effort tenant left to
+// squeeze — beyond that point residual over-cap power is the LC's, which
+// the capper is forbidden to touch.
+func NewPowerCapCompliance() Checker {
+	states := make(map[string]*capState)
+	return Checker{
+		Name: "power-cap-compliance",
+		Check: func(s *Snapshot) error {
+			if !s.Managed || s.CapW <= 0 || s.CapPeriod <= 0 {
+				return nil
+			}
+			st := states[s.Host]
+			if st == nil {
+				st = &capState{}
+				states[s.Host] = st
+			}
+			over := s.MeterW > s.CapW*(1+capTolerance)
+			if !over {
+				st.pending = false
+				st.inOver = false
+				return nil
+			}
+			atFloor := s.BEParked || !s.BEAllocated ||
+				(s.BEDuty <= servermgr.DutyFloor+1e-9 && s.BEFreqGHz <= s.Machine.MinFreqGHz+1e-9)
+			if !st.inOver {
+				st.inOver = true
+				st.overSince = s.Now
+			}
+			if !st.pending {
+				st.pending = true
+				st.pendingSince = s.Now
+				st.pendingThrottles = s.CapThrottles
+				return nil
+			}
+			if s.Now.Sub(st.pendingSince) >= s.CapPeriod {
+				if !atFloor && s.CapThrottles <= st.pendingThrottles {
+					return fmt.Errorf("power %.1fW over cap %.1fW for a full capper period (%v) with no throttle action (throttles stuck at %d)",
+						s.MeterW, s.CapW, s.CapPeriod, s.CapThrottles)
+				}
+				// Action observed (or floor reached): arm the next window.
+				st.pendingSince = s.Now
+				st.pendingThrottles = s.CapThrottles
+			}
+			if !atFloor && s.Now.Sub(st.overSince) > capGraceMultiple*s.CapPeriod {
+				return fmt.Errorf("power %.1fW stuck over cap %.1fW for %v with throttle headroom remaining (duty %.2f, freq %.2fGHz)",
+					s.MeterW, s.CapW, s.Now.Sub(st.overSince), s.BEDuty, s.BEFreqGHz)
+			}
+			return nil
+		},
+	}
+}
+
+// slackState is the per-host memory of the slack-recovery checker.
+type slackState struct {
+	badSince time.Time
+	inBad    bool
+}
+
+// slackRecoveryWindow is how long LC slack may stay negative before the
+// checker demands either recovery or proof of resource exhaustion. The
+// manager reacts on its 1 s control period and escalates its boost on
+// every violating tick, so five control periods is a generous bound.
+const slackRecoveryWindow = 5 * time.Second
+
+// NewSlackRecovery checks liveness of SLO recovery on managed hosts: after
+// a disturbance pushes p99 over the SLO, the server manager must bring
+// slack back above zero within slackRecoveryWindow. The one legitimate
+// escape is physical exhaustion — the LC already owns every core and way
+// at maximum frequency — where the violation is offered load exceeding
+// machine capacity, not a controller bug.
+func NewSlackRecovery() Checker {
+	states := make(map[string]*slackState)
+	return Checker{
+		Name: "slack-recovery",
+		Check: func(s *Snapshot) error {
+			if !s.Managed || s.ControlTicks < 2 {
+				// Unmanaged hosts have no controller to recover; before the
+				// second control tick the manager has not yet reacted to
+				// anything.
+				return nil
+			}
+			st := states[s.Host]
+			if st == nil {
+				st = &slackState{}
+				states[s.Host] = st
+			}
+			if s.Slack >= 0 {
+				st.inBad = false
+				return nil
+			}
+			if !st.inBad {
+				st.inBad = true
+				st.badSince = s.Now
+				return nil
+			}
+			if s.Now.Sub(st.badSince) <= slackRecoveryWindow {
+				return nil
+			}
+			const eps = 1e-9
+			exhausted := s.LCAlloc.Cores >= s.Machine.Cores &&
+				s.LCAlloc.Ways >= s.Machine.LLCWays &&
+				s.LCAlloc.FreqGHz >= s.Machine.MaxFreqGHz-eps
+			if exhausted {
+				return nil
+			}
+			return fmt.Errorf("slack %.3f negative for %v without recovery; LC holds %d/%d cores, %d/%d ways at %.2fGHz",
+				s.Slack, s.Now.Sub(st.badSince), s.LCAlloc.Cores, s.Machine.Cores, s.LCAlloc.Ways, s.Machine.LLCWays, s.LCAlloc.FreqGHz)
+		},
+	}
+}
+
+// NewPhysicalSanity checks that every observable stays inside its physical
+// domain: finite non-negative power at or above the idle floor, finite
+// non-negative latency, offered load within the trace's peak, and throttle
+// settings inside the platform envelope.
+func NewPhysicalSanity() Checker {
+	return Checker{
+		Name: "physical-sanity",
+		Check: func(s *Snapshot) error {
+			for _, v := range []struct {
+				name string
+				val  float64
+			}{
+				{"true power", s.TruePowerW},
+				{"meter reading", s.MeterW},
+				{"p99 latency", s.P99Ms},
+				{"offered load", s.OfferedLoad},
+			} {
+				if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+					return fmt.Errorf("%s %v outside physical domain", v.name, v.val)
+				}
+			}
+			if s.TruePowerW < s.Machine.IdlePowerW-1e-6 {
+				return fmt.Errorf("true power %.2fW below idle floor %.2fW", s.TruePowerW, s.Machine.IdlePowerW)
+			}
+			if s.PeakLoad > 0 && s.OfferedLoad > s.PeakLoad*(1+1e-9) {
+				return fmt.Errorf("offered load %.1f exceeds trace peak %.1f", s.OfferedLoad, s.PeakLoad)
+			}
+			if s.Managed {
+				if s.BEDuty <= 0 || s.BEDuty > 1 {
+					return fmt.Errorf("BE duty %v outside (0, 1]", s.BEDuty)
+				}
+				const eps = 1e-9
+				if s.BEFreqGHz < s.Machine.MinFreqGHz-eps || s.BEFreqGHz > s.Machine.MaxFreqGHz+eps {
+					return fmt.Errorf("BE frequency %vGHz outside platform range [%v, %v]",
+						s.BEFreqGHz, s.Machine.MinFreqGHz, s.Machine.MaxFreqGHz)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,108 @@
+package invariant
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/workload"
+)
+
+// Property-based generators. The tests in this package (and any later
+// scaling PR) draw random but physically plausible platforms and
+// application catalogs from these, run short managed simulations, and let
+// the harness assert that the invariants hold for every draw — not just
+// for the Xeon E5-2650 and the eight built-in applications.
+
+// GenMachine draws a random valid platform: 4–32 cores, 4–32 LLC ways, a
+// DVFS range of at least 0.4 GHz on a 0.1 GHz grid, and a power envelope
+// with a strictly positive active-over-idle span.
+func GenMachine(rng *rand.Rand) machine.Config {
+	cores := 4 + rng.Intn(29)
+	ways := 4 + rng.Intn(29)
+	minF := roundGHz(0.8 + rng.Float64()*0.8)
+	maxF := roundGHz(minF + 0.4 + rng.Float64()*1.6)
+	idle := 20 + rng.Float64()*60
+	cfg := machine.Config{
+		Name:         fmt.Sprintf("gen-%dc%dw", cores, ways),
+		Cores:        cores,
+		LLCWays:      ways,
+		LLCMB:        1.5 * float64(ways),
+		MemoryGB:     64,
+		StorageGB:    240,
+		MinFreqGHz:   minF,
+		MaxFreqGHz:   maxF,
+		FreqStepGHz:  0.1,
+		IdlePowerW:   idle,
+		ActivePowerW: idle + 40 + rng.Float64()*150,
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("invariant: generated invalid machine: %v", err)) // generator bug
+	}
+	return cfg
+}
+
+// roundGHz snaps a frequency onto the 0.1 GHz grid so generated ranges
+// align with the platform's FreqStepGHz.
+func roundGHz(f float64) float64 {
+	return float64(int(f*10+0.5)) / 10
+}
+
+// GenCatalog draws a random application catalog with nLC latency-critical
+// and nBE best-effort applications, routed through the public JSON surface
+// (LoadCatalog) so generated specs take the exact validation and
+// calibration path user-supplied catalogs do.
+func GenCatalog(rng *rand.Rand, cfg machine.Config, nLC, nBE int) (*workload.Catalog, error) {
+	if nLC < 1 || nBE < 0 {
+		return nil, fmt.Errorf("invariant: need at least one LC app (nLC=%d, nBE=%d)", nLC, nBE)
+	}
+	type specJSON map[string]any
+	apps := make([]specJSON, 0, nLC+nBE)
+	for i := 0; i < nLC; i++ {
+		p95 := 2 + rng.Float64()*48
+		prefCores := 0.2 + rng.Float64()*0.6
+		apps = append(apps, specJSON{
+			"name":              fmt.Sprintf("gen-lc-%d", i),
+			"class":             "latency-critical",
+			"alphaCores":        0.3 + rng.Float64()*0.5,
+			"alphaWays":         0.1 + rng.Float64()*0.4,
+			"freqExp":           0.6 + rng.Float64()*0.4,
+			"etaCores":          rng.Float64() * 0.12,
+			"etaWays":           rng.Float64() * 0.12,
+			"powerKappa":        rng.Float64() * 0.1,
+			"peakLoad":          200 + rng.Float64()*4800,
+			"prefCores":         prefCores,
+			"prefWays":          1 - prefCores,
+			"sloP95Ms":          p95,
+			"sloP99Ms":          p95 * (1.5 + rng.Float64()*2.5),
+			"provisionedPowerW": cfg.IdlePowerW + 30 + rng.Float64()*(cfg.ActivePowerW-cfg.IdlePowerW+60),
+		})
+	}
+	for i := 0; i < nBE; i++ {
+		prefCores := 0.2 + rng.Float64()*0.6
+		apps = append(apps, specJSON{
+			"name":              fmt.Sprintf("gen-be-%d", i),
+			"class":             "best-effort",
+			"alphaCores":        0.3 + rng.Float64()*0.5,
+			"alphaWays":         0.1 + rng.Float64()*0.4,
+			"freqExp":           0.6 + rng.Float64()*0.4,
+			"etaCores":          rng.Float64() * 0.12,
+			"etaWays":           rng.Float64() * 0.12,
+			"powerKappa":        rng.Float64() * 0.1,
+			"peakLoad":          50 + rng.Float64()*950,
+			"prefCores":         prefCores,
+			"prefWays":          1 - prefCores,
+			"fullDynamicPowerW": 30 + rng.Float64()*170,
+		})
+	}
+	doc, err := json.Marshal(map[string]any{
+		"format":       "pocolo-catalog/v1",
+		"applications": apps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return workload.LoadCatalog(bytes.NewReader(doc), cfg)
+}

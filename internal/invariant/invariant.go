@@ -1,0 +1,287 @@
+// Package invariant machine-checks Pocolo's physical correctness claims.
+//
+// The system's guarantees are physical invariants — allocations never
+// exceed machine capacity, measured power returns under the provisioned
+// cap within a capper period, latency-critical slack recovers after a
+// disturbance, and the placement solvers return valid matchings whose
+// reported score matches the matrix. This package turns each claim into a
+// Checker and provides a Harness that hooks the per-tick observe path of a
+// simulation engine (sim.Engine.Observe) so every tick of every managed
+// host is audited, in tests, in the simulator binaries (-invariants), and
+// through the control-plane fault campaigns.
+package invariant
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+)
+
+// Snapshot is one host's cross-layer state at the end of one engine tick.
+// Checkers read it; stateful checkers key their memory by Host.
+type Snapshot struct {
+	Host string
+	Now  time.Time
+
+	// Machine layer.
+	Machine     machine.Config
+	Server      *machine.Server // optional; enables the deep Audit
+	Allocations map[string]machine.Alloc
+	FreeCores   int
+	FreeWays    int
+
+	// Workload layer.
+	LC          string
+	LCAlloc     machine.Alloc
+	PeakLoad    float64
+	OfferedLoad float64
+	SLOP99Ms    float64
+	P99Ms       float64
+	Slack       float64
+	BEAllocated bool // at least one best-effort tenant holds resources
+
+	// Power layer.
+	TruePowerW float64
+	MeterW     float64
+	CapW       float64 // budget the capper enforces (override-aware)
+
+	// Server-manager layer; zero values with Managed == false mean the
+	// host runs without a manager and controller invariants are skipped.
+	Managed       bool
+	BEFreqGHz     float64
+	BEDuty        float64
+	BEParked      bool
+	Boost         int
+	ControlTicks  int
+	CapThrottles  int
+	CapRestores   int
+	CapPeriod     time.Duration
+	ControlPeriod time.Duration
+	TargetSlack   float64
+}
+
+// Checker is one named invariant. Check returns nil when the snapshot
+// satisfies the invariant. Checkers may keep internal state across calls
+// (keyed by Snapshot.Host); build a fresh instance per Harness.
+type Checker struct {
+	Name  string
+	Check func(s *Snapshot) error
+}
+
+// Violation records one failed check.
+type Violation struct {
+	Checker string
+	Host    string
+	Time    time.Time
+	Err     error
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] host %s at %s: %v", v.Checker, v.Host, v.Time.Format("15:04:05.000"), v.Err)
+}
+
+// maxRecorded bounds the violations kept per harness; the total count keeps
+// climbing so a violation storm cannot exhaust memory or hide its size.
+const maxRecorded = 64
+
+// watched pairs a host with its (optional) server manager.
+type watched struct {
+	host *sim.Host
+	mgr  *servermgr.Manager
+}
+
+// Harness is a checker registry bound to the per-tick observe path. All
+// methods are safe for concurrent use, so one harness may watch hosts on
+// engines ticking in different goroutines.
+type Harness struct {
+	mu         sync.Mutex
+	checkers   []Checker
+	watched    []watched
+	violations []Violation
+	total      int
+}
+
+// NewHarness builds a harness with the given checkers; with none given it
+// registers DefaultCheckers.
+func NewHarness(checkers ...Checker) *Harness {
+	if len(checkers) == 0 {
+		checkers = DefaultCheckers()
+	}
+	h := &Harness{}
+	for _, c := range checkers {
+		if err := h.Register(c); err != nil {
+			panic(err) // unreachable for DefaultCheckers
+		}
+	}
+	return h
+}
+
+// Register adds a checker to the registry.
+func (h *Harness) Register(c Checker) error {
+	if c.Name == "" {
+		return fmt.Errorf("invariant: checker needs a name")
+	}
+	if c.Check == nil {
+		return fmt.Errorf("invariant: checker %q has no Check func", c.Name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, existing := range h.checkers {
+		if existing.Name == c.Name {
+			return fmt.Errorf("invariant: duplicate checker %q", c.Name)
+		}
+	}
+	h.checkers = append(h.checkers, c)
+	return nil
+}
+
+// Checkers returns the registered checker names.
+func (h *Harness) Checkers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	names := make([]string, len(h.checkers))
+	for i, c := range h.checkers {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Watch adds a host (and its manager, which may be nil for unmanaged
+// hosts) to the set snapshotted every tick.
+func (h *Harness) Watch(host *sim.Host, mgr *servermgr.Manager) error {
+	if host == nil {
+		return fmt.Errorf("invariant: nil host")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.watched = append(h.watched, watched{host: host, mgr: mgr})
+	return nil
+}
+
+// Bind registers the harness on the engine's per-tick observe path. Watch
+// the engine's hosts first.
+func (h *Harness) Bind(e *sim.Engine) error {
+	if e == nil {
+		return fmt.Errorf("invariant: nil engine")
+	}
+	return e.Observe(h.Tick)
+}
+
+// Tick snapshots every watched host and runs all checkers. It is the
+// sim.Observer the harness binds; exposed so non-engine loops (the
+// control-plane agent's pacing loop, campaign drivers) can drive it too.
+func (h *Harness) Tick(now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, w := range h.watched {
+		s := Capture(w.host, w.mgr, now)
+		h.runLocked(s)
+	}
+}
+
+// Run checks one externally built snapshot against every registered
+// checker, recording violations. Tests feed deliberately corrupted
+// snapshots through it to prove the harness catches them.
+func (h *Harness) Run(s *Snapshot) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.runLocked(s)
+}
+
+func (h *Harness) runLocked(s *Snapshot) {
+	for _, c := range h.checkers {
+		if err := c.Check(s); err != nil {
+			h.total++
+			if len(h.violations) < maxRecorded {
+				h.violations = append(h.violations, Violation{Checker: c.Name, Host: s.Host, Time: s.Now, Err: err})
+			}
+		}
+	}
+}
+
+// Violations returns the recorded violations (capped; see Count for the
+// true total).
+func (h *Harness) Violations() []Violation {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Violation(nil), h.violations...)
+}
+
+// Count returns the total number of violations observed, including any
+// beyond the recording cap.
+func (h *Harness) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Err returns nil when no invariant was violated, and otherwise an error
+// naming the first violation and the total count.
+func (h *Harness) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariant: %d violation(s), first: %s", h.total, h.violations[0])
+}
+
+// Reset clears recorded violations (checker state is retained).
+func (h *Harness) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.violations = nil
+	h.total = 0
+}
+
+// Capture assembles a snapshot of one host (and its manager, which may be
+// nil) at the given simulated time.
+func Capture(host *sim.Host, mgr *servermgr.Manager, now time.Time) *Snapshot {
+	cfg := host.Machine()
+	srv := host.Server()
+	allocs := srv.Allocations()
+	freeC, freeW := srv.Free()
+	lc := host.LC()
+	s := &Snapshot{
+		Host:        host.Name(),
+		Now:         now,
+		Machine:     cfg,
+		Server:      srv,
+		Allocations: allocs,
+		FreeCores:   freeC,
+		FreeWays:    freeW,
+		LC:          lc.Name,
+		LCAlloc:     allocs[lc.Name],
+		PeakLoad:    lc.PeakLoad,
+		OfferedLoad: host.OfferedLoad(),
+		SLOP99Ms:    lc.SLO.P99Ms,
+		P99Ms:       host.ObservedP99(),
+		Slack:       host.Slack(),
+		TruePowerW:  host.TruePowerW(),
+		MeterW:      host.MeterReading().Watts,
+		CapW:        host.CapW(),
+	}
+	for _, be := range host.BEs() {
+		if a, ok := allocs[be.Name]; ok && (a.Cores > 0 || a.Ways > 0) {
+			s.BEAllocated = true
+			break
+		}
+	}
+	if mgr != nil {
+		s.Managed = true
+		s.CapW = mgr.CapW()
+		s.BEFreqGHz, s.BEDuty = mgr.BEThrottle()
+		s.BEParked = mgr.BEParked()
+		s.Boost = mgr.Boost()
+		s.ControlTicks, s.CapThrottles, s.CapRestores = mgr.Counters()
+		s.CapPeriod = mgr.CapPeriod()
+		s.ControlPeriod = mgr.ControlPeriod()
+		s.TargetSlack = mgr.TargetSlack()
+	}
+	return s
+}

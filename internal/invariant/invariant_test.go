@@ -1,0 +1,395 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/servermgr"
+)
+
+// healthySnapshot returns a snapshot of a well-behaved managed host: full
+// machine split between LC and BE, power inside the cap, slack positive.
+func healthySnapshot() *Snapshot {
+	cfg := machine.XeonE52650()
+	lcAlloc := machine.Alloc{Cores: 8, Ways: 12, FreqGHz: 2.2, Duty: 1}
+	return &Snapshot{
+		Host:    "h0",
+		Now:     time.Unix(0, 0).UTC(),
+		Machine: cfg,
+		Allocations: map[string]machine.Alloc{
+			"lc": lcAlloc,
+			"be": {Cores: 4, Ways: 8, FreqGHz: 2.2, Duty: 1},
+		},
+		FreeCores:     0,
+		FreeWays:      0,
+		LC:            "lc",
+		LCAlloc:       lcAlloc,
+		PeakLoad:      1000,
+		OfferedLoad:   500,
+		SLOP99Ms:      50,
+		P99Ms:         30,
+		Slack:         0.4,
+		BEAllocated:   true,
+		TruePowerW:    100,
+		MeterW:        100,
+		CapW:          120,
+		Managed:       true,
+		BEFreqGHz:     2.2,
+		BEDuty:        1,
+		ControlTicks:  5,
+		CapPeriod:     100 * time.Millisecond,
+		ControlPeriod: time.Second,
+		TargetSlack:   0.10,
+	}
+}
+
+func TestHarnessRegistry(t *testing.T) {
+	h := NewHarness()
+	names := h.Checkers()
+	want := []string{"resource-conservation", "power-cap-compliance", "slack-recovery", "physical-sanity"}
+	if len(names) != len(want) {
+		t.Fatalf("default harness has checkers %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("checker %d = %q, want %q", i, names[i], n)
+		}
+	}
+	if err := h.Register(NewPhysicalSanity()); err == nil {
+		t.Fatal("duplicate checker registration succeeded")
+	}
+	if err := h.Register(Checker{Name: "", Check: func(*Snapshot) error { return nil }}); err == nil {
+		t.Fatal("nameless checker registration succeeded")
+	}
+	if err := h.Register(Checker{Name: "no-func"}); err == nil {
+		t.Fatal("checker without Check func registered")
+	}
+	if err := h.Register(Checker{Name: "custom", Check: func(*Snapshot) error { return nil }}); err != nil {
+		t.Fatalf("registering a custom checker: %v", err)
+	}
+}
+
+func TestHealthySnapshotPasses(t *testing.T) {
+	h := NewHarness()
+	s := healthySnapshot()
+	// Feed several ticks so the stateful checkers build history.
+	for i := 0; i < 30; i++ {
+		s.Now = s.Now.Add(100 * time.Millisecond)
+		h.Run(s)
+	}
+	if err := h.Err(); err != nil {
+		t.Fatalf("healthy snapshot flagged: %v", err)
+	}
+}
+
+// TestCheckersCatchCorruption feeds deliberately corrupted snapshots (test
+// doubles for buggy layers) through the harness and requires each to be
+// caught by the right checker.
+func TestCheckersCatchCorruption(t *testing.T) {
+	tests := []struct {
+		name    string
+		checker string // substring expected in the violation
+		corrupt func(s *Snapshot)
+	}{
+		{
+			name:    "double ownership inflates core sum",
+			checker: "resource-conservation",
+			corrupt: func(s *Snapshot) {
+				a := s.Allocations["be"]
+				a.Cores++ // now owned 13 + free 0 on a 12-core machine
+				s.Allocations["be"] = a
+			},
+		},
+		{
+			name:    "leaked ways",
+			checker: "resource-conservation",
+			corrupt: func(s *Snapshot) {
+				a := s.Allocations["be"]
+				a.Ways -= 2 // two ways vanished without showing up as free
+				s.Allocations["be"] = a
+			},
+		},
+		{
+			name:    "negative allocation",
+			checker: "resource-conservation",
+			corrupt: func(s *Snapshot) {
+				s.Allocations["be"] = machine.Alloc{Cores: -1, Ways: 0, FreqGHz: 2.2, Duty: 1}
+			},
+		},
+		{
+			name:    "tenant above machine capacity",
+			checker: "resource-conservation",
+			corrupt: func(s *Snapshot) {
+				s.Allocations["lc"] = machine.Alloc{Cores: 40, Ways: 12, FreqGHz: 2.2, Duty: 1}
+				s.FreeCores = -28 // keep the sum consistent so the per-tenant bound fires
+			},
+		},
+		{
+			name:    "NaN power",
+			checker: "physical-sanity",
+			corrupt: func(s *Snapshot) { s.TruePowerW = nan() },
+		},
+		{
+			name:    "power below idle floor",
+			checker: "physical-sanity",
+			corrupt: func(s *Snapshot) { s.TruePowerW = s.Machine.IdlePowerW / 2 },
+		},
+		{
+			name:    "negative latency",
+			checker: "physical-sanity",
+			corrupt: func(s *Snapshot) { s.P99Ms = -1 },
+		},
+		{
+			name:    "offered load beyond trace peak",
+			checker: "physical-sanity",
+			corrupt: func(s *Snapshot) { s.OfferedLoad = s.PeakLoad * 2 },
+		},
+		{
+			name:    "BE duty outside (0,1]",
+			checker: "physical-sanity",
+			corrupt: func(s *Snapshot) { s.BEDuty = 1.5 },
+		},
+		{
+			name:    "BE frequency off the platform grid range",
+			checker: "physical-sanity",
+			corrupt: func(s *Snapshot) { s.BEFreqGHz = s.Machine.MaxFreqGHz + 1 },
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHarness()
+			s := healthySnapshot()
+			tc.corrupt(s)
+			h.Run(s)
+			vs := h.Violations()
+			if len(vs) == 0 {
+				t.Fatal("corrupted snapshot passed every checker")
+			}
+			found := false
+			for _, v := range vs {
+				if v.Checker == tc.checker {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v do not include checker %q", vs, tc.checker)
+			}
+		})
+	}
+}
+
+func nan() float64 { var zero float64; return zero / zero }
+
+// TestPowerCapComplianceTiming exercises the stateful capper contract: an
+// over-cap reading with a frozen throttle counter is a violation exactly
+// one capper period later, while an advancing counter or a bottomed-out
+// throttle is not.
+func TestPowerCapComplianceTiming(t *testing.T) {
+	base := healthySnapshot()
+	over := func(s *Snapshot) { s.MeterW = s.CapW * 1.5 }
+
+	t.Run("frozen throttle counter violates after one period", func(t *testing.T) {
+		h := NewHarness(NewPowerCapCompliance())
+		s := *base
+		over(&s)
+		h.Run(&s)
+		if h.Count() != 0 {
+			t.Fatalf("violation before a capper period elapsed: %v", h.Err())
+		}
+		s.Now = s.Now.Add(s.CapPeriod)
+		h.Run(&s)
+		if h.Count() == 0 {
+			t.Fatal("no violation despite a full capper period with no throttle action")
+		}
+	})
+
+	t.Run("advancing throttle counter passes", func(t *testing.T) {
+		h := NewHarness(NewPowerCapCompliance())
+		s := *base
+		over(&s)
+		for i := 0; i < 10; i++ {
+			h.Run(&s)
+			s.Now = s.Now.Add(s.CapPeriod)
+			s.CapThrottles++
+			s.BEDuty *= 0.7 // converging toward the floor
+		}
+		if err := h.Err(); err != nil {
+			t.Fatalf("capper making progress flagged: %v", err)
+		}
+	})
+
+	t.Run("bottomed-out throttle passes even when stuck over", func(t *testing.T) {
+		h := NewHarness(NewPowerCapCompliance())
+		s := *base
+		over(&s)
+		s.BEDuty = servermgr.DutyFloor
+		s.BEFreqGHz = s.Machine.MinFreqGHz
+		for i := 0; i < 50; i++ {
+			h.Run(&s)
+			s.Now = s.Now.Add(s.CapPeriod)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatalf("exhausted capper flagged: %v", err)
+		}
+	})
+
+	t.Run("sustained excursion with headroom violates", func(t *testing.T) {
+		h := NewHarness(NewPowerCapCompliance())
+		s := *base
+		over(&s)
+		for i := 0; i < capGraceMultiple+2; i++ {
+			h.Run(&s)
+			s.Now = s.Now.Add(s.CapPeriod)
+			s.CapThrottles++ // counter moves but power never comes down
+		}
+		if h.Count() == 0 {
+			t.Fatal("sustained over-cap excursion with throttle headroom passed")
+		}
+	})
+
+	t.Run("unmanaged host is exempt", func(t *testing.T) {
+		h := NewHarness(NewPowerCapCompliance())
+		s := *base
+		over(&s)
+		s.Managed = false
+		for i := 0; i < 50; i++ {
+			h.Run(&s)
+			s.Now = s.Now.Add(100 * time.Millisecond)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatalf("unmanaged host flagged by the capper checker: %v", err)
+		}
+	})
+}
+
+// TestSlackRecoveryLiveness exercises the recovery window and the
+// resource-exhaustion escape.
+func TestSlackRecoveryLiveness(t *testing.T) {
+	t.Run("sustained negative slack with spare resources violates", func(t *testing.T) {
+		h := NewHarness(NewSlackRecovery())
+		s := healthySnapshot()
+		s.Slack = -0.2
+		s.P99Ms = 60
+		for i := 0; i < 70; i++ { // 7 s at 100 ms ticks > 5 s window
+			h.Run(s)
+			s.Now = s.Now.Add(100 * time.Millisecond)
+		}
+		if h.Count() == 0 {
+			t.Fatal("sustained SLO violation with free headroom passed")
+		}
+	})
+
+	t.Run("recovery inside the window passes", func(t *testing.T) {
+		h := NewHarness(NewSlackRecovery())
+		s := healthySnapshot()
+		s.Slack = -0.2
+		for i := 0; i < 30; i++ { // 3 s violating, then recovered
+			h.Run(s)
+			s.Now = s.Now.Add(100 * time.Millisecond)
+		}
+		s.Slack = 0.15
+		for i := 0; i < 30; i++ {
+			h.Run(s)
+			s.Now = s.Now.Add(100 * time.Millisecond)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatalf("recovering host flagged: %v", err)
+		}
+	})
+
+	t.Run("machine exhaustion is a legitimate escape", func(t *testing.T) {
+		h := NewHarness(NewSlackRecovery())
+		s := healthySnapshot()
+		s.Slack = -0.5
+		s.LCAlloc = s.Machine.Full()
+		s.Allocations = map[string]machine.Alloc{"lc": s.LCAlloc}
+		s.FreeCores, s.FreeWays = 0, 0
+		s.BEAllocated = false
+		for i := 0; i < 100; i++ {
+			h.Run(s)
+			s.Now = s.Now.Add(100 * time.Millisecond)
+		}
+		if err := h.Err(); err != nil {
+			t.Fatalf("overloaded-beyond-capacity host flagged as controller bug: %v", err)
+		}
+	})
+}
+
+func TestHarnessViolationCapAndReset(t *testing.T) {
+	h := NewHarness(NewPhysicalSanity())
+	s := healthySnapshot()
+	s.P99Ms = -1
+	for i := 0; i < maxRecorded+40; i++ {
+		h.Run(s)
+	}
+	if got := h.Count(); got != maxRecorded+40 {
+		t.Fatalf("Count() = %d, want %d", got, maxRecorded+40)
+	}
+	if got := len(h.Violations()); got != maxRecorded {
+		t.Fatalf("recorded %d violations, want cap %d", got, maxRecorded)
+	}
+	if err := h.Err(); err == nil || !strings.Contains(err.Error(), "physical-sanity") {
+		t.Fatalf("Err() = %v, want physical-sanity violation", err)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Err() != nil {
+		t.Fatalf("after Reset: count %d, err %v", h.Count(), h.Err())
+	}
+}
+
+func TestCheckAssignment(t *testing.T) {
+	value := [][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	}
+	tests := []struct {
+		name       string
+		value      [][]float64
+		assignment []int
+		total      float64
+		ok         bool
+	}{
+		{"valid matching", value, []int{0, 1, 2}, 1 + 5 + 9, true},
+		{"valid permuted", value, []int{2, 0, 1}, 3 + 4 + 8, true},
+		{"duplicate column", value, []int{0, 0, 2}, 1 + 4 + 9, false},
+		{"column out of range", value, []int{0, 1, 3}, 0, false},
+		{"negative column", value, []int{-1, 1, 2}, 0, false},
+		{"wrong total", value, []int{0, 1, 2}, 14, false},
+		{"length mismatch", value, []int{0, 1}, 6, false},
+		{"empty", nil, nil, 0, true},
+		{"empty with nonzero total", nil, nil, 3, false},
+		{"ragged matrix", [][]float64{{1, 2}, {3}}, []int{0, 1}, 3, false},
+		{"NaN entry assigned", [][]float64{{nan(), 2}, {3, 4}}, []int{0, 1}, 4, false},
+		{"rectangular (more columns than rows)", [][]float64{{1, 2, 3}, {4, 5, 6}}, []int{2, 1}, 8, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckAssignment(tc.value, tc.assignment, tc.total)
+			if tc.ok && err != nil {
+				t.Fatalf("valid assignment rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid assignment accepted")
+			}
+		})
+	}
+}
+
+func TestCheckPlacement(t *testing.T) {
+	live := map[string]bool{"h0": true, "h1": true}
+	if err := CheckPlacement(map[string]string{"be0": "h0", "be1": "h1"}, live); err != nil {
+		t.Fatalf("valid placement rejected: %v", err)
+	}
+	if err := CheckPlacement(map[string]string{"be0": "h2"}, live); err == nil {
+		t.Fatal("placement on a dead host accepted")
+	}
+	if err := CheckPlacement(map[string]string{"be0": "h0", "be1": "h0"}, live); err == nil {
+		t.Fatal("two jobs on one host accepted")
+	}
+	if err := CheckPlacement(map[string]string{"be0": ""}, live); err == nil {
+		t.Fatal("empty host accepted")
+	}
+}

@@ -277,6 +277,51 @@ func (s *Server) Free() (cores, ways int) {
 	return cores, ways
 }
 
+// Audit performs a deep consistency check of the server's internal state:
+// owner slices sized to the platform, every owned unit belonging to a
+// registered tenant, and every tenant's DVFS and duty settings inside the
+// platform envelope. A healthy server always passes; the invariant harness
+// calls it every tick to catch allocation-path regressions (double
+// ownership would surface as an orphaned owner entry or a conservation
+// mismatch in the per-tenant counts).
+func (s *Server) Audit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.coreOwner) != s.cfg.Cores {
+		return fmt.Errorf("machine: audit: %d core slots for a %d-core platform", len(s.coreOwner), s.cfg.Cores)
+	}
+	if len(s.wayOwner) != s.cfg.LLCWays {
+		return fmt.Errorf("machine: audit: %d way slots for a %d-way platform", len(s.wayOwner), s.cfg.LLCWays)
+	}
+	for i, o := range s.coreOwner {
+		if o == "" {
+			continue
+		}
+		if _, ok := s.tenants[o]; !ok {
+			return fmt.Errorf("machine: audit: core %d owned by unregistered tenant %q", i, o)
+		}
+	}
+	for i, o := range s.wayOwner {
+		if o == "" {
+			continue
+		}
+		if _, ok := s.tenants[o]; !ok {
+			return fmt.Errorf("machine: audit: way %d owned by unregistered tenant %q", i, o)
+		}
+	}
+	const eps = 1e-9
+	for name, ts := range s.tenants {
+		if ts.duty <= 0 || ts.duty > 1 {
+			return fmt.Errorf("machine: audit: tenant %q duty %v outside (0, 1]", name, ts.duty)
+		}
+		if ts.freqGHz < s.cfg.MinFreqGHz-eps || ts.freqGHz > s.cfg.MaxFreqGHz+eps {
+			return fmt.Errorf("machine: audit: tenant %q frequency %v outside [%v, %v]",
+				name, ts.freqGHz, s.cfg.MinFreqGHz, s.cfg.MaxFreqGHz)
+		}
+	}
+	return nil
+}
+
 // Allocations returns a snapshot of every tenant's allocation.
 func (s *Server) Allocations() map[string]Alloc {
 	out := make(map[string]Alloc)

@@ -149,10 +149,16 @@ type Manager struct {
 	capRestores  int
 }
 
-const (
-	maxBoost  = 4
-	dutyFloor = 0.05 // lowest duty cycle the capper will impose
-)
+const maxBoost = 4
+
+// DutyFloor is the lowest duty cycle the power capper will impose on the
+// best-effort partition. At the floor (and at the platform's minimum
+// frequency) the capper has exhausted its knobs; the invariant harness
+// treats sustained over-cap power beyond that point as physics, not a
+// controller bug.
+const DutyFloor = 0.05
+
+const dutyFloor = DutyFloor
 
 // New validates the configuration and builds a manager.
 func New(cfg Config) (*Manager, error) {
@@ -631,6 +637,15 @@ func (m *Manager) Model() *utility.Model { return m.model }
 
 // Policy returns the manager's LC policy.
 func (m *Manager) Policy() LCPolicy { return m.policy }
+
+// ControlPeriod returns the LC allocation loop period.
+func (m *Manager) ControlPeriod() time.Duration { return m.controlPeriod }
+
+// CapPeriod returns the power-capper period.
+func (m *Manager) CapPeriod() time.Duration { return m.capPeriod }
+
+// TargetSlack returns the relative p99 slack guard the manager defends.
+func (m *Manager) TargetSlack() float64 { return m.targetSlack }
 
 // BEThrottle reports the capper's current frequency and duty setting for
 // the co-runner.

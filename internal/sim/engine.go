@@ -16,17 +16,24 @@ type periodicTask struct {
 	next   time.Time
 }
 
+// Observer is called at the end of every engine tick, after all hosts have
+// stepped and all due periodic tasks have fired — the per-tick observe
+// path. The invariant harness registers itself here so cross-layer
+// invariants are checked against the exact state controllers acted on.
+type Observer func(now time.Time)
+
 // Engine advances a set of hosts through simulated time with a fixed tick,
 // firing periodic tasks in registration order whenever their period
 // elapses. Tasks run between host steps, mirroring controllers that read
 // fresh telemetry and adjust allocations for the next interval.
 type Engine struct {
-	dt    time.Duration
-	start time.Time
-	now   time.Time
-	hosts []*Host
-	tasks []*periodicTask
-	ran   bool
+	dt        time.Duration
+	start     time.Time
+	now       time.Time
+	hosts     []*Host
+	tasks     []*periodicTask
+	observers []Observer
+	ran       bool
 }
 
 // NewEngine creates an engine stepping with tick dt (e.g. 100 ms).
@@ -74,6 +81,16 @@ func (e *Engine) Every(period time.Duration, fn Task) error {
 	return nil
 }
 
+// Observe registers fn to run at the end of every tick, after hosts step
+// and periodic tasks fire. Observers run in registration order.
+func (e *Engine) Observe(fn Observer) error {
+	if fn == nil {
+		return errors.New("sim: nil observer")
+	}
+	e.observers = append(e.observers, fn)
+	return nil
+}
+
 // Run advances the simulation by d. It may be called repeatedly to extend
 // a run; state carries over.
 func (e *Engine) Run(d time.Duration) error {
@@ -94,6 +111,9 @@ func (e *Engine) Run(d time.Duration) error {
 				t.fn(e.now)
 				t.next = t.next.Add(t.period)
 			}
+		}
+		for _, o := range e.observers {
+			o(e.now)
 		}
 	}
 	e.ran = true

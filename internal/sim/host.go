@@ -254,6 +254,12 @@ func (h *Host) Slack() float64 {
 // MeterReading returns the latest power-meter sample.
 func (h *Host) MeterReading() power.Reading { return h.lastReading }
 
+// TruePowerW returns the instantaneous ground-truth server power in watts,
+// bypassing meter noise and the meter's sampling period. The invariant
+// harness checks physics against truth; controllers must keep using the
+// noisy meter.
+func (h *Host) TruePowerW() float64 { return h.truePower() }
+
 // AppPowerW returns a per-application power measurement in watts (the
 // application's dynamic draw, excluding the idle floor), with the same
 // relative noise as the server meter. The paper's prototype gets this

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+)
+
+// FuzzParseTrace throws arbitrary CSV at ParseCSVTrace. A parse may be
+// rejected, but whatever is accepted must be a physically sane trace:
+// positive span and load fractions in [0, 1] everywhere — no NaN smuggled
+// past the range checks, no offset overflow corrupting the timeline.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("seconds,load\n0,0.10\n30,0.55\n60,0.90\n")
+	f.Add("0,0\n10,1\n")
+	f.Add("0,0.5\n1,NaN\n")
+	f.Add("NaN,0.5\n1,0.6\n")
+	f.Add("1e308,0.5\n2e308,0.6\n")
+	f.Add("0,0.5\n-1,0.6\n")
+	f.Add("0,-0.1\n1,0.5\n")
+	f.Add("junk")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ParseCSVTrace("fuzz", strings.NewReader(s))
+		if err != nil {
+			return // rejection is fine; panics and bad accepts are not
+		}
+		span := tr.Duration()
+		if span <= 0 {
+			t.Fatalf("accepted trace has non-positive span %v from %q", span, s)
+		}
+		for _, at := range []time.Duration{0, span / 3, span / 2, span, span * 2} {
+			l := tr.LoadFraction(at)
+			if !(l >= 0 && l <= 1) {
+				t.Fatalf("accepted trace yields load %v at %v from %q", l, at, s)
+			}
+		}
+	})
+}
+
+// FuzzParseSpec throws arbitrary JSON at LoadCatalog. Accepted catalogs
+// must contain only usable applications: finite positive full-machine
+// capacity and finite non-negative power coefficients — the calibration
+// must never overflow its way into a silently dead or infinitely hungry
+// app.
+func FuzzParseSpec(f *testing.F) {
+	cfg := machine.XeonE52650()
+	var buf bytes.Buffer
+	if err := ExportCatalog(&buf, MustDefaults()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"format":"pocolo-catalog/v1","applications":[{"name":"a","class":"best-effort","alphaCores":0.5,"alphaWays":0.5,"freqExp":0.9,"peakLoad":100,"prefCores":0.5,"prefWays":0.5,"fullDynamicPowerW":80}]}`))
+	f.Add([]byte(`{"format":"pocolo-catalog/v1","applications":[{"name":"l","class":"latency-critical","alphaCores":1e308,"alphaWays":1e308,"freqExp":1,"peakLoad":1e308,"prefCores":1e-308,"prefWays":1,"sloP95Ms":5,"sloP99Ms":9,"provisionedPowerW":120}]}`))
+	f.Add([]byte(`{"format":"pocolo-catalog/v1","applications":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cat, err := LoadCatalog(bytes.NewReader(data), cfg)
+		if err != nil {
+			return
+		}
+		full := cfg.Full()
+		for _, s := range append(cat.LC(), cat.BE()...) {
+			c := s.Capacity(full)
+			if !(c > 0) || math.IsInf(c, 0) {
+				t.Fatalf("accepted app %q has full-machine capacity %v", s.Name, c)
+			}
+			if !(s.PowerPerCoreW >= 0) || math.IsInf(s.PowerPerCoreW, 0) ||
+				!(s.PowerPerWayW >= 0) || math.IsInf(s.PowerPerWayW, 0) {
+				t.Fatalf("accepted app %q has power coefficients %v/%v W",
+					s.Name, s.PowerPerCoreW, s.PowerPerWayW)
+			}
+		}
+	})
+}

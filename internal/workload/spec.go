@@ -117,17 +117,24 @@ func (s *Spec) calibrate(cfg machine.Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	if s.PeakLoad <= 0 {
-		return fmt.Errorf("workload %q: peak load must be positive", s.Name)
+	if !(s.PeakLoad > 0) || math.IsInf(s.PeakLoad, 0) {
+		return fmt.Errorf("workload %q: peak load must be positive and finite", s.Name)
 	}
-	if s.AlphaCores <= 0 || s.AlphaWays <= 0 {
+	if !(s.AlphaCores > 0) || !(s.AlphaWays > 0) {
 		return fmt.Errorf("workload %q: Cobb-Douglas exponents must be positive", s.Name)
+	}
+	if math.IsNaN(s.PowerPerCoreW) || math.IsInf(s.PowerPerCoreW, 0) || s.PowerPerCoreW < 0 ||
+		math.IsNaN(s.PowerPerWayW) || math.IsInf(s.PowerPerWayW, 0) || s.PowerPerWayW < 0 {
+		return fmt.Errorf("workload %q: degenerate power model", s.Name)
 	}
 	s.ref = cfg
 	s.alpha0 = 1
 	full := cfg.Full()
 	raw := s.Capacity(full)
-	if raw <= 0 {
+	// The positive-form check rejects NaN too; an infinite raw capacity
+	// (overflow from extreme catalog inputs) would otherwise calibrate
+	// alpha0 to zero and yield a silently dead application.
+	if !(raw > 0) || math.IsInf(raw, 0) {
 		return fmt.Errorf("workload %q: degenerate capacity model", s.Name)
 	}
 	switch s.Class {
@@ -138,6 +145,9 @@ func (s *Spec) calibrate(cfg machine.Config) error {
 		s.alpha0 = s.PeakLoad / raw
 	default:
 		return fmt.Errorf("workload %q: unknown class %v", s.Name, s.Class)
+	}
+	if !(s.alpha0 > 0) || math.IsInf(s.alpha0, 0) {
+		return fmt.Errorf("workload %q: degenerate capacity scale", s.Name)
 	}
 	return nil
 }

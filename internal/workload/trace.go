@@ -32,9 +32,14 @@ type DiurnalTrace struct {
 	PeakAt float64
 }
 
+// fracOK reports whether x is a valid load fraction: in [0, 1]. Written
+// as a positive check so NaN, which fails every comparison, is rejected
+// rather than slipping past a `< 0 || > 1` test.
+func fracOK(x float64) bool { return x >= 0 && x <= 1 }
+
 // NewDiurnalTrace validates and builds a diurnal trace.
 func NewDiurnalTrace(low, high float64, period time.Duration) (*DiurnalTrace, error) {
-	if low < 0 || high > 1 || low > high {
+	if !fracOK(low) || !fracOK(high) || low > high {
 		return nil, fmt.Errorf("workload: diurnal range [%v, %v] invalid", low, high)
 	}
 	if period <= 0 {
@@ -78,7 +83,7 @@ func NewSweepTrace(levels []float64, dwell time.Duration) (*SweepTrace, error) {
 		return nil, errors.New("workload: sweep needs at least one level")
 	}
 	for _, l := range levels {
-		if l < 0 || l > 1 {
+		if !fracOK(l) {
 			return nil, fmt.Errorf("workload: sweep level %v outside [0, 1]", l)
 		}
 	}
@@ -128,7 +133,7 @@ type ConstantTrace struct {
 
 // NewConstantTrace validates and builds a constant trace.
 func NewConstantTrace(level float64) (*ConstantTrace, error) {
-	if level < 0 || level > 1 {
+	if !fracOK(level) {
 		return nil, fmt.Errorf("workload: constant level %v outside [0, 1]", level)
 	}
 	return &ConstantTrace{Level: level}, nil
@@ -156,7 +161,7 @@ type StepTrace struct {
 
 // NewStepTrace validates and builds a step trace.
 func NewStepTrace(before, after float64, at, span time.Duration) (*StepTrace, error) {
-	if before < 0 || before > 1 || after < 0 || after > 1 {
+	if !fracOK(before) || !fracOK(after) {
 		return nil, errors.New("workload: step levels outside [0, 1]")
 	}
 	if at <= 0 || span <= at {

@@ -24,7 +24,7 @@ type TwoPeakTrace struct {
 
 // NewTwoPeakTrace validates and builds a two-peak diurnal trace.
 func NewTwoPeakTrace(low, mid, high float64, period time.Duration) (*TwoPeakTrace, error) {
-	if low < 0 || high > 1 || low > mid || mid > high {
+	if !fracOK(low) || !fracOK(mid) || !fracOK(high) || low > mid || mid > high {
 		return nil, fmt.Errorf("workload: two-peak levels must satisfy 0 ≤ low ≤ mid ≤ high ≤ 1, got %v/%v/%v", low, mid, high)
 	}
 	if period <= 0 {
@@ -87,7 +87,7 @@ type FlashCrowdTrace struct {
 
 // NewFlashCrowdTrace validates and builds a flash-crowd trace.
 func NewFlashCrowdTrace(base, spike float64, at, spikeDur, span time.Duration) (*FlashCrowdTrace, error) {
-	if base < 0 || base > 1 || spike < 0 || spike > 1 {
+	if !fracOK(base) || !fracOK(spike) {
 		return nil, errors.New("workload: flash-crowd levels outside [0, 1]")
 	}
 	if spike <= base {
@@ -193,7 +193,7 @@ func NewReplayTrace(name string, offsets []time.Duration, loads []float64) (*Rep
 		return nil, errors.New("workload: replay offsets/loads length mismatch")
 	}
 	for i, off := range offsets {
-		if loads[i] < 0 || loads[i] > 1 {
+		if !fracOK(loads[i]) {
 			return nil, fmt.Errorf("workload: replay load %v outside [0, 1]", loads[i])
 		}
 		if i == 0 {
@@ -242,6 +242,13 @@ func ParseCSVTrace(name string, r io.Reader) (*ReplayTrace, error) {
 				continue // tolerate a header row
 			}
 			return nil, fmt.Errorf("workload: csv trace line %d: non-numeric row %v", line, rec)
+		}
+		// Reject offsets the duration conversion cannot represent:
+		// converting NaN, ±Inf, or an out-of-range float to int64 is
+		// implementation-defined in Go and would silently corrupt the
+		// trace. Load fractions are range-checked by NewReplayTrace.
+		if math.IsNaN(secs) || secs < 0 || secs > float64(math.MaxInt64)/float64(time.Second) {
+			return nil, fmt.Errorf("workload: csv trace line %d: offset %v seconds out of range", line, rec[0])
 		}
 		offsets = append(offsets, time.Duration(secs*float64(time.Second)))
 		loads = append(loads, frac)

@@ -278,6 +278,11 @@ type System struct {
 	// hosts, trials, and load levels through (0 = GOMAXPROCS, 1 =
 	// sequential). Results are identical at every setting.
 	Parallel int
+	// Invariants runs every cluster simulation under the invariant harness
+	// (internal/invariant): cross-layer invariants are checked on every
+	// tick and any violation fails the run. Checking does not change
+	// results, only adds per-tick assertions.
+	Invariants bool
 }
 
 // NewSystem profiles and fits every application on the Table I platform.
@@ -310,9 +315,10 @@ func (s *System) clusterConfig() cluster.Config {
 		LC:       s.Catalog.LC(),
 		BE:       s.Catalog.BE(),
 		Models:   s.Models,
-		Dwell:    s.Dwell,
-		Seed:     s.Seed,
-		Parallel: s.Parallel,
+		Dwell:      s.Dwell,
+		Seed:       s.Seed,
+		Parallel:   s.Parallel,
+		Invariants: s.Invariants,
 	}
 }
 
@@ -715,5 +721,6 @@ func (s *System) Experiments() (*Suite, error) {
 	}
 	suite.Dwell = s.Dwell
 	suite.Parallel = s.Parallel
+	suite.Invariants = s.Invariants
 	return suite, nil
 }
