@@ -244,6 +244,61 @@ func BenchmarkIntegerMinPowerAlloc(b *testing.B) {
 	}
 }
 
+func benchPlan(b *testing.B) *utility.Plan {
+	b.Helper()
+	p, err := utility.NewPlan(benchModel(b), []int{12, 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkPlannerBuild(b *testing.B) {
+	// One-time frontier construction for a 12×20 grid; amortized across
+	// every subsequent lookup via the shared plan cache.
+	m := benchModel(b)
+	caps := []int{12, 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := utility.NewPlan(m, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerLookup(b *testing.B) {
+	// The planner's replacement for IntegerMinPowerAlloc on the tick path:
+	// a cold binary search over the precomputed least-power frontier. Same
+	// target as BenchmarkIntegerMinPowerAlloc so the two are a direct
+	// speedup comparison; must stay allocation-free.
+	p := benchPlan(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := p.MinPower2(5, -1); !ok {
+			b.Fatal("target 5 infeasible")
+		}
+	}
+}
+
+func BenchmarkPlannerLookupWarm(b *testing.B) {
+	// Warm-start path: the previous tick's frontier cell is re-checked in
+	// O(1) before any binary search, the common case under slowly-varying
+	// load.
+	p := benchPlan(b)
+	_, _, cell, ok := p.MinPower2(5, -1)
+	if !ok {
+		b.Fatal("target 5 infeasible")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, cell, ok = p.MinPower2(5, cell); !ok {
+			b.Fatal("target 5 infeasible")
+		}
+	}
+}
+
 func randomMatrix(n int, seed int64) [][]float64 {
 	rng := rand.New(rand.NewSource(seed))
 	m := make([][]float64, n)

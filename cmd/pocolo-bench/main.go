@@ -7,9 +7,18 @@
 //
 //	pocolo-bench [-bench Fig12|Fig14] [-benchtime 1x] [-count 1]
 //	             [-o BENCH_2026-08-05.json] [-dir .] [-note "before memo"]
+//	             [-baseline BENCH_old.json] [-max-regress 0.25]
 //
 // The snapshot records goos/goarch/cpu, the exact go test invocation, and
-// one entry per benchmark with ns/op, B/op, and allocs/op.
+// one entry per benchmark with ns/op, B/op, and allocs/op. B/op and
+// allocs/op are always emitted (zero is a meaningful measurement, not an
+// absence), and the per-benchmark GOMAXPROCS suffix (`-8`) is stripped so
+// names are stable across machines.
+//
+// With -baseline, the run is additionally compared against a committed
+// snapshot: any benchmark whose best ns/op regresses by more than
+// -max-regress (a fraction, default 0.25) fails the command, which makes
+// it usable as a CI regression gate.
 package main
 
 import (
@@ -30,8 +39,11 @@ type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// HasMem records whether the line carried -benchmem columns at all;
+	// without it a genuine 0 B/op is indistinguishable from "not measured".
+	HasMem bool `json:"has_mem,omitempty"`
 }
 
 // Snapshot is the full BENCH_<date>.json payload.
@@ -57,6 +69,8 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<date>.json in -dir)")
 	note := flag.String("note", "", "free-form annotation stored in the snapshot")
 	raw := flag.Bool("raw", false, "also embed the raw go test output in the snapshot")
+	baseline := flag.String("baseline", "", "compare against this committed snapshot and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs -baseline (0.25 = +25%)")
 	flag.Parse()
 
 	date := time.Now().Format("2006-01-02")
@@ -103,16 +117,87 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d benchmark results to %s", len(snap.Results), *out)
+
+	if *baseline != "" {
+		base, err := LoadSnapshot(*baseline)
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		regressions := Compare(base, snap, *maxRegress)
+		for _, c := range regressions {
+			log.Printf("REGRESSION %s: %.0f ns/op -> %.0f ns/op (%+.1f%%, limit +%.0f%%)",
+				c.Name, c.BaseNs, c.NewNs, c.Delta*100, *maxRegress*100)
+		}
+		if len(regressions) > 0 {
+			log.Fatalf("%d benchmark(s) regressed beyond the %.0f%% budget vs %s",
+				len(regressions), *maxRegress*100, *baseline)
+		}
+		log.Printf("no regressions beyond %.0f%% vs %s", *maxRegress*100, *baseline)
+	}
 }
 
-// benchLine matches standard `go test -bench -benchmem` result lines:
-//
-//	BenchmarkFig14-4   5   23925592 ns/op   5606963 B/op   28530 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// LoadSnapshot reads a BENCH_<date>.json file written by this command.
+func LoadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Regression is one benchmark whose ns/op grew beyond the allowed budget.
+type Regression struct {
+	Name   string
+	BaseNs float64
+	NewNs  float64
+	Delta  float64 // fractional change, 0.30 = +30%
+}
+
+// Compare matches benchmarks by name (best ns/op across -count repeats,
+// the standard noise-robust statistic) and returns those that regressed
+// by more than maxRegress. Benchmarks present on only one side are
+// ignored: a gate must not fail because a benchmark was added or renamed.
+func Compare(base, cur Snapshot, maxRegress float64) []Regression {
+	best := func(s Snapshot) map[string]float64 {
+		m := make(map[string]float64)
+		for _, r := range s.Results {
+			if v, ok := m[r.Name]; !ok || r.NsPerOp < v {
+				m[r.Name] = r.NsPerOp
+			}
+		}
+		return m
+	}
+	baseBest, curBest := best(base), best(cur)
+	var out []Regression
+	for _, r := range cur.Results {
+		b, ok := baseBest[r.Name]
+		if !ok || b <= 0 {
+			continue
+		}
+		c := curBest[r.Name]
+		if delta := c/b - 1; delta > maxRegress {
+			out = append(out, Regression{Name: r.Name, BaseNs: b, NewNs: c, Delta: delta})
+			delete(curBest, r.Name) // report each name once
+		}
+	}
+	return out
+}
+
+// procSuffix is the GOMAXPROCS decoration go test appends to benchmark
+// names (`BenchmarkFig12-8`). It is machine-dependent, so it is stripped
+// to keep names comparable across snapshots.
+var procSuffix = regexp.MustCompile(`-\d+$`)
 
 // Parse extracts benchmark results and environment headers from go test
-// output.
+// output. Parsing is field-based rather than one rigid regexp: the name
+// and iteration count are positional, and every remaining "value unit"
+// pair is matched by unit, so lines with or without -benchmem columns,
+// with MB/s throughput, or with custom metrics all parse. Explicit zero
+// B/op and allocs/op values are recorded as measurements.
 func Parse(text string) Snapshot {
 	var snap Snapshot
 	for _, line := range strings.Split(text, "\n") {
@@ -126,22 +211,49 @@ func Parse(text string) Snapshot {
 			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "pkg:"):
 			snap.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-		default:
-			m := benchLine.FindStringSubmatch(line)
-			if m == nil {
-				continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				snap.Results = append(snap.Results, r)
 			}
-			r := Result{Name: m[1]}
-			r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-			r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-			if m[4] != "" {
-				r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
-			}
-			if m[5] != "" {
-				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-			}
-			snap.Results = append(snap.Results, r)
 		}
 	}
 	return snap
+}
+
+// parseLine parses one `BenchmarkName-N  iters  v unit  v unit ...` row.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	r := Result{Name: procSuffix.ReplaceAllString(fields[0], "")}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+			seen = true
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+			r.HasMem = true
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+			r.HasMem = true
+		default:
+			// MB/s, custom ReportMetric units, etc. — skipped, not fatal.
+		}
+	}
+	return r, seen
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	pocolo-experiments [-seed N] [-dwell 5s] [-parallel N] [-only fig12,fig13] [-markdown]
-//	                   [-invariants] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                   [-invariants] [-planner on|off] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -33,7 +33,17 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	invariants := flag.Bool("invariants", false, "check cross-layer invariants on every simulated tick of every cluster run; any violation aborts the experiment")
+	planner := flag.String("planner", "on", "precomputed allocation planner: on (O(log n) frontier lookups) or off (exact per-tick grid search); results are bit-identical either way")
 	flag.Parse()
+
+	var plannerOff bool
+	switch *planner {
+	case "on":
+	case "off":
+		plannerOff = true
+	default:
+		log.Fatalf("unknown -planner value %q (want on or off)", *planner)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -54,6 +64,7 @@ func main() {
 	suite.Dwell = *dwell
 	suite.Parallel = *par
 	suite.Invariants = *invariants
+	suite.PlannerOff = plannerOff
 
 	type runner struct {
 		name string

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json] [-invariants]
+//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json] [-invariants] [-planner on|off]
 package main
 
 import (
@@ -27,7 +27,13 @@ func main() {
 	par := flag.Int("parallel", 0, "worker pool size for independent hosts and trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
 	modelsPath := flag.String("models", "", "load fitted models from this JSON file (see pocolo-profile -o) instead of re-profiling")
 	invariants := flag.Bool("invariants", false, "check cross-layer invariants (resource conservation, power-cap compliance, slack recovery, physical sanity) on every simulated tick; any violation aborts the run")
+	planner := flag.String("planner", "on", "precomputed allocation planner: on (O(log n) frontier lookups) or off (exact per-tick grid search); results are bit-identical either way")
 	flag.Parse()
+
+	plannerOff, perr := parsePlannerFlag(*planner)
+	if perr != nil {
+		log.Fatal(perr)
+	}
 
 	var sys *pocolo.System
 	var err error
@@ -51,6 +57,7 @@ func main() {
 	sys.Dwell = *dwell
 	sys.Parallel = *par
 	sys.Invariants = *invariants
+	sys.PlannerOff = plannerOff
 
 	var res pocolo.Result
 	switch *policyName {
@@ -99,4 +106,16 @@ func main() {
 	fmt.Printf("cluster mean power utilization:     %.1f%%\n", res.MeanPowerUtil*100)
 	fmt.Printf("cluster energy:                     %.4f kWh\n", res.TotalEnergyKWh)
 	fmt.Printf("worst SLO violation fraction:       %.2f%%\n", res.SLOViolFrac*100)
+}
+
+// parsePlannerFlag maps the -planner flag to System.PlannerOff.
+func parsePlannerFlag(v string) (plannerOff bool, err error) {
+	switch v {
+	case "on":
+		return false, nil
+	case "off":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown -planner value %q (want on or off)", v)
+	}
 }

@@ -75,11 +75,13 @@ func MemoStats() (hits, misses int) {
 // fingerprintConfig writes the cacheable identity of a cluster Config: the
 // machine, dwell, tick, seed, slack guard, and every involved spec and
 // fitted model by value. Parallel is deliberately excluded — worker count
-// must not change results. Invariants is included even though checking
-// does not perturb results: a run requesting invariant checks must not
-// silently satisfy itself from an unchecked run's cache entry.
+// must not change results. Invariants and PlannerOff are included even
+// though neither perturbs results (the planner is bit-identical to the
+// exact search): a run requesting invariant checks or the exact search
+// must not silently satisfy itself from a cache entry produced in the
+// other mode.
 func fingerprintConfig(w *strings.Builder, cfg *Config) {
-	fmt.Fprintf(w, "m=%+v|dwell=%d|tick=%d|seed=%d|slack=%g|inv=%t", cfg.Machine, cfg.Dwell, cfg.Tick, cfg.Seed, cfg.TargetSlack, cfg.Invariants)
+	fmt.Fprintf(w, "m=%+v|dwell=%d|tick=%d|seed=%d|slack=%g|inv=%t|planner=%t", cfg.Machine, cfg.Dwell, cfg.Tick, cfg.Seed, cfg.TargetSlack, cfg.Invariants, cfg.PlannerOff)
 	writeSpecs := func(label string, specs []*workload.Spec) {
 		fmt.Fprintf(w, "|%s=", label)
 		for _, s := range specs {

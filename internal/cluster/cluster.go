@@ -96,6 +96,12 @@ type Config struct {
 	// tick, and any violation fails the run with an error. Checking does
 	// not perturb results — observers run after the tick's state is final.
 	Invariants bool
+	// PlannerOff forces every server manager in the run through the exact
+	// per-tick grid search instead of the precomputed allocation planner.
+	// Results are bit-identical either way; the switch keeps the exact
+	// search exercised (race tests, equivalence suites) and serves as an
+	// escape hatch.
+	PlannerOff bool
 }
 
 func (c *Config) defaults() error {
@@ -167,10 +173,11 @@ func Place(cfg Config) (map[string]string, float64, error) {
 		return nil, 0, err
 	}
 	mx, err := BuildMatrix(MatrixConfig{
-		Machine: cfg.Machine,
-		LC:      cfg.LC,
-		BE:      cfg.BE,
-		Models:  cfg.Models,
+		Machine:  cfg.Machine,
+		LC:       cfg.LC,
+		BE:       cfg.BE,
+		Models:   cfg.Models,
+		Parallel: cfg.Parallel,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -282,6 +289,7 @@ func runManagedHost(cfg Config, lc, be *workload.Spec, hostSeed, mgrSeed int64, 
 		Policy:      mgmt,
 		TargetSlack: cfg.TargetSlack,
 		Seed:        mgrSeed,
+		PlannerOff:  cfg.PlannerOff,
 	})
 	if err != nil {
 		return sim.Metrics{}, err
@@ -499,9 +507,10 @@ func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 			return err
 		}
 		mgr, err := servermgr.New(servermgr.Config{
-			Host:   host,
-			Model:  cfg.Models[lc.Name],
-			Policy: servermgr.PowerOptimized,
+			Host:       host,
+			Model:      cfg.Models[lc.Name],
+			Policy:     servermgr.PowerOptimized,
+			PlannerOff: cfg.PlannerOff,
 		})
 		if err != nil {
 			return err

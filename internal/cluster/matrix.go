@@ -15,6 +15,7 @@ import (
 	"pocolo/internal/assign"
 	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
+	"pocolo/internal/parallel"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -51,6 +52,11 @@ type MatrixConfig struct {
 	Models map[string]*utility.Model
 	// Loads is the LC load range to average over (default DefaultLoadRange).
 	Loads []float64
+	// Parallel bounds the worker pool the BE×LC cells are estimated
+	// through: 0 means GOMAXPROCS, 1 forces the sequential path. Cells are
+	// independent pure functions of the models, so the matrix is identical
+	// at every setting.
+	Parallel int
 }
 
 // BuildMatrix estimates the performance matrix from the fitted models:
@@ -85,21 +91,32 @@ func BuildMatrix(cfg MatrixConfig) (*Matrix, error) {
 	for i, be := range cfg.BE {
 		mx.BENames[i] = be.Name
 		mx.Value[i] = make([]float64, len(cfg.LC))
+	}
+	// Cells are independent pure functions of (machine, specs, models), so
+	// they fan through the bounded worker pool; each writes its own slot
+	// and ForEach reports the lowest-index error, which is the same error
+	// the sequential row-major loop would have hit first.
+	nLC := len(cfg.LC)
+	err := parallel.ForEach(len(cfg.BE)*nLC, cfg.Parallel, func(idx int) error {
+		i, j := idx/nLC, idx%nLC
+		be, lc := cfg.BE[i], cfg.LC[j]
 		beModel, ok := cfg.Models[be.Name]
 		if !ok {
-			return nil, fmt.Errorf("cluster: no fitted model for %s", be.Name)
+			return fmt.Errorf("cluster: no fitted model for %s", be.Name)
 		}
-		for j, lc := range cfg.LC {
-			lcModel, ok := cfg.Models[lc.Name]
-			if !ok {
-				return nil, fmt.Errorf("cluster: no fitted model for %s", lc.Name)
-			}
-			v, err := estimatePairThroughput(cfg.Machine, lc, lcModel, beModel, loads)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: estimating %s on %s: %w", be.Name, lc.Name, err)
-			}
-			mx.Value[i][j] = v
+		lcModel, ok := cfg.Models[lc.Name]
+		if !ok {
+			return fmt.Errorf("cluster: no fitted model for %s", lc.Name)
 		}
+		v, err := estimatePairThroughput(cfg.Machine, lc, lcModel, beModel, loads)
+		if err != nil {
+			return fmt.Errorf("cluster: estimating %s on %s: %w", be.Name, lc.Name, err)
+		}
+		mx.Value[i][j] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return mx, nil
 }

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pocolo/internal/servermgr"
+)
+
+// TestPlannerClusterEquivalence is the cluster-level golden suite: full
+// RunPlacement evaluations (all hosts, both management policies) must be
+// bit-identical with the planner on and off. The memo is disabled so both
+// runs actually simulate.
+func TestPlannerClusterEquivalence(t *testing.T) {
+	prev := SetMemo(false)
+	defer SetMemo(prev)
+
+	cfg := fixture(t)
+	placement := PlaceRandom(cfg.LC, cfg.BE, 9)
+	for _, mgmt := range []servermgr.LCPolicy{servermgr.PowerOptimized, servermgr.PowerUnaware} {
+		on := cfg
+		off := cfg
+		off.PlannerOff = true
+		resOn, err := RunPlacement(on, placement, mgmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resOff, err := RunPlacement(off, placement, mgmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resOn, resOff) {
+			t.Fatalf("%v: planner-on cluster result differs from planner-off:\non:  %+v\noff: %+v", mgmt, resOn, resOff)
+		}
+	}
+}
+
+// TestPlannerInvariantEquivalence reruns the equivalence under the
+// invariant harness: planner-on must produce the same (clean) invariant
+// outcome and identical metrics.
+func TestPlannerInvariantEquivalence(t *testing.T) {
+	prev := SetMemo(false)
+	defer SetMemo(prev)
+
+	cfg := fixture(t)
+	cfg.Invariants = true
+	placement := PlaceRandom(cfg.LC, cfg.BE, 9)
+	off := cfg
+	off.PlannerOff = true
+	resOn, err := RunPlacement(cfg, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatalf("planner-on invariant run: %v", err)
+	}
+	resOff, err := RunPlacement(off, placement, servermgr.PowerOptimized)
+	if err != nil {
+		t.Fatalf("planner-off invariant run: %v", err)
+	}
+	if !reflect.DeepEqual(resOn, resOff) {
+		t.Fatalf("invariant-checked results differ:\non:  %+v\noff: %+v", resOn, resOff)
+	}
+}
+
+// TestPlannerMemoKeying checks planner-on and planner-off runs do not
+// satisfy each other from the memo: their fingerprints must differ.
+func TestPlannerMemoKeying(t *testing.T) {
+	cfg := fixture(t)
+	off := cfg
+	off.PlannerOff = true
+	placement := PlaceRandom(cfg.LC, cfg.BE, 9)
+	kOn := placementKey(&cfg, placement, servermgr.PowerOptimized)
+	kOff := placementKey(&off, placement, servermgr.PowerOptimized)
+	if kOn == kOff {
+		t.Fatal("planner mode does not participate in the memo fingerprint")
+	}
+}
+
+// TestBuildMatrixParallel checks the fanned-out matrix construction is
+// identical to the sequential path at any worker count, and that model
+// validation errors still surface.
+func TestBuildMatrixParallel(t *testing.T) {
+	cfg := fixture(t)
+	seq, err := BuildMatrix(MatrixConfig{Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: cfg.Models, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := BuildMatrix(MatrixConfig{Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: cfg.Models, Parallel: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallel=%d matrix differs from sequential", workers)
+		}
+	}
+
+	// A missing model must surface the same first (row-major) error from
+	// the fanned-out path as from the sequential one.
+	broken := MatrixConfig{Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: nil, Parallel: 8}
+	if _, err := BuildMatrix(broken); err == nil || !strings.Contains(err.Error(), "no fitted model for "+cfg.BE[0].Name) {
+		t.Fatalf("missing-model error = %v", err)
+	}
+}

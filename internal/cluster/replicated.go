@@ -27,6 +27,7 @@ func RunReplicated(cfg Config, replicas int, mgmt servermgr.LCPolicy) (Result, e
 	}
 	base, err := BuildMatrix(MatrixConfig{
 		Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: cfg.Models,
+		Parallel: cfg.Parallel,
 	})
 	if err != nil {
 		return Result{}, err
@@ -102,6 +103,7 @@ func RunReplicated(cfg Config, replicas int, mgmt servermgr.LCPolicy) (Result, e
 			Policy:      mgmt,
 			TargetSlack: cfg.TargetSlack,
 			Seed:        cfg.Seed + int64(j)*389,
+			PlannerOff:  cfg.PlannerOff,
 		})
 		if err != nil {
 			return Result{}, err

@@ -56,6 +56,10 @@ type AgentConfig struct {
 	// cluster's agents (it is internally locked), or each agent may get
 	// its own for per-server attribution.
 	Invariants *invariant.Harness
+	// PlannerOff forces the agent's server manager through the exact
+	// per-tick grid search instead of the precomputed allocation planner.
+	// Results are bit-identical either way.
+	PlannerOff bool
 }
 
 // Agent wraps one simulated host and its server manager behind the HTTP
@@ -150,6 +154,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		TargetSlack: cfg.TargetSlack,
 		BEModels:    cfg.BEModels,
 		Seed:        cfg.Seed,
+		PlannerOff:  cfg.PlannerOff,
 	})
 	if err != nil {
 		return nil, err
@@ -300,6 +305,7 @@ func (a *Agent) statsLocked() StatsResponse {
 		candidates = append(candidates, be.Name)
 	}
 	control, throttles, restores := a.mgr.Counters()
+	planHits, planWarm, planFallbacks := a.mgr.PlannerCounters()
 	return StatsResponse{
 		Agent:             a.name,
 		Machine:           a.machine,
@@ -320,6 +326,9 @@ func (a *Agent) statsLocked() StatsResponse {
 		ControlTicks:      control,
 		CapThrottles:      throttles,
 		CapRestores:       restores,
+		PlannerHits:       planHits,
+		PlannerWarm:       planWarm,
+		PlannerFallbacks:  planFallbacks,
 		SimSec:            a.engine.Elapsed().Seconds(),
 		LCModel:           a.lcModel,
 		BEModels:          a.beModels,

@@ -88,7 +88,13 @@ type StatsResponse struct {
 	ControlTicks int                `json:"control_ticks"`
 	CapThrottles int                `json:"cap_throttles"`
 	CapRestores  int                `json:"cap_restores"`
-	SimSec       float64            `json:"sim_seconds"`
+	// Planner counters: how the manager's allocation lookups were served
+	// (precomputed-plan lookups, warm-start cell reuses, exact-search
+	// fallbacks). Hits+Warm+Fallbacks ≈ control ticks with load.
+	PlannerHits      int     `json:"planner_hits"`
+	PlannerWarm      int     `json:"planner_warm"`
+	PlannerFallbacks int     `json:"planner_fallbacks"`
+	SimSec           float64 `json:"sim_seconds"`
 
 	// Fitted models, for the controller's matrix rebuild.
 	LCModel  *utility.Model            `json:"lc_model,omitempty"`

@@ -99,6 +99,15 @@ func writeAgentMetrics(w io.Writer, s StatsResponse) error {
 	p.metric("pocolo_cap_restores_total", "counter", "Power-capper restore actions.")
 	p.sample("pocolo_cap_restores_total", host, float64(s.CapRestores))
 
+	p.metric("pocolo_planner_hits_total", "counter", "Allocation lookups served by the precomputed planner (cold cells).")
+	p.sample("pocolo_planner_hits_total", host, float64(s.PlannerHits))
+
+	p.metric("pocolo_planner_warm_total", "counter", "Allocation lookups served by warm-start cell reuse.")
+	p.sample("pocolo_planner_warm_total", host, float64(s.PlannerWarm))
+
+	p.metric("pocolo_planner_fallbacks_total", "counter", "Allocation lookups that fell back to the exact grid search.")
+	p.sample("pocolo_planner_fallbacks_total", host, float64(s.PlannerFallbacks))
+
 	p.metric("pocolo_sim_seconds_total", "counter", "Simulated seconds advanced by the agent.")
 	p.sample("pocolo_sim_seconds_total", host, s.SimSec)
 

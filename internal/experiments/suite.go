@@ -36,6 +36,10 @@ type Suite struct {
 	// invariant harness bound to its per-tick observe path; a violation
 	// fails the experiment instead of producing a silently wrong table.
 	Invariants bool
+	// PlannerOff forces every server manager through the exact per-tick
+	// grid search instead of the precomputed allocation planner. Results
+	// are bit-identical either way.
+	PlannerOff bool
 
 	mu         sync.Mutex
 	policyRuns map[cluster.Policy]*cluster.Result
@@ -74,6 +78,7 @@ func (s *Suite) clusterConfig() cluster.Config {
 		Seed:       s.Seed,
 		Parallel:   s.Parallel,
 		Invariants: s.Invariants,
+		PlannerOff: s.PlannerOff,
 	}
 }
 

@@ -90,6 +90,17 @@ type Config struct {
 	// before frequency scaling. The paper's order (frequency first) is the
 	// default; the ablation experiments exercise both.
 	DutyFirst bool
+	// PlannerOff disables the precomputed allocation planner, forcing
+	// every control tick through the exact per-tick grid search. Results
+	// are bit-identical either way (the planner's equivalence guarantee);
+	// the switch exists as an escape hatch and to keep the exact search
+	// exercised in tests.
+	PlannerOff bool
+	// Plans, when non-nil, is the plan cache to resolve the allocation
+	// planner from; nil uses the process-wide utility.Plans. Sharing one
+	// cache across managers amortizes plan construction across every
+	// host/trial evaluating the same (model, caps) pair.
+	Plans *utility.PlanCache
 }
 
 // Manager runs the two control loops for one host.
@@ -137,16 +148,31 @@ type Manager struct {
 	// sizing itself is wrong, not merely stale.
 	lastTarget float64
 
+	// plan is the precomputed allocation planner for (model, machine caps);
+	// nil means the exact per-tick grid search (PlannerOff, or plan
+	// construction failed). planCell is the frontier cell the previous
+	// lookup landed in (-1 none) — the warm start: when the target stays
+	// inside the same quantization cell the answer is reused in O(1).
+	plan     *utility.Plan
+	plans    *utility.PlanCache
+	planCell int
+	caps     [2]int
+
 	// Scratch buffers reused across ticks: the grid scans in feasibleAlloc
 	// and bestPairSplit run every control period on every host and must not
 	// allocate per candidate.
 	vecA, vecB [2]float64
-	frontier   []gridPoint
+	frontier   []utility.GridPoint
+	splitA     splitTables
+	splitB     splitTables
 
 	// counters for introspection and tests
 	controlTicks int
 	capThrottles int
 	capRestores  int
+	plannerHits  int
+	plannerWarm  int
+	planFallback int
 }
 
 const maxBoost = 4
@@ -220,7 +246,31 @@ func New(cfg Config) (*Manager, error) {
 	if m.capGuard < 0 || m.capGuard > 0.2 {
 		return nil, fmt.Errorf("servermgr: cap guard %v outside [0, 0.2]", m.capGuard)
 	}
+	mc := cfg.Host.Machine()
+	m.caps = [2]int{mc.Cores, mc.LLCWays}
+	m.planCell = -1
+	if !cfg.PlannerOff {
+		m.plans = cfg.Plans
+		if m.plans == nil {
+			m.plans = utility.Plans
+		}
+		m.rebindPlan()
+	}
 	return m, nil
+}
+
+// rebindPlan resolves the planner for the current (model, caps) pair from
+// the cache. A construction failure (hostile model, oversized grid) leaves
+// the plan nil and the manager on the exact search — never an error.
+func (m *Manager) rebindPlan() {
+	m.plan = nil
+	m.planCell = -1
+	if m.plans == nil {
+		return
+	}
+	if plan, err := m.plans.Get(m.model, m.caps[:]); err == nil {
+		m.plan = plan
+	}
 }
 
 // Attach registers the manager's control loops on the engine and applies
@@ -243,7 +293,21 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 	cfg := m.host.Machine()
 	switch m.policy {
 	case PowerOptimized:
-		alloc, err := m.model.IntegerMinPowerAlloc(target, []int{cfg.Cores, cfg.LLCWays})
+		if m.plan != nil {
+			// Planner path: O(1) warm-start re-check of last tick's cell,
+			// O(log cells) binary search otherwise. Bit-identical to the
+			// exact search below.
+			c, w, cell, feasible := m.plan.MinPower2(target, m.planCell)
+			if feasible && cell == m.planCell {
+				m.plannerWarm++
+			} else {
+				m.plannerHits++
+			}
+			m.planCell = cell
+			return c, w, feasible
+		}
+		m.planFallback++
+		alloc, err := m.model.IntegerMinPowerAlloc(target, m.caps[:])
 		if err != nil {
 			return 0, 0, false
 		}
@@ -252,39 +316,44 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 		// Power-unaware: any point on the feasible frontier of the
 		// indifference curve — the paper's baseline does not differentiate
 		// resources by their power use, so the choice among minimal
-		// feasible allocations is arbitrary (uniformly random here).
-		frontier := m.frontier[:0]
-		for c := 1; c <= cfg.Cores; c++ {
-			w := -1
-			m.vecA[0] = float64(c)
-			for cand := 1; cand <= cfg.LLCWays; cand++ {
-				m.vecA[1] = float64(cand)
-				if m.model.Perf(m.vecA[:]) >= target {
-					w = cand
-					break
+		// feasible allocations is arbitrary (uniformly random here). The
+		// planner reproduces the same frontier from its precomputed perf
+		// tables, so the RNG draw (and thus the whole run) is unchanged.
+		if m.plan != nil {
+			m.plannerHits++
+			m.frontier = m.plan.AppendUnawareFrontier(target, m.frontier[:0])
+		} else {
+			m.planFallback++
+			frontier := m.frontier[:0]
+			for c := 1; c <= cfg.Cores; c++ {
+				w := -1
+				m.vecA[0] = float64(c)
+				for cand := 1; cand <= cfg.LLCWays; cand++ {
+					m.vecA[1] = float64(cand)
+					if m.model.Perf(m.vecA[:]) >= target {
+						w = cand
+						break
+					}
 				}
+				if w == -1 {
+					continue
+				}
+				// Drop dominated points: a frontier point must not use both
+				// more cores and at least as many ways as a previous one.
+				if n := len(frontier); n > 0 && frontier[n-1].W == w {
+					continue
+				}
+				frontier = append(frontier, utility.GridPoint{C: c, W: w})
 			}
-			if w == -1 {
-				continue
-			}
-			// Drop dominated points: a frontier point must not use both
-			// more cores and at least as many ways as a previous one.
-			if n := len(frontier); n > 0 && frontier[n-1].w == w {
-				continue
-			}
-			frontier = append(frontier, gridPoint{c, w})
+			m.frontier = frontier
 		}
-		m.frontier = frontier
-		if len(frontier) == 0 {
+		if len(m.frontier) == 0 {
 			return 0, 0, false
 		}
-		p := frontier[m.rng.Intn(len(frontier))]
-		return p.c, p.w, true
+		p := m.frontier[m.rng.Intn(len(m.frontier))]
+		return p.C, p.W, true
 	}
 }
-
-// gridPoint is one (cores, ways) candidate in the manager's grid scans.
-type gridPoint struct{ c, w int }
 
 // ControlTick runs one iteration of the 1 s LC allocation loop.
 func (m *Manager) ControlTick(now time.Time) {
@@ -426,21 +495,61 @@ func (m *Manager) splitSpare(bes []*workload.Spec, freeCores, freeWays int) map[
 	return out
 }
 
+// splitTables caches one co-runner model's per-axis terms for the pair
+// split: perfC[c] = α₀·c^α₁ and perfW[w] = w^α₂, so Perf((c,w)) =
+// perfC[c]·perfW[w] multiplies in exactly Model.Perf's order (left to
+// right over resources) and every score is bit-identical to the direct
+// call; likewise dynC[c]+dynW[w] sums the dynamic-power terms in
+// Model.DynamicPower's order. Filling the tables costs O(cores+ways) Pow
+// calls per tick instead of O(cores·ways) in the split loop.
+type splitTables struct {
+	perfC, perfW, dynC, dynW []float64
+}
+
+func (t *splitTables) fill(mod *utility.Model, maxC, maxW int) {
+	t.perfC = t.perfC[:0]
+	t.perfW = t.perfW[:0]
+	t.dynC = t.dynC[:0]
+	t.dynW = t.dynW[:0]
+	for c := 0; c <= maxC; c++ {
+		t.perfC = append(t.perfC, mod.Alpha0*math.Pow(float64(c), mod.Alpha[0]))
+		t.dynC = append(t.dynC, float64(c)*mod.P[0])
+	}
+	for w := 0; w <= maxW; w++ {
+		t.perfW = append(t.perfW, math.Pow(float64(w), mod.Alpha[1]))
+		t.dynW = append(t.dynW, float64(w)*mod.P[1])
+	}
+}
+
+// perf mirrors Model.Perf, including its zero on any nonpositive input.
+func (t *splitTables) perf(c, w int) float64 {
+	if c <= 0 || w <= 0 {
+		return 0
+	}
+	return t.perfC[c] * t.perfW[w]
+}
+
+func (t *splitTables) dyn(c, w int) float64 {
+	return t.dynC[c] + t.dynW[w]
+}
+
 // bestPairSplit enumerates integer splits of the spare resources between
 // two modelled co-runners, scoring each by the combined Cobb-Douglas
 // throughput scaled down when the pair's estimated dynamic power exceeds
-// the headroom (the capper would throttle both uniformly).
+// the headroom (the capper would throttle both uniformly). The Pow terms
+// are loop-invariant per axis, so they are hoisted into per-axis tables;
+// every score still evaluates bit-identically to the direct model calls.
 func (m *Manager) bestPairSplit(a, b *utility.Model, freeCores, freeWays int) (cores, ways int) {
 	headroom := m.host.CapW() - m.host.Machine().IdlePowerW - m.model.DynamicPower(m.lcAllocVector())
+	m.splitA.fill(a, freeCores, freeWays)
+	m.splitB.fill(b, freeCores, freeWays)
 	bestScore := -1.0
 	for c1 := 0; c1 <= freeCores; c1++ {
 		for w1 := 0; w1 <= freeWays; w1++ {
-			m.vecA[0], m.vecA[1] = float64(c1), float64(w1)
-			m.vecB[0], m.vecB[1] = float64(freeCores-c1), float64(freeWays-w1)
-			r1, r2 := m.vecA[:], m.vecB[:]
-			perf := a.Perf(r1) + b.Perf(r2)
+			c2, w2 := freeCores-c1, freeWays-w1
+			perf := m.splitA.perf(c1, w1) + m.splitB.perf(c2, w2)
 			if headroom > 0 {
-				if p := a.DynamicPower(r1) + b.DynamicPower(r2); p > headroom {
+				if p := m.splitA.dyn(c1, w1) + m.splitB.dyn(c2, w2); p > headroom {
 					perf *= headroom / p
 				}
 			}
@@ -629,6 +738,11 @@ func (m *Manager) SetModel(model *utility.Model) error {
 		return fmt.Errorf("servermgr: need a 2-resource model, have %d", len(model.Alpha))
 	}
 	m.model = model
+	// The plan is model-specific: re-resolve it (or drop to the exact
+	// search if the new model defeats plan construction).
+	if m.plans != nil {
+		m.rebindPlan()
+	}
 	return nil
 }
 
@@ -659,6 +773,18 @@ func (m *Manager) Boost() int { return m.boost }
 func (m *Manager) Counters() (control, throttles, restores int) {
 	return m.controlTicks, m.capThrottles, m.capRestores
 }
+
+// PlannerCounters reports how the control loop's allocation lookups were
+// served: hits (planner table lookup, cold cell), warm (warm start — the
+// target stayed in the previous tick's quantization cell), and fallbacks
+// (exact grid search: planner off or plan construction failed).
+func (m *Manager) PlannerCounters() (hits, warm, fallbacks int) {
+	return m.plannerHits, m.plannerWarm, m.planFallback
+}
+
+// PlannerEnabled reports whether the manager resolved a precomputed plan
+// for its current model.
+func (m *Manager) PlannerEnabled() bool { return m.plan != nil }
 
 // sameTarget reports whether two load targets describe the same operating
 // point (within 10%).

@@ -1,0 +1,175 @@
+package servermgr
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pocolo/internal/machine"
+	"pocolo/internal/sim"
+	"pocolo/internal/workload"
+)
+
+// runManaged builds one managed host (identical seeds and configuration
+// apart from plannerOff) and runs it for dur, returning the final metrics
+// and the manager for counter inspection.
+func runManaged(t *testing.T, policy LCPolicy, plannerOff bool, dur time.Duration) (sim.Metrics, *Manager) {
+	t.Helper()
+	cat := workload.MustDefaults()
+	lc, err := cat.ByName("sphinx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := cat.ByName("pbzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := sim.NewHost(sim.HostConfig{
+		Name:    "golden",
+		Machine: machine.XeonE52650(),
+		LC:      lc,
+		BE:      be,
+		Trace:   workload.UniformSweep(2 * time.Second),
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(Config{
+		Host:       host,
+		Model:      fitted(t, "sphinx"),
+		Policy:     policy,
+		Seed:       5,
+		PlannerOff: plannerOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddHost(host); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Attach(eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(dur); err != nil {
+		t.Fatal(err)
+	}
+	return host.Metrics(), mgr
+}
+
+// TestPlannerGoldenEquivalence is the golden DeepEqual suite: a full
+// managed run with the planner must be bit-identical — metrics, final
+// allocations, throttle state — to the same run with the exact search,
+// for both policies.
+func TestPlannerGoldenEquivalence(t *testing.T) {
+	for _, policy := range []LCPolicy{PowerOptimized, PowerUnaware} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dur := workload.UniformSweep(2 * time.Second).Duration()
+			mOn, mgrOn := runManaged(t, policy, false, dur)
+			mOff, mgrOff := runManaged(t, policy, true, dur)
+			if !reflect.DeepEqual(mOn, mOff) {
+				t.Fatalf("planner-on metrics differ from planner-off:\non:  %+v\noff: %+v", mOn, mOff)
+			}
+			fOn, dOn := mgrOn.BEThrottle()
+			fOff, dOff := mgrOff.BEThrottle()
+			if fOn != fOff || dOn != dOff {
+				t.Fatalf("throttle state differs: on (%v, %v), off (%v, %v)", fOn, dOn, fOff, dOff)
+			}
+			if mgrOn.Boost() != mgrOff.Boost() {
+				t.Fatalf("boost differs: on %d, off %d", mgrOn.Boost(), mgrOff.Boost())
+			}
+		})
+	}
+}
+
+// TestPlannerCounters checks the counter taxonomy: a planner-enabled run
+// serves lookups from the plan (with warm starts once the target settles)
+// and never falls back; a planner-off run only falls back.
+func TestPlannerCounters(t *testing.T) {
+	_, mgrOn := runManaged(t, PowerOptimized, false, 10*time.Second)
+	hits, warm, fallbacks := mgrOn.PlannerCounters()
+	if !mgrOn.PlannerEnabled() {
+		t.Fatal("planner did not resolve for the fitted model")
+	}
+	if hits == 0 {
+		t.Fatalf("planner-on run recorded no hits (hits=%d warm=%d fallbacks=%d)", hits, warm, fallbacks)
+	}
+	if warm == 0 {
+		t.Fatalf("constant-dwell sweep recorded no warm starts (hits=%d warm=%d)", hits, warm)
+	}
+	if fallbacks != 0 {
+		t.Fatalf("planner-on run fell back %d times", fallbacks)
+	}
+
+	_, mgrOff := runManaged(t, PowerOptimized, true, 10*time.Second)
+	hits, warm, fallbacks = mgrOff.PlannerCounters()
+	if mgrOff.PlannerEnabled() {
+		t.Fatal("PlannerOff manager still resolved a plan")
+	}
+	if hits != 0 || warm != 0 {
+		t.Fatalf("planner-off run recorded plan lookups (hits=%d warm=%d)", hits, warm)
+	}
+	if fallbacks == 0 {
+		t.Fatal("planner-off run recorded no exact-search fallbacks")
+	}
+}
+
+// TestSetModelRebindsPlan checks a model swap re-resolves the planner so
+// lookups never come from a stale model's tables.
+func TestSetModelRebindsPlan(t *testing.T) {
+	b := newBench(t, "sphinx", "", constTrace(t, 0.5), PowerOptimized)
+	if !b.mgr.PlannerEnabled() {
+		t.Fatal("planner did not resolve at construction")
+	}
+	oldPlan := b.mgr.plan
+	next := fitted(t, "img-dnn")
+	if err := b.mgr.SetModel(next); err != nil {
+		t.Fatal(err)
+	}
+	if !b.mgr.PlannerEnabled() {
+		t.Fatal("planner dropped after model swap")
+	}
+	if b.mgr.plan == oldPlan {
+		t.Fatal("plan not rebuilt after model swap")
+	}
+	if b.mgr.planCell != -1 {
+		t.Fatal("warm-start cell survived a model swap")
+	}
+	// The rebound plan must answer for the new model: compare one lookup
+	// against the direct search.
+	cfg := b.host.Machine()
+	want, err := next.IntegerMinPowerAlloc(3, []int{cfg.Cores, cfg.LLCWays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, w, _, ok := b.mgr.plan.MinPower2(3, -1)
+	if !ok || c != want[0] || w != want[1] {
+		t.Fatalf("rebound plan answered (%d,%d,%v), direct %v", c, w, ok, want)
+	}
+}
+
+// TestPairSplitTablesMatchDirect checks the hoisted per-axis tables score
+// splits bit-identically to the direct model calls.
+func TestPairSplitTablesMatchDirect(t *testing.T) {
+	for _, name := range []string{"pbzip", "graph"} {
+		a := fitted(t, name)
+		var tab splitTables
+		tab.fill(a, 10, 17)
+		vec := make([]float64, 2)
+		for c := 0; c <= 10; c++ {
+			for w := 0; w <= 17; w++ {
+				vec[0], vec[1] = float64(c), float64(w)
+				if got, want := tab.perf(c, w), a.Perf(vec); got != want {
+					t.Fatalf("%s perf(%d,%d): table %v, direct %v", name, c, w, got, want)
+				}
+				if got, want := tab.dyn(c, w), a.DynamicPower(vec); got != want {
+					t.Fatalf("%s dyn(%d,%d): table %v, direct %v", name, c, w, got, want)
+				}
+			}
+		}
+	}
+}

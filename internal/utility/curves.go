@@ -28,10 +28,16 @@ func (m *Model) IndifferenceCurve(targetPerf, xLo, xHi float64, n int) ([]CurveP
 		return nil, errors.New("utility: invalid sweep range")
 	}
 	out := make([]CurvePoint, 0, n)
+	// The outer exponent 1/α₂ is loop-invariant; hoisting it drops one
+	// division per point. The base expression must keep its shape — e.g.
+	// splitting target/(α₀·x^α₁) into (target/α₀)/x^α₁ would reassociate
+	// the floating-point math and shift results by ulps.
+	invA1 := 1 / m.Alpha[1]
+	span := xHi - xLo
 	for i := 0; i < n; i++ {
-		x := xLo + (xHi-xLo)*float64(i)/float64(n-1)
+		x := xLo + span*float64(i)/float64(n-1)
 		// Solve α₀·x^α₁·y^α₂ = target for y.
-		y := math.Pow(targetPerf/(m.Alpha0*math.Pow(x, m.Alpha[0])), 1/m.Alpha[1])
+		y := math.Pow(targetPerf/(m.Alpha0*math.Pow(x, m.Alpha[0])), invA1)
 		if y <= 0 || math.IsInf(y, 0) || math.IsNaN(y) {
 			continue
 		}

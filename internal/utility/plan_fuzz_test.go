@@ -1,0 +1,103 @@
+package utility_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pocolo/internal/utility"
+)
+
+// FuzzPlanBuild throws hostile model coefficients at plan construction:
+// exponents collapsing to zero or negative, NaN-adjacent and non-finite
+// parameters, single-resource models, and degenerate caps. The invariants:
+// construction never panics, cap validation matches the direct search, and
+// whenever a plan builds, its answers (allocation or error) are identical
+// to IntegerMinPowerAlloc for every probed target.
+func FuzzPlanBuild(f *testing.F) {
+	// Seeds: a sane model, α→0, negative α, NaN and Inf coefficients,
+	// denormal-adjacent α, zero power, single-resource shape, degenerate
+	// caps.
+	f.Add(3.0, 0.5, 0.3, 4.0, 2.0, 12, 20, 5.0, false)
+	f.Add(3.0, 1e-320, 0.3, 4.0, 2.0, 12, 20, 5.0, false)
+	f.Add(3.0, -0.5, 0.3, 4.0, 2.0, 12, 20, 5.0, false)
+	f.Add(math.NaN(), 0.5, 0.3, 4.0, 2.0, 12, 20, 5.0, false)
+	f.Add(3.0, math.NaN(), 0.3, 4.0, 2.0, 8, 8, 5.0, false)
+	f.Add(3.0, 0.5, math.Inf(1), 4.0, 2.0, 8, 8, 5.0, false)
+	f.Add(3.0, 0.5, 0.3, math.NaN(), 2.0, 8, 8, 5.0, false)
+	f.Add(3.0, 0.5, 0.3, 0.0, 0.0, 8, 8, 5.0, false)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 1, 1, 0.0, false)
+	f.Add(3.0, 0.7, 0.0, 4.0, 0.0, 12, 20, 5.0, true) // single-resource
+	f.Add(1e300, 300.0, 300.0, 1e300, 1e300, 32, 32, 1e308, false)
+
+	f.Fuzz(func(t *testing.T, alpha0, a1, a2, p1, p2 float64, c1, c2 int, target float64, single bool) {
+		var m *utility.Model
+		var caps []int
+		if single {
+			m = &utility.Model{
+				App:       "fuzz",
+				Resources: []string{"cores"},
+				Alpha0:    alpha0,
+				Alpha:     []float64{a1},
+				P:         []float64{p1},
+			}
+			caps = []int{c1}
+		} else {
+			m = &utility.Model{
+				App:       "fuzz",
+				Resources: []string{"cores", "ways"},
+				Alpha0:    alpha0,
+				Alpha:     []float64{a1, a2},
+				P:         []float64{p1, p2},
+			}
+			caps = []int{c1, c2}
+		}
+		// Keep grids bounded so the direct reference search stays cheap;
+		// invalid caps (<1) are deliberately left through to check both
+		// sides reject them.
+		for i, c := range caps {
+			if c > 64 {
+				caps[i] = c%64 + 1
+			}
+		}
+
+		plan, err := utility.NewPlan(m, caps)
+		capsValid := true
+		for _, c := range caps {
+			if c < 1 {
+				capsValid = false
+			}
+		}
+		if !capsValid {
+			if err == nil {
+				t.Fatalf("invalid caps %v accepted", caps)
+			}
+			return
+		}
+		if err != nil {
+			// Oversized-grid refusal is the only valid failure for valid
+			// caps at these sizes (64^2 < MaxPlanPoints, so not expected).
+			t.Fatalf("NewPlan(%+v, %v): %v", m, caps, err)
+		}
+
+		targets := []float64{target, -target, 0, 1, math.Abs(target) * 1e-6}
+		// Probe exact achievable values too: equality edges are where an
+		// off-by-one-ulp planner would diverge.
+		vec := make([]float64, len(caps))
+		for j, c := range caps {
+			vec[j] = float64(1 + (c-1)/2)
+		}
+		targets = append(targets, m.Perf(vec))
+
+		for _, tgt := range targets {
+			want, wantErr := m.IntegerMinPowerAlloc(tgt, caps)
+			got, gotErr := plan.MinPowerAlloc(tgt)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("model %+v caps %v target %v: direct err=%v, plan err=%v", m, caps, tgt, wantErr, gotErr)
+			}
+			if wantErr == nil && !reflect.DeepEqual(want, got) {
+				t.Fatalf("model %+v caps %v target %v: direct %v, plan %v", m, caps, tgt, want, got)
+			}
+		}
+	})
+}

@@ -283,6 +283,10 @@ type System struct {
 	// tick and any violation fails the run. Checking does not change
 	// results, only adds per-tick assertions.
 	Invariants bool
+	// PlannerOff forces every server manager through the exact per-tick
+	// grid search instead of the precomputed allocation planner. Results
+	// are bit-identical either way; the planner is only faster.
+	PlannerOff bool
 }
 
 // NewSystem profiles and fits every application on the Table I platform.
@@ -319,16 +323,18 @@ func (s *System) clusterConfig() cluster.Config {
 		Seed:       s.Seed,
 		Parallel:   s.Parallel,
 		Invariants: s.Invariants,
+		PlannerOff: s.PlannerOff,
 	}
 }
 
 // Matrix builds the BE×LC performance matrix from the fitted models.
 func (s *System) Matrix() (*Matrix, error) {
 	return cluster.BuildMatrix(cluster.MatrixConfig{
-		Machine: s.Machine,
-		LC:      s.Catalog.LC(),
-		BE:      s.Catalog.BE(),
-		Models:  s.Models,
+		Machine:  s.Machine,
+		LC:       s.Catalog.LC(),
+		BE:       s.Catalog.BE(),
+		Models:   s.Models,
+		Parallel: s.Parallel,
 	})
 }
 
@@ -722,5 +728,6 @@ func (s *System) Experiments() (*Suite, error) {
 	suite.Dwell = s.Dwell
 	suite.Parallel = s.Parallel
 	suite.Invariants = s.Invariants
+	suite.PlannerOff = s.PlannerOff
 	return suite, nil
 }
