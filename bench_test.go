@@ -17,9 +17,11 @@ import (
 	"pocolo/internal/latency"
 	"pocolo/internal/machine"
 	"pocolo/internal/profiler"
+	"pocolo/internal/cluster"
 	"pocolo/internal/sim"
 	"pocolo/internal/sim/des"
 	"pocolo/internal/stats"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -370,6 +372,65 @@ func BenchmarkEngineSecond(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := engine.Run(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- decision-tracing overhead ---
+
+// BenchmarkTraceDisabled measures the disabled tracing path: every record
+// call on a nil *Tracer must be a nil check and nothing else. The 0
+// allocs/op this reports is the observability-off guarantee the bench
+// regression gate enforces.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *trace.Tracer
+	now := time.Unix(0, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("control_tick")
+		tr.ControlDecision(now, trace.ControlDecision{Tick: i, Load: 0.5, Path: trace.PathPlannerHit, Feasible: true})
+		tr.ObserveSlack(0.2)
+		sp.End(now)
+	}
+}
+
+// BenchmarkTraceEnabled is the same record sequence against a live ring —
+// the steady-state per-decision cost when tracing is on (the ring wraps,
+// so this includes overwrite behavior).
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := trace.New("bench", trace.DefaultEvents)
+	now := time.Unix(0, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("control_tick")
+		tr.ControlDecision(now, trace.ControlDecision{Tick: i, Load: 0.5, Path: trace.PathPlannerHit, Feasible: true})
+		tr.ObserveSlack(0.2)
+		sp.End(now)
+	}
+}
+
+// BenchmarkFig12NoMemo and BenchmarkFig12Traced are the macro overhead
+// pair: the same evaluation figure with the sweep memo forced off (a
+// traced run always bypasses it), untraced vs fully traced. Their ratio
+// is the end-to-end enabled-path overhead the acceptance bar caps at 5%.
+func BenchmarkFig12NoMemo(b *testing.B) {
+	defer cluster.SetMemo(cluster.SetMemo(false))
+	for i := 0; i < b.N; i++ {
+		if _, err := benchSuite(b).Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Traced(b *testing.B) {
+	defer cluster.SetMemo(cluster.SetMemo(false))
+	for i := 0; i < b.N; i++ {
+		s := benchSuite(b)
+		s.Trace = trace.NewSet(trace.DefaultEvents)
+		if _, err := s.Fig12(); err != nil {
 			b.Fatal(err)
 		}
 	}

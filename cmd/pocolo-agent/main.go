@@ -8,12 +8,16 @@
 //	pocolo-agent [-name agent-1] [-listen :7001] [-lc xapian] \
 //	             [-be graph,lstm] [-trace diurnal] [-level 0.5] \
 //	             [-noise 0] [-period 4m] [-speed 1] [-seed 42] \
-//	             [-series-cap 4096] [-catalog apps.json] [-pprof :6060]
+//	             [-series-cap 4096] [-catalog apps.json] [-pprof :6060] \
+//	             [-trace-file decisions.jsonl] [-trace-events 4096]
 //
 // Endpoints: POST /v1/assign, GET /v1/stats, GET /v1/healthz,
-// GET /metrics. SIGINT/SIGTERM shut the agent down gracefully. With
-// -pprof a net/http/pprof debug server is exposed on a separate
-// listener (keep it off public interfaces).
+// GET /metrics, GET /v1/trace (cursor-paginated decision trace).
+// SIGINT/SIGTERM shut the agent down gracefully; with -trace-file the
+// retained decision trace is dumped as JSONL on shutdown. (-trace
+// selects the *load* trace; the decision-trace flags are -trace-file
+// and -trace-events.) With -pprof a net/http/pprof debug server is
+// exposed on a separate listener (keep it off public interfaces).
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"pocolo/internal/controlplane"
 	"pocolo/internal/machine"
 	"pocolo/internal/profiler"
+	dtrace "pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -53,13 +58,15 @@ func main() {
 	catalogPath := flag.String("catalog", "", "load a custom application catalog from this JSON file")
 	seed := flag.Int64("seed", 42, "random seed")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	traceFile := flag.String("trace-file", "", "dump the decision trace as JSONL to this file on shutdown")
+	traceEvents := flag.Int("trace-events", 0, "decision-trace ring capacity in events (0 = default, negative disables tracing)")
 	flag.Parse()
 
 	if err := run(agentOptions{
 		name: *name, listen: *listen, lc: *lcName, be: *beNames,
 		trace: *traceKind, level: *level, noise: *noise, period: *period,
 		speed: *speed, seriesCap: *seriesCap, catalog: *catalogPath, seed: *seed,
-		pprofAddr: *pprofAddr,
+		pprofAddr: *pprofAddr, traceFile: *traceFile, traceEvents: *traceEvents,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -72,6 +79,8 @@ type agentOptions struct {
 	seriesCap                            int
 	seed                                 int64
 	pprofAddr                            string
+	traceFile                            string
+	traceEvents                          int
 }
 
 func run(opts agentOptions) error {
@@ -101,12 +110,12 @@ func run(opts agentOptions) error {
 		}
 	}
 
-	trace, err := buildTrace(opts.trace, opts.level, opts.period)
+	loadTrace, err := buildTrace(opts.trace, opts.level, opts.period)
 	if err != nil {
 		return err
 	}
 	if opts.noise > 0 {
-		trace, err = workload.NewNoisyTrace(trace, opts.noise, time.Second, opts.seed)
+		loadTrace, err = workload.NewNoisyTrace(loadTrace, opts.noise, time.Second, opts.seed)
 		if err != nil {
 			return err
 		}
@@ -134,11 +143,12 @@ func run(opts agentOptions) error {
 		LCModel:      lcModel,
 		BECandidates: bes,
 		BEModels:     beModels,
-		Trace:        trace,
+		Trace:        loadTrace,
 		SimTick:      simTick,
 		RealTick:     time.Duration(float64(simTick) / opts.speed),
 		SeriesCap:    opts.seriesCap,
 		Seed:         opts.seed,
+		TraceEvents:  opts.traceEvents,
 	})
 	if err != nil {
 		return err
@@ -181,6 +191,34 @@ func run(opts agentOptions) error {
 	agent.Stop()
 	st := agent.Stats()
 	log.Printf("stopped after %.0f simulated seconds: lc_ops=%.0f be_ops=%.0f", st.SimSec, st.LCOps, st.BEOps)
+	if opts.traceFile != "" {
+		if err := dumpDecisionTrace(opts.traceFile, agent.Tracer()); err != nil {
+			return fmt.Errorf("-trace-file: %w", err)
+		}
+	}
+	return nil
+}
+
+// dumpDecisionTrace writes the agent's retained decision trace as JSONL
+// (full wire form, wall-clock timestamps included — a live agent's trace
+// is not a deterministic replay artifact).
+func dumpDecisionTrace(path string, tr *dtrace.Tracer) error {
+	if tr == nil {
+		return errors.New("decision tracing is disabled (-trace-events is negative)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events := tr.Events()
+	if err := dtrace.WriteJSONL(f, events, true); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d decision-trace events to %s (%d dropped)", len(events), path, tr.Dropped())
 	return nil
 }
 

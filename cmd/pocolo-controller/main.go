@@ -11,10 +11,15 @@
 //	                  [-be graph,lstm] [-listen :7100] [-heartbeat 1s] \
 //	                  [-timeout 500ms] [-dead-after 3] [-retries 1] \
 //	                  [-max-backoff 16s] [-jitter 0.2] [-solver lp] \
-//	                  [-resolve-every 30s] [-seed 42]
+//	                  [-resolve-every 30s] [-seed 42] \
+//	                  [-trace cluster.jsonl] [-trace-events 4096]
 //
-// With -listen set, the controller serves its own GET /v1/status (JSON)
-// and GET /metrics (Prometheus). SIGINT/SIGTERM shut it down gracefully.
+// With -listen set, the controller serves its own GET /v1/status (JSON),
+// GET /metrics (Prometheus), and GET /v1/trace — the cluster-wide
+// decision timeline, aggregated from every live agent's /v1/trace pages
+// merged with the controller's own placement/migration/degradation/solve
+// events. With -trace the merged timeline is also dumped as JSONL on
+// shutdown. SIGINT/SIGTERM shut it down gracefully.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"pocolo/internal/controlplane"
+	"pocolo/internal/trace"
 )
 
 func main() {
@@ -47,9 +53,21 @@ func main() {
 	solver := flag.String("solver", "lp", "assignment solver: lp, hungarian, or exhaustive")
 	resolveEvery := flag.Duration("resolve-every", 30*time.Second, "periodic re-solve interval (0 to re-solve only on membership changes)")
 	seed := flag.Int64("seed", 42, "random seed for the heartbeat jitter")
+	tracePath := flag.String("trace", "", "dump the aggregated cluster decision trace as JSONL to this file on shutdown")
+	traceEvents := flag.Int("trace-events", 0, "controller decision-trace ring capacity in events (0 = default, negative disables tracing)")
 	flag.Parse()
 
-	if err := run(*agents, *be, *listen, controlplane.ControllerConfig{
+	var tracer *trace.Tracer
+	if *traceEvents >= 0 {
+		n := *traceEvents
+		if n == 0 {
+			n = trace.DefaultEvents
+		}
+		tracer = trace.New("controller", n)
+	}
+
+	if err := run(*agents, *be, *listen, *tracePath, controlplane.ControllerConfig{
+		Trace:        tracer,
 		Heartbeat:    *heartbeat,
 		Timeout:      *timeout,
 		DeadAfter:    *deadAfter,
@@ -65,7 +83,7 @@ func main() {
 	}
 }
 
-func run(agents, be, listen string, cfg controlplane.ControllerConfig) error {
+func run(agents, be, listen, tracePath string, cfg controlplane.ControllerConfig) error {
 	if agents == "" {
 		return errors.New("-agents is required (comma-separated base URLs)")
 	}
@@ -91,6 +109,7 @@ func run(agents, be, listen string, cfg controlplane.ControllerConfig) error {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/v1/status", ctl.StatusHandler)
 		mux.HandleFunc("/metrics", ctl.MetricsHandler)
+		mux.HandleFunc(controlplane.RouteTrace, ctl.TraceHandler)
 		srv = &http.Server{Addr: listen, Handler: mux}
 		go func() { httpErr <- srv.ListenAndServe() }()
 		log.Printf("status endpoint on %s", listen)
@@ -118,5 +137,24 @@ func run(agents, be, listen string, cfg controlplane.ControllerConfig) error {
 	}
 	st := ctl.Status()
 	log.Printf("stopped after %d rounds: %d solves, %d deaths, %d rejoins", st.Rounds, st.Solves, st.Deaths, st.Rejoins)
+	if tracePath != "" {
+		// Final collection sweeps any agent events recorded since the last
+		// round; dead agents are skipped, so this bounds shutdown latency.
+		collectCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		events := ctl.CollectTrace(collectCtx)
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSONL(f, events, true); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("wrote %d decision-trace events to %s", len(events), tracePath)
+	}
 	return nil
 }

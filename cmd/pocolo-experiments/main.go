@@ -7,11 +7,20 @@
 //
 //	pocolo-experiments [-seed N] [-dwell 5s] [-parallel N] [-only fig12,fig13] [-markdown]
 //	                   [-invariants] [-planner on|off] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                   [-trace out.jsonl] [-trace-chrome out.json] [-trace-events N]
+//
+// With -trace every cluster run in the selected experiments records its
+// control-loop decisions into shared per-host rings; the merged timeline
+// is written as JSONL (and as a Perfetto-loadable Chrome trace with
+// -trace-chrome). Because successive experiments reuse host names, trace
+// a single experiment (e.g. -only fig12) when per-host time monotonicity
+// matters.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -20,6 +29,7 @@ import (
 	"time"
 
 	"pocolo/internal/experiments"
+	"pocolo/internal/trace"
 )
 
 func main() {
@@ -34,6 +44,9 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	invariants := flag.Bool("invariants", false, "check cross-layer invariants on every simulated tick of every cluster run; any violation aborts the experiment")
 	planner := flag.String("planner", "on", "precomputed allocation planner: on (O(log n) frontier lookups) or off (exact per-tick grid search); results are bit-identical either way")
+	tracePath := flag.String("trace", "", "write the decision trace as canonical JSONL to this file")
+	traceChrome := flag.String("trace-chrome", "", "write the decision trace in Chrome trace-event format (Perfetto-loadable) to this file")
+	traceEvents := flag.Int("trace-events", trace.DefaultEvents, "decision-trace ring capacity per host, in events")
 	flag.Parse()
 
 	var plannerOff bool
@@ -65,6 +78,9 @@ func main() {
 	suite.Parallel = *par
 	suite.Invariants = *invariants
 	suite.PlannerOff = plannerOff
+	if *tracePath != "" || *traceChrome != "" {
+		suite.Trace = trace.NewSet(*traceEvents)
+	}
 
 	type runner struct {
 		name string
@@ -141,6 +157,34 @@ func main() {
 		log.Printf("no experiment matched -only=%q", *only)
 		os.Exit(2)
 	}
+	if suite.Trace != nil {
+		events := suite.Trace.Events()
+		if *tracePath != "" {
+			canonical := func(w io.Writer, ev []trace.Event) error { return trace.WriteJSONL(w, ev, false) }
+			if err := writeTraceFile(*tracePath, events, canonical); err != nil {
+				log.Fatalf("-trace: %v", err)
+			}
+		}
+		if *traceChrome != "" {
+			if err := writeTraceFile(*traceChrome, events, trace.WriteChromeTrace); err != nil {
+				log.Fatalf("-trace-chrome: %v", err)
+			}
+		}
+		fmt.Printf("trace: %d events retained (%d dropped)\n", len(events), suite.Trace.Dropped())
+	}
+}
+
+// writeTraceFile streams events through the given exporter into path.
+func writeTraceFile(path string, events []trace.Event, write func(io.Writer, []trace.Event) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // tabler is any experiment result that renders as a table.

@@ -4,60 +4,85 @@
 //
 // Usage:
 //
-//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json] [-invariants] [-planner on|off]
+//	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json] [-invariants] [-planner on|off] \
+//	           [-trace out.jsonl] [-trace-chrome out.json] [-trace-events N]
+//
+// With -trace the run records every control-loop decision, capper
+// intervention, placement, and solve into per-host rings and writes the
+// merged timeline as canonical JSONL (wall-clock fields stripped, so two
+// seeded runs produce byte-identical files). -trace-chrome writes the
+// same timeline in Chrome trace-event format; open it in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
 	"time"
 
 	"pocolo"
+	"pocolo/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pocolo-sim: ")
-	policyName := flag.String("policy", "pocolo", "cluster policy: random, pom, or pocolo")
-	seed := flag.Int64("seed", 42, "random seed")
-	dwell := flag.Duration("dwell", 5*time.Second, "simulated time per load level")
-	par := flag.Int("parallel", 0, "worker pool size for independent hosts and trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
-	modelsPath := flag.String("models", "", "load fitted models from this JSON file (see pocolo-profile -o) instead of re-profiling")
-	invariants := flag.Bool("invariants", false, "check cross-layer invariants (resource conservation, power-cap compliance, slack recovery, physical sanity) on every simulated tick; any violation aborts the run")
-	planner := flag.String("planner", "on", "precomputed allocation planner: on (O(log n) frontier lookups) or off (exact per-tick grid search); results are bit-identical either way")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	plannerOff, perr := parsePlannerFlag(*planner)
-	if perr != nil {
-		log.Fatal(perr)
+// run is the whole command behind a testable seam: flags in, report out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pocolo-sim", flag.ContinueOnError)
+	policyName := fs.String("policy", "pocolo", "cluster policy: random, pom, or pocolo")
+	seed := fs.Int64("seed", 42, "random seed")
+	dwell := fs.Duration("dwell", 5*time.Second, "simulated time per load level")
+	par := fs.Int("parallel", 0, "worker pool size for independent hosts and trials (0 = GOMAXPROCS, 1 = sequential; results identical at any setting)")
+	modelsPath := fs.String("models", "", "load fitted models from this JSON file (see pocolo-profile -o) instead of re-profiling")
+	invariants := fs.Bool("invariants", false, "check cross-layer invariants (resource conservation, power-cap compliance, slack recovery, physical sanity) on every simulated tick; any violation aborts the run")
+	planner := fs.String("planner", "on", "precomputed allocation planner: on (O(log n) frontier lookups) or off (exact per-tick grid search); results are bit-identical either way")
+	tracePath := fs.String("trace", "", "write the decision trace as canonical JSONL to this file")
+	traceChrome := fs.String("trace-chrome", "", "write the decision trace in Chrome trace-event format (Perfetto-loadable) to this file")
+	traceEvents := fs.Int("trace-events", trace.DefaultEvents, "decision-trace ring capacity per host, in events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plannerOff, err := parsePlannerFlag(*planner)
+	if err != nil {
+		return err
 	}
 
 	var sys *pocolo.System
-	var err error
 	if *modelsPath != "" {
 		f, ferr := os.Open(*modelsPath)
 		if ferr != nil {
-			log.Fatal(ferr)
+			return ferr
 		}
 		models, merr := pocolo.LoadModels(f)
 		f.Close()
 		if merr != nil {
-			log.Fatal(merr)
+			return merr
 		}
 		sys, err = pocolo.NewSystemFromModels(pocolo.XeonE52650(), models, *seed)
 	} else {
 		sys, err = pocolo.NewSystem(*seed)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sys.Dwell = *dwell
 	sys.Parallel = *par
 	sys.Invariants = *invariants
 	sys.PlannerOff = plannerOff
+	if *tracePath != "" || *traceChrome != "" {
+		sys.Trace = trace.NewSet(*traceEvents)
+	}
 
 	var res pocolo.Result
 	switch *policyName {
@@ -68,28 +93,28 @@ func main() {
 	case "pocolo":
 		res, err = sys.Run(pocolo.POColo)
 	default:
-		log.Fatalf("unknown policy %q (want random, pom, or pocolo)", *policyName)
+		return fmt.Errorf("unknown policy %q (want random, pom, or pocolo)", *policyName)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("policy: %s\n", res.Policy)
+	fmt.Fprintf(out, "policy: %s\n", res.Policy)
 	if len(res.Placement) > 0 {
-		fmt.Println("placement:")
+		fmt.Fprintln(out, "placement:")
 		bes := make([]string, 0, len(res.Placement))
 		for be := range res.Placement {
 			bes = append(bes, be)
 		}
 		sort.Strings(bes)
 		for _, be := range bes {
-			fmt.Printf("  %-6s -> %s\n", be, res.Placement[be])
+			fmt.Fprintf(out, "  %-6s -> %s\n", be, res.Placement[be])
 		}
 	} else {
-		fmt.Printf("placement: expectation over sampled random permutations\n")
+		fmt.Fprintf(out, "placement: expectation over sampled random permutations\n")
 	}
-	fmt.Println()
-	fmt.Printf("%-8s  %12s  %12s  %10s  %10s  %10s\n",
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-8s  %12s  %12s  %10s  %10s  %10s\n",
 		"server", "BE thr", "power (W)", "power/cap", "SLO viol", "energy kWh")
 	names := make([]string, 0, len(res.Hosts))
 	for n := range res.Hosts {
@@ -98,14 +123,44 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		m := res.Hosts[n]
-		fmt.Printf("%-8s  %12.1f  %12.1f  %9.1f%%  %9.1f%%  %10.4f\n",
+		fmt.Fprintf(out, "%-8s  %12.1f  %12.1f  %9.1f%%  %9.1f%%  %10.4f\n",
 			n, m.BEMeanThr, m.MeanPowerW, m.PowerUtil*100, m.SLOViolFrac*100, m.EnergyKWh)
 	}
-	fmt.Println()
-	fmt.Printf("cluster BE throughput (normalized): %.3f\n", res.BENormThroughput)
-	fmt.Printf("cluster mean power utilization:     %.1f%%\n", res.MeanPowerUtil*100)
-	fmt.Printf("cluster energy:                     %.4f kWh\n", res.TotalEnergyKWh)
-	fmt.Printf("worst SLO violation fraction:       %.2f%%\n", res.SLOViolFrac*100)
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "cluster BE throughput (normalized): %.3f\n", res.BENormThroughput)
+	fmt.Fprintf(out, "cluster mean power utilization:     %.1f%%\n", res.MeanPowerUtil*100)
+	fmt.Fprintf(out, "cluster energy:                     %.4f kWh\n", res.TotalEnergyKWh)
+	fmt.Fprintf(out, "worst SLO violation fraction:       %.2f%%\n", res.SLOViolFrac*100)
+
+	if sys.Trace != nil {
+		events := sys.Trace.Events()
+		if *tracePath != "" {
+			canonical := func(w io.Writer, ev []trace.Event) error { return trace.WriteJSONL(w, ev, false) }
+			if err := writeTraceFile(*tracePath, events, canonical); err != nil {
+				return err
+			}
+		}
+		if *traceChrome != "" {
+			if err := writeTraceFile(*traceChrome, events, trace.WriteChromeTrace); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "\ntrace: %d events retained (%d dropped)\n", len(events), sys.Trace.Dropped())
+	}
+	return nil
+}
+
+// writeTraceFile streams events through the given exporter into path.
+func writeTraceFile(path string, events []trace.Event, write func(io.Writer, []trace.Event) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parsePlannerFlag maps the -planner flag to System.PlannerOff.

@@ -1,0 +1,142 @@
+// Command pocolo-trace inspects and converts decision-trace files
+// produced by pocolo-sim, pocolo-experiments, pocolo-agent, or
+// pocolo-controller.
+//
+// Usage:
+//
+//	pocolo-trace -validate trace.jsonl            # schema + monotonicity check
+//	pocolo-trace -summary trace.jsonl             # per-kind / per-host counts
+//	pocolo-trace -chrome out.json trace.jsonl     # convert JSONL -> Chrome trace
+//	pocolo-trace -validate-chrome trace-chrome.json
+//
+// Modes compose: -validate -summary trace.jsonl validates first, then
+// prints the summary. Exactly one positional trace file is required.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"pocolo/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-trace: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pocolo-trace", flag.ContinueOnError)
+	validate := fs.Bool("validate", false, "validate the JSONL trace against the event schema (kinds, payloads, per-host seq/time monotonicity)")
+	summary := fs.Bool("summary", false, "print per-kind and per-host event counts and the covered time range")
+	chromeOut := fs.String("chrome", "", "convert the JSONL trace to Chrome trace-event format at this path")
+	validateChrome := fs.Bool("validate-chrome", false, "treat the input as a Chrome trace-event file and validate it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one trace file argument, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+	if !*validate && !*summary && *chromeOut == "" && !*validateChrome {
+		return fmt.Errorf("nothing to do: pass -validate, -summary, -chrome OUT, or -validate-chrome")
+	}
+
+	if *validateChrome {
+		if *validate || *summary || *chromeOut != "" {
+			return fmt.Errorf("-validate-chrome reads a Chrome trace file and cannot combine with the JSONL modes")
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.ValidateChromeTrace(f); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "%s: valid Chrome trace\n", path)
+		return nil
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	events, err := trace.ParseJSONL(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	if *validate {
+		if err := trace.Validate(events); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "%s: %d events, schema valid\n", path, len(events))
+	}
+	if *chromeOut != "" {
+		cf, err := os.Create(*chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(cf, events); err != nil {
+			cf.Close()
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *chromeOut)
+	}
+	if *summary {
+		printSummary(out, events)
+	}
+	return nil
+}
+
+// printSummary prints per-kind and per-host counts plus the simulated
+// time range the trace covers.
+func printSummary(out io.Writer, events []trace.Event) {
+	byKind := map[string]int{}
+	byHost := map[string]int{}
+	var minT, maxT int64
+	for i := range events {
+		ev := &events[i]
+		byKind[ev.Kind.String()]++
+		byHost[ev.Host]++
+		if i == 0 || ev.TNS < minT {
+			minT = ev.TNS
+		}
+		if ev.TNS > maxT {
+			maxT = ev.TNS
+		}
+	}
+	fmt.Fprintf(out, "events: %d\n", len(events))
+	if len(events) > 0 {
+		fmt.Fprintf(out, "time range: %.3fs .. %.3fs\n", float64(minT)/1e9, float64(maxT)/1e9)
+	}
+	fmt.Fprintln(out, "by kind:")
+	for _, k := range sortedKeys(byKind) {
+		fmt.Fprintf(out, "  %-12s %d\n", k, byKind[k])
+	}
+	fmt.Fprintln(out, "by host:")
+	for _, h := range sortedKeys(byHost) {
+		fmt.Fprintf(out, "  %-12s %d\n", h, byHost[h])
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

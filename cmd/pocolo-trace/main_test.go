@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pocolo/internal/trace"
+)
+
+// writeSampleTrace records a few events and writes them as canonical
+// JSONL, returning the file path.
+func writeSampleTrace(t *testing.T, dir string) string {
+	t.Helper()
+	tr := trace.New("host-a", 16)
+	now := time.Unix(0, 0).UTC()
+	tr.ControlDecision(now.Add(time.Second), trace.ControlDecision{
+		Tick: 1, Load: 0.5, Target: 0.55, Path: trace.PathExact, Feasible: true,
+	})
+	tr.CapAction(now.Add(2*time.Second), trace.CapAction{
+		PowerW: 120, CapW: 100, Action: trace.ActionThrottleFreq,
+	})
+	path := filepath.Join(dir, "sample.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteJSONL(f, tr.Events(), false); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidateSummaryAndConvert(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := writeSampleTrace(t, dir)
+	chrome := filepath.Join(dir, "sample-chrome.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"-validate", "-summary", "-chrome", chrome, jsonl}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"2 events, schema valid", "control", "cap", "host-a", "time range: 1.000s .. 2.000s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-validate-chrome", chrome}, &out); err != nil {
+		t.Fatalf("validate-chrome: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid Chrome trace") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := writeSampleTrace(t, dir)
+	var out bytes.Buffer
+	if err := run([]string{jsonl}, &out); err == nil {
+		t.Error("no mode: want error")
+	}
+	if err := run([]string{"-validate"}, &out); err == nil {
+		t.Error("no file: want error")
+	}
+	if err := run([]string{"-validate-chrome", "-summary", jsonl}, &out); err == nil {
+		t.Error("mixed chrome/jsonl modes: want error")
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"seq\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", bad}, &out); err == nil {
+		t.Error("malformed JSONL: want error")
+	}
+}

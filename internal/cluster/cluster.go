@@ -13,6 +13,7 @@ import (
 	"pocolo/internal/parallel"
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -102,6 +103,18 @@ type Config struct {
 	// search exercised (race tests, equivalence suites) and serves as an
 	// escape hatch.
 	PlannerOff bool
+	// Trace, when non-nil, collects decision events from every simulated
+	// host and the placement pipeline. Each host records into its own
+	// child tracer (keyed TraceLabel + host name) so parallel execution
+	// stays deterministic; Trace.Events() merges them into one timeline.
+	// Traced runs bypass the process-wide sweep memo — a memoized result
+	// would replay no decisions — so tracing trades the memo's speedup
+	// for a complete timeline.
+	Trace *trace.Set
+	// TraceLabel prefixes the per-host trace keys (e.g. "trial3/") so
+	// repeated simulations of the same host inside one run land on
+	// distinct timelines.
+	TraceLabel string
 }
 
 func (c *Config) defaults() error {
@@ -172,18 +185,38 @@ func Place(cfg Config) (map[string]string, float64, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, 0, err
 	}
+	tr := cfg.Trace.Tracer(cfg.TraceLabel + "cluster")
 	mx, err := BuildMatrix(MatrixConfig{
 		Machine:  cfg.Machine,
 		LC:       cfg.LC,
 		BE:       cfg.BE,
 		Models:   cfg.Models,
 		Parallel: cfg.Parallel,
+		Trace:    tr,
 	})
 	if err != nil {
 		return nil, 0, err
 	}
-	return mx.Solve("lp")
+	placement, total, err := mx.SolveTraced("lp", tr, simEpoch())
+	if err != nil {
+		return nil, 0, err
+	}
+	// Record the chosen placement in a deterministic (sorted) order.
+	bes := make([]string, 0, len(placement))
+	for be := range placement {
+		bes = append(bes, be)
+	}
+	sort.Strings(bes)
+	for _, be := range bes {
+		tr.Placement(simEpoch(), trace.Placement{BE: be, Node: placement[be], Reason: "lp solve"})
+	}
+	return placement, total, nil
 }
+
+// simEpoch is the engine's time origin; cluster-level events (placement,
+// solve) happen "before" simulated time starts, so they are stamped at
+// the epoch to keep seeded traces deterministic.
+func simEpoch() time.Time { return time.Unix(0, 0).UTC() }
 
 // RunPlacement simulates the cluster under an explicit placement with the
 // given server-level management policy.
@@ -211,9 +244,16 @@ func RunPlacement(cfg Config, placement map[string]string, mgmt servermgr.LCPoli
 		beBy[lcName] = b
 	}
 
-	key := placementKey(&cfg, placement, mgmt)
-	if res, ok := memoGetPlacement(key); ok {
-		return res, nil
+	// Traced runs bypass the memo in both directions: a cache hit would
+	// replay no decisions, and a traced result must not poison the cache
+	// for untraced callers expecting the speedup.
+	traced := cfg.Trace != nil
+	var key string
+	if !traced {
+		key = placementKey(&cfg, placement, mgmt)
+		if res, ok := memoGetPlacement(key); ok {
+			return res, nil
+		}
 	}
 
 	duration := workload.UniformSweep(cfg.Dwell).Duration()
@@ -256,20 +296,22 @@ func RunPlacement(cfg Config, placement map[string]string, mgmt servermgr.LCPoli
 	if normCount > 0 {
 		res.BENormThroughput = normSum / float64(normCount)
 	}
-	memoPutPlacement(key, res)
+	if !traced {
+		memoPutPlacement(key, res)
+	}
 	return res, nil
 }
 
 // runManagedHost simulates one host with its server manager on a private
 // single-host engine for the given duration and returns its metrics.
 func runManagedHost(cfg Config, lc, be *workload.Spec, hostSeed, mgrSeed int64, mgmt servermgr.LCPolicy, duration time.Duration) (sim.Metrics, error) {
-	trace := workload.UniformSweep(cfg.Dwell)
+	loadTrace := workload.UniformSweep(cfg.Dwell)
 	host, err := sim.NewHost(sim.HostConfig{
 		Name:       lc.Name,
 		Machine:    cfg.Machine,
 		LC:         lc,
 		BE:         be,
-		Trace:      trace,
+		Trace:      loadTrace,
 		Seed:       hostSeed,
 		SeriesHint: seriesHint(duration, cfg.Tick),
 	})
@@ -290,6 +332,7 @@ func runManagedHost(cfg Config, lc, be *workload.Spec, hostSeed, mgrSeed int64, 
 		TargetSlack: cfg.TargetSlack,
 		Seed:        mgrSeed,
 		PlannerOff:  cfg.PlannerOff,
+		Tracer:      cfg.Trace.Tracer(cfg.TraceLabel + lc.Name),
 	})
 	if err != nil {
 		return sim.Metrics{}, err
@@ -374,6 +417,11 @@ func runRandomExpectation(cfg Config, mgmt servermgr.LCPolicy) (Result, error) {
 		placement := PlaceRandom(cfg.LC, cfg.BE, cfg.Seed+int64(trial)*31)
 		trialCfg := cfg
 		trialCfg.Seed = cfg.Seed + int64(trial)*7919
+		if cfg.Trace != nil {
+			// Each trial simulates the same hosts again; a per-trial label
+			// keeps their timelines distinct in the shared trace set.
+			trialCfg.TraceLabel = fmt.Sprintf("%strial%d/", cfg.TraceLabel, trial)
+		}
 		res, err := RunPlacement(trialCfg, placement, mgmt)
 		if err != nil {
 			return err
@@ -475,24 +523,29 @@ func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 	if err := cfg.defaults(); err != nil {
 		return PairResult{}, err
 	}
-	key := pairKey(&cfg, lc, be)
-	if pr, ok := memoGetPair(key); ok {
-		return pr, nil
+	traced := cfg.Trace != nil
+	var key string
+	if !traced {
+		key = pairKey(&cfg, lc, be)
+		if pr, ok := memoGetPair(key); ok {
+			return pr, nil
+		}
 	}
 	loads := DefaultLoadRange()
 	pr := PairResult{LC: lc.Name, BE: be.Name, Loads: loads, TotalNorm: make([]float64, len(loads))}
 	err := parallel.ForEach(len(loads), cfg.Parallel, func(i int) error {
 		frac := loads[i]
-		trace, err := workload.NewConstantTrace(frac)
+		loadTrace, err := workload.NewConstantTrace(frac)
 		if err != nil {
 			return err
 		}
+		hostName := fmt.Sprintf("%s+%s@%.0f", lc.Name, be.Name, frac*100)
 		host, err := sim.NewHost(sim.HostConfig{
-			Name:       fmt.Sprintf("%s+%s@%.0f", lc.Name, be.Name, frac*100),
+			Name:       hostName,
 			Machine:    cfg.Machine,
 			LC:         lc,
 			BE:         be,
-			Trace:      trace,
+			Trace:      loadTrace,
 			Seed:       cfg.Seed + int64(frac*1000),
 			SeriesHint: seriesHint(cfg.Dwell, cfg.Tick),
 		})
@@ -511,6 +564,7 @@ func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 			Model:      cfg.Models[lc.Name],
 			Policy:     servermgr.PowerOptimized,
 			PlannerOff: cfg.PlannerOff,
+			Tracer:     cfg.Trace.Tracer(cfg.TraceLabel + hostName),
 		})
 		if err != nil {
 			return err
@@ -547,7 +601,9 @@ func RunPair(cfg Config, lc, be *workload.Spec) (PairResult, error) {
 		pr.Mean += norm
 	}
 	pr.Mean /= float64(len(loads))
-	memoPutPair(key, pr)
+	if !traced {
+		memoPutPair(key, pr)
+	}
 	return pr, nil
 }
 

@@ -11,11 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"pocolo/internal/assign"
 	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
 	"pocolo/internal/parallel"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -57,6 +59,12 @@ type MatrixConfig struct {
 	// independent pure functions of the models, so the matrix is identical
 	// at every setting.
 	Parallel int
+	// Trace, when non-nil, records a build_matrix phase span.
+	Trace *trace.Tracer
+	// Now timestamps the build_matrix span event (default: the simulation
+	// epoch — in the simulation pipeline construction happens before
+	// simulated time starts; the live controller passes its clock).
+	Now time.Time
 }
 
 // BuildMatrix estimates the performance matrix from the fitted models:
@@ -65,6 +73,12 @@ type MatrixConfig struct {
 // provisioned capacity; the BE app's throughput at that operating point is
 // its power-budget-constrained Cobb-Douglas demand on the spare resources.
 func BuildMatrix(cfg MatrixConfig) (*Matrix, error) {
+	stamp := cfg.Now
+	if stamp.IsZero() {
+		stamp = simEpoch()
+	}
+	sp := cfg.Trace.StartSpan("build_matrix")
+	defer sp.End(stamp)
 	if err := cfg.Machine.Validate(); err != nil {
 		return nil, err
 	}
@@ -161,6 +175,15 @@ func estimatePairThroughput(cfg machine.Config, lc *workload.Spec, lcModel, beMo
 // solver ("lp", "hungarian", or "exhaustive"). It returns the mapping from
 // BE name to LC name and the predicted total.
 func (mx *Matrix) Solve(method string) (map[string]string, float64, error) {
+	return mx.SolveTraced(method, nil, time.Time{})
+}
+
+// SolveTraced is Solve with decision tracing: a solve phase span and one
+// SolveSummary event are recorded at the given timestamp (a controller
+// passes its clock, the simulation pipeline passes the epoch). A nil
+// tracer makes it identical to Solve.
+func (mx *Matrix) SolveTraced(method string, tr *trace.Tracer, now time.Time) (map[string]string, float64, error) {
+	sp := tr.StartSpan("solve")
 	var (
 		idx []int
 		val float64
@@ -190,6 +213,10 @@ func (mx *Matrix) Solve(method string) (map[string]string, float64, error) {
 	for i, j := range idx {
 		placement[mx.BENames[i]] = mx.LCNames[j]
 	}
+	tr.SolveSummary(now, trace.SolveSummary{
+		Method: method, Rows: len(mx.BENames), Cols: len(mx.LCNames), Total: val,
+	})
+	sp.End(now)
 	return placement, val, nil
 }
 

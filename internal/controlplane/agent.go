@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"pocolo/internal/machine"
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -60,6 +62,10 @@ type AgentConfig struct {
 	// per-tick grid search instead of the precomputed allocation planner.
 	// Results are bit-identical either way.
 	PlannerOff bool
+	// TraceEvents sizes the agent's decision-trace ring: 0 uses
+	// trace.DefaultEvents, a negative value disables tracing entirely
+	// (zero overhead on the control path).
+	TraceEvents int
 }
 
 // Agent wraps one simulated host and its server manager behind the HTTP
@@ -75,6 +81,9 @@ type Agent struct {
 	byName   map[string]*workload.Spec
 	realTick time.Duration
 	simTick  time.Duration
+
+	// tracer is internally locked; /v1/trace reads it without taking a.mu.
+	tracer *trace.Tracer
 
 	mu       sync.Mutex
 	host     *sim.Host
@@ -147,6 +156,14 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if err := engine.AddHost(host); err != nil {
 		return nil, err
 	}
+	var tracer *trace.Tracer
+	if cfg.TraceEvents >= 0 {
+		capacity := cfg.TraceEvents
+		if capacity == 0 {
+			capacity = trace.DefaultEvents
+		}
+		tracer = trace.New(cfg.Name, capacity)
+	}
 	mgr, err := servermgr.New(servermgr.Config{
 		Host:        host,
 		Model:       cfg.LCModel,
@@ -155,6 +172,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		BEModels:    cfg.BEModels,
 		Seed:        cfg.Seed,
 		PlannerOff:  cfg.PlannerOff,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -189,6 +207,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		byName:   byName,
 		realTick: cfg.RealTick,
 		simTick:  cfg.SimTick,
+		tracer:   tracer,
 		host:     host,
 		mgr:      mgr,
 		engine:   engine,
@@ -200,6 +219,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	a.mux.HandleFunc(RouteStats, a.handleStats)
 	a.mux.HandleFunc(RouteHealthz, a.handleHealthz)
 	a.mux.HandleFunc(RouteMetrics, a.handleMetrics)
+	a.mux.HandleFunc(RouteTrace, a.handleTrace)
 	return a, nil
 }
 
@@ -306,6 +326,7 @@ func (a *Agent) statsLocked() StatsResponse {
 	}
 	control, throttles, restores := a.mgr.Counters()
 	planHits, planWarm, planFallbacks := a.mgr.PlannerCounters()
+	beThrottles, beRestores := a.mgr.KnobCounters()
 	return StatsResponse{
 		Agent:             a.name,
 		Machine:           a.machine,
@@ -329,6 +350,9 @@ func (a *Agent) statsLocked() StatsResponse {
 		PlannerHits:       planHits,
 		PlannerWarm:       planWarm,
 		PlannerFallbacks:  planFallbacks,
+		BEThrottles:       beThrottles,
+		BERestores:        beRestores,
+		PlannerOn:         a.mgr.PlannerEnabled(),
 		SimSec:            a.engine.Elapsed().Seconds(),
 		LCModel:           a.lcModel,
 		BEModels:          a.beModels,
@@ -392,5 +416,52 @@ func (a *Agent) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := a.statsLocked()
 	a.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeAgentMetrics(w, stats)
+	if err := writeAgentMetrics(w, stats); err != nil {
+		return
+	}
+	_ = writeTraceMetrics(w, stats.Agent, stats.LC, a.tracer)
+}
+
+// Tracer returns the agent's decision tracer (nil when tracing is
+// disabled). The tracer is internally locked, so callers may read it
+// while the pacing loop runs.
+func (a *Agent) Tracer() *trace.Tracer { return a.tracer }
+
+// handleTrace serves GET /v1/trace?since=SEQ&limit=N: one page of the
+// decision-trace ring, oldest-first, with a resume cursor.
+func (a *Agent) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad since cursor %q: %v", v, err)
+			return
+		}
+		since = n
+	}
+	limit := 512
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		limit = n
+	}
+	resp := TraceResponse{Agent: a.name, Next: since}
+	if a.tracer != nil {
+		resp.Events, resp.Next = a.tracer.EventsSince(since, limit)
+		resp.Dropped = a.tracer.Dropped()
+	}
+	if resp.Events == nil {
+		resp.Events = []trace.Event{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -19,6 +19,7 @@ import (
 	"net/http"
 
 	"pocolo/internal/machine"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 )
 
@@ -32,6 +33,9 @@ const (
 	RouteHealthz = "/v1/healthz"
 	// RouteMetrics (GET) is the Prometheus text exposition.
 	RouteMetrics = "/metrics"
+	// RouteTrace (GET) pages through the agent's decision-trace ring with
+	// ?since=SEQ&limit=N cursor pagination.
+	RouteTrace = "/v1/trace"
 )
 
 // AssignRequest asks an agent to run a best-effort app (or, with an empty
@@ -91,14 +95,35 @@ type StatsResponse struct {
 	// Planner counters: how the manager's allocation lookups were served
 	// (precomputed-plan lookups, warm-start cell reuses, exact-search
 	// fallbacks). Hits+Warm+Fallbacks ≈ control ticks with load.
-	PlannerHits      int     `json:"planner_hits"`
-	PlannerWarm      int     `json:"planner_warm"`
-	PlannerFallbacks int     `json:"planner_fallbacks"`
-	SimSec           float64 `json:"sim_seconds"`
+	PlannerHits      int `json:"planner_hits"`
+	PlannerWarm      int `json:"planner_warm"`
+	PlannerFallbacks int `json:"planner_fallbacks"`
+	// Knob-movement counters: best-effort throttle/restore actions that
+	// actually moved a frequency or duty-cycle knob (a capper intervention
+	// with every knob already at its floor counts in CapThrottles but not
+	// here).
+	BEThrottles int `json:"be_throttles"`
+	BERestores  int `json:"be_restores"`
+	// PlannerOn reports whether allocation lookups go through the
+	// precomputed planner (false = exact per-tick grid search).
+	PlannerOn bool    `json:"planner_on"`
+	SimSec    float64 `json:"sim_seconds"`
 
 	// Fitted models, for the controller's matrix rebuild.
 	LCModel  *utility.Model            `json:"lc_model,omitempty"`
 	BEModels map[string]*utility.Model `json:"be_models,omitempty"`
+}
+
+// TraceResponse is one page of an agent's (or the controller's) decision
+// trace. Next is the cursor to pass as ?since= for the following page; it
+// only advances past events actually returned, so a client polling at its
+// own pace never skips an event that is still in the ring. Dropped counts
+// ring overwrites since startup — a gap the client can report.
+type TraceResponse struct {
+	Agent   string        `json:"agent"`
+	Events  []trace.Event `json:"events"`
+	Next    uint64        `json:"next"`
+	Dropped uint64        `json:"dropped"`
 }
 
 // errorResponse is the JSON body of a non-2xx agent reply.

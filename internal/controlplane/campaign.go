@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pocolo/internal/invariant"
+	"pocolo/internal/trace"
 	"pocolo/internal/workload"
 )
 
@@ -136,6 +137,11 @@ type CampaignConfig struct {
 	Harness *invariant.Harness
 	// Logf, when set, receives controller and campaign event logs.
 	Logf func(format string, args ...any)
+	// ControllerTrace, when non-nil, records the controller's decisions —
+	// every migration and degradation the campaign provokes lands in it,
+	// stamped on the campaign's synthetic clock. Per-agent tracing is
+	// configured on the AgentConfigs (TraceEvents).
+	ControllerTrace *trace.Tracer
 }
 
 // CampaignReport summarizes a finished campaign.
@@ -252,6 +258,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		Solver:     cfg.Solver,
 		Seed:       cfg.Seed,
 		Logf:       cfg.Logf,
+		Trace:      cfg.ControllerTrace,
 		Client:     &http.Client{Transport: c.transport},
 		Now: func() time.Time {
 			c.clockMu.Lock()

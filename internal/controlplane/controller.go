@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pocolo/internal/cluster"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -61,6 +62,11 @@ type ControllerConfig struct {
 	// advances one heartbeat per round so backoff windows are measured in
 	// rounds, not wall time.
 	Now func() time.Time
+	// Trace, when non-nil, records the controller's own decisions —
+	// placements, migrations, degradations, and solve summaries — stamped
+	// on the controller clock. CollectTrace merges it with the per-agent
+	// traces fetched over /v1/trace into one cluster timeline.
+	Trace *trace.Tracer
 }
 
 // agentState is the controller's view of one agent.
@@ -111,9 +117,12 @@ type Controller struct {
 	rng    *rand.Rand
 	logf   func(string, ...any)
 	now    func() time.Time
+	tracer *trace.Tracer
 
 	mu        sync.Mutex
 	agents    []*agentState
+	cursors   map[string]uint64 // agent URL → /v1/trace since-cursor
+	collected []trace.Event     // agent events fetched by CollectTrace
 	placement map[string]string // BE → agent URL
 	lastGood  map[string]string
 	unplaced  []string
@@ -183,11 +192,13 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		now = time.Now
 	}
 	c := &Controller{
-		cfg:    cfg,
-		client: client,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		logf:   logf,
-		now:    now,
+		cfg:     cfg,
+		client:  client,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		logf:    logf,
+		now:     now,
+		tracer:  cfg.Trace,
+		cursors: make(map[string]uint64, len(cfg.AgentURLs)),
 	}
 	for _, u := range cfg.AgentURLs {
 		c.agents = append(c.agents, &agentState{url: u, name: u})
@@ -402,13 +413,13 @@ func (c *Controller) resolveLocked(now time.Time) {
 		}
 	}
 	if len(live) == 0 {
-		c.degradeLocked("no live agents")
+		c.degradeLocked(now, "no live agents")
 		return
 	}
 	// Majority-unreachable guard: with most of the fleet dark the reports
 	// left are too thin to trust a re-solve; hold the last placement.
 	if c.lastGood != nil && 2*len(live) < len(c.agents) {
-		c.degradeLocked(fmt.Sprintf("only %d/%d agents reachable", len(live), len(c.agents)))
+		c.degradeLocked(now, fmt.Sprintf("only %d/%d agents reachable", len(live), len(c.agents)))
 		return
 	}
 	if len(c.cfg.BE) == 0 {
@@ -420,11 +431,12 @@ func (c *Controller) resolveLocked(now time.Time) {
 		return
 	}
 
-	placement, unplaced, err := c.solve(live)
+	placement, unplaced, err := c.solve(live, now)
 	if err != nil {
-		c.degradeLocked(fmt.Sprintf("solve failed: %v", err))
+		c.degradeLocked(now, fmt.Sprintf("solve failed: %v", err))
 		return
 	}
+	prev := c.placement
 	c.placement = placement
 	c.lastGood = clone(placement)
 	c.unplaced = unplaced
@@ -432,13 +444,41 @@ func (c *Controller) resolveLocked(now time.Time) {
 	c.lastSolve = now
 	c.solves++
 	c.logf("placement solved over %d agents: %v (unplaced %v)", len(live), placement, unplaced)
+	c.tracePlacementLocked(now, prev, placement)
+}
+
+// tracePlacementLocked records one Placement event per newly placed
+// best-effort app and one Migration event (plus a log line) per app that
+// moved between agents, in sorted BE order for a deterministic timeline.
+func (c *Controller) tracePlacementLocked(now time.Time, prev, next map[string]string) {
+	if c.tracer == nil {
+		return
+	}
+	names := make(map[string]string, len(c.agents))
+	for _, a := range c.agents {
+		names[a.url] = a.name
+	}
+	for _, be := range sortedKeys(next) {
+		url := next[be]
+		prevURL, had := prev[be]
+		switch {
+		case !had:
+			c.tracer.Placement(now, trace.Placement{BE: be, Node: names[url], Reason: "solve"})
+		case prevURL != url:
+			c.logf("migrated %s: %s -> %s", be, names[prevURL], names[url])
+			c.tracer.Migration(now, trace.Placement{BE: be, Node: names[url], From: names[prevURL], Reason: "re-solve"})
+		}
+	}
 }
 
 // degradeLocked keeps the last-known-good placement, restricted to agents
-// that still exist, and flags degraded mode.
-func (c *Controller) degradeLocked(reason string) {
+// that still exist, and flags degraded mode. The Degradation trace event
+// fires on the transition only, matching the log line, so repeated
+// degraded rounds do not flood the ring.
+func (c *Controller) degradeLocked(now time.Time, reason string) {
 	if !c.degraded {
 		c.logf("degraded: %s; holding last-known-good placement", reason)
+		c.tracer.Degradation(now, reason)
 	}
 	c.degraded = true
 	if c.lastGood != nil {
@@ -452,7 +492,7 @@ func (c *Controller) degradeLocked(reason string) {
 // controller needs no local catalog. When there are more best-effort apps
 // than live servers, the overflow (lowest best-case value first) is
 // reported as unplaced.
-func (c *Controller) solve(live []*agentState) (map[string]string, []string, error) {
+func (c *Controller) solve(live []*agentState, now time.Time) (map[string]string, []string, error) {
 	sort.Slice(live, func(i, j int) bool { return live[i].name < live[j].name })
 	lcSpecs := make([]*workload.Spec, len(live))
 	models := make(map[string]*utility.Model, len(live)+len(c.cfg.BE))
@@ -494,6 +534,8 @@ func (c *Controller) solve(live []*agentState) (map[string]string, []string, err
 		LC:      lcSpecs,
 		BE:      beSpecs,
 		Models:  models,
+		Trace:   c.tracer,
+		Now:     now,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -532,7 +574,7 @@ func (c *Controller) solve(live []*agentState) (map[string]string, []string, err
 		mx = trimmed
 	}
 
-	byBE, _, err := mx.Solve(c.cfg.Solver)
+	byBE, _, err := mx.SolveTraced(c.cfg.Solver, c.tracer, now)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -650,7 +692,92 @@ func (c *Controller) MetricsHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = writeControllerMetrics(w, c.Status())
+	if err := writeControllerMetrics(w, c.Status()); err != nil {
+		return
+	}
+	_ = writeTraceMetrics(w, "controller", "", c.tracer)
+}
+
+// maxCollectedEvents bounds the controller's accumulated cluster
+// timeline; beyond it the oldest collected agent events are discarded
+// (each agent's own ring still retains its recent window).
+const maxCollectedEvents = 1 << 16
+
+// Tracer returns the controller's own decision tracer (nil when tracing
+// is disabled).
+func (c *Controller) Tracer() *trace.Tracer { return c.tracer }
+
+// CollectTrace fetches each live agent's new decision-trace events over
+// /v1/trace — cursor-paged per agent, so repeated calls transfer only
+// fresh events — folds them into the controller's accumulated cluster
+// timeline, merges in the controller's own decision events, and returns
+// the combined timeline in canonical (time, host, seq) order. Unreachable
+// agents are skipped (their cursor does not advance, so nothing still in
+// their ring is lost) and retried on the next call.
+func (c *Controller) CollectTrace(ctx context.Context) []trace.Event {
+	type target struct {
+		url   string
+		since uint64
+	}
+	c.mu.Lock()
+	targets := make([]target, 0, len(c.agents))
+	for _, a := range c.agents {
+		if a.alive {
+			targets = append(targets, target{url: a.url, since: c.cursors[a.url]})
+		}
+	}
+	c.mu.Unlock()
+
+	var fetched []trace.Event
+	next := make(map[string]uint64, len(targets))
+	for _, t := range targets {
+		since := t.since
+		for {
+			var page TraceResponse
+			url := fmt.Sprintf("%s%s?since=%d&limit=4096", t.url, RouteTrace, since)
+			if err := c.getJSON(ctx, url, &page); err != nil {
+				c.logf("trace fetch from %s failed: %v", t.url, err)
+				break
+			}
+			fetched = append(fetched, page.Events...)
+			if len(page.Events) == 0 || page.Next <= since {
+				break
+			}
+			since = page.Next
+		}
+		next[t.url] = since
+	}
+
+	c.mu.Lock()
+	for url, n := range next {
+		if n > c.cursors[url] {
+			c.cursors[url] = n
+		}
+	}
+	c.collected = append(c.collected, fetched...)
+	if len(c.collected) > maxCollectedEvents {
+		c.collected = append([]trace.Event(nil), c.collected[len(c.collected)-maxCollectedEvents:]...)
+	}
+	out := make([]trace.Event, len(c.collected), len(c.collected)+c.tracer.Len())
+	copy(out, c.collected)
+	c.mu.Unlock()
+	out = append(out, c.tracer.Events()...)
+	trace.SortEvents(out)
+	return out
+}
+
+// TraceHandler serves the merged cluster decision timeline (GET /v1/trace
+// in cmd/pocolo-controller), refreshing from the live agents first.
+func (c *Controller) TraceHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	events := c.CollectTrace(r.Context())
+	if events == nil {
+		events = []trace.Event{}
+	}
+	writeJSON(w, http.StatusOK, TraceResponse{Agent: "controller", Events: events, Dropped: c.tracer.Dropped()})
 }
 
 // clone copies a placement map.

@@ -14,6 +14,7 @@ import (
 	"pocolo/internal/machine"
 	"pocolo/internal/parallel"
 	"pocolo/internal/profiler"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -40,6 +41,10 @@ type Suite struct {
 	// grid search instead of the precomputed allocation planner. Results
 	// are bit-identical either way.
 	PlannerOff bool
+	// Trace, when non-nil, collects decision-trace events from every
+	// simulation the experiments run (and disables the sweep memo for
+	// them, so the timeline is complete).
+	Trace *trace.Set
 
 	mu         sync.Mutex
 	policyRuns map[cluster.Policy]*cluster.Result
@@ -79,6 +84,7 @@ func (s *Suite) clusterConfig() cluster.Config {
 		Parallel:   s.Parallel,
 		Invariants: s.Invariants,
 		PlannerOff: s.PlannerOff,
+		Trace:      s.Trace,
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"pocolo/internal/machine"
 	"pocolo/internal/sim"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -101,6 +102,10 @@ type Config struct {
 	// cache across managers amortizes plan construction across every
 	// host/trial evaluating the same (model, caps) pair.
 	Plans *utility.PlanCache
+	// Tracer, when non-nil, receives one ControlDecision per control tick,
+	// one CapAction per capper knob movement, and tick-phase spans. A nil
+	// tracer disables tracing at the cost of a nil check per site.
+	Tracer *trace.Tracer
 }
 
 // Manager runs the two control loops for one host.
@@ -166,10 +171,22 @@ type Manager struct {
 	splitA     splitTables
 	splitB     splitTables
 
+	// tracer records decisions and tick-phase spans (nil = disabled);
+	// lastPath remembers which search path served the latest
+	// feasibleAlloc call so ControlTick can stamp it on the decision
+	// event.
+	tracer   *trace.Tracer
+	lastPath string
+
 	// counters for introspection and tests
 	controlTicks int
 	capThrottles int
 	capRestores  int
+	// beThrottles/beRestores count capper interventions that actually
+	// moved a knob, unlike capThrottles/capRestores which also count
+	// over/under-budget ticks with the knobs already at their limits.
+	beThrottles  int
+	beRestores   int
 	plannerHits  int
 	plannerWarm  int
 	planFallback int
@@ -215,6 +232,7 @@ func New(cfg Config) (*Manager, error) {
 		beModels:      cfg.BEModels,
 		dutyFirst:     cfg.DutyFirst,
 		rng:           cfg.Rand,
+		tracer:        cfg.Tracer,
 	}
 	if m.rng == nil {
 		m.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -300,13 +318,16 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 			c, w, cell, feasible := m.plan.MinPower2(target, m.planCell)
 			if feasible && cell == m.planCell {
 				m.plannerWarm++
+				m.lastPath = trace.PathPlannerWarm
 			} else {
 				m.plannerHits++
+				m.lastPath = trace.PathPlannerHit
 			}
 			m.planCell = cell
 			return c, w, feasible
 		}
 		m.planFallback++
+		m.lastPath = trace.PathExact
 		alloc, err := m.model.IntegerMinPowerAlloc(target, m.caps[:])
 		if err != nil {
 			return 0, 0, false
@@ -321,9 +342,11 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 		// tables, so the RNG draw (and thus the whole run) is unchanged.
 		if m.plan != nil {
 			m.plannerHits++
+			m.lastPath = trace.PathPlannerHit
 			m.frontier = m.plan.AppendUnawareFrontier(target, m.frontier[:0])
 		} else {
 			m.planFallback++
+			m.lastPath = trace.PathExact
 			frontier := m.frontier[:0]
 			for c := 1; c <= cfg.Cores; c++ {
 				w := -1
@@ -357,10 +380,12 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 
 // ControlTick runs one iteration of the 1 s LC allocation loop.
 func (m *Manager) ControlTick(now time.Time) {
+	sp := m.tracer.StartSpan("control_tick")
 	m.controlTicks++
 	cfg := m.host.Machine()
 	load := m.host.OfferedLoad()
 	slack := m.host.Slack()
+	m.tracer.ObserveSlack(slack)
 
 	// Feedback integrator: starve → boost, comfortable → relax. The model
 	// target already encodes the slack guard (profiling measured max load
@@ -387,14 +412,18 @@ func (m *Manager) ControlTick(now time.Time) {
 	target := load * m.headroom
 	m.lastTarget = target
 	var cores, ways int
+	feasible := false
 	if target <= 0 {
 		// No load observed yet (cold start): keep the primary safe with
 		// the full machine until the first real observation arrives.
 		cores, ways = cfg.Cores, cfg.LLCWays
+		m.lastPath = trace.PathColdStart
 	} else if c, w, ok := m.feasibleAlloc(target); ok {
 		cores, ways = c, w
+		feasible = true
 	} else {
 		cores, ways = cfg.Cores, cfg.LLCWays
+		m.lastPath = trace.PathFullMachine
 	}
 	cores = clampInt(cores+m.boost, 1, cfg.Cores)
 	ways = clampInt(ways+m.boost, 1, cfg.LLCWays)
@@ -413,6 +442,12 @@ func (m *Manager) ControlTick(now time.Time) {
 	}
 
 	m.apply(cores, ways)
+	m.tracer.ControlDecision(now, trace.ControlDecision{
+		Tick: m.controlTicks, Load: load, Target: target, SlackIn: slack,
+		Boost: m.boost, Cores: cores, Ways: ways, FreqGHz: m.lcFreq,
+		Path: m.lastPath, Feasible: feasible,
+	})
+	sp.End(now)
 }
 
 // apply installs the LC allocation and hands every remaining resource to
@@ -622,11 +657,12 @@ func (m *Manager) BEParked() bool { return m.beParked }
 // CapTick runs one iteration of the 100 ms power capper. The throttle
 // state is shared by the host's whole best-effort partition: every
 // co-runner is clocked and duty-cycled together.
-func (m *Manager) CapTick(time.Time) {
+func (m *Manager) CapTick(now time.Time) {
 	bes := m.host.BEs()
 	if len(bes) == 0 {
 		return
 	}
+	sp := m.tracer.StartFineSpan("cap_tick")
 	cfg := m.host.Machine()
 	srv := m.host.Server()
 	reading := m.host.MeterReading().Watts
@@ -672,22 +708,54 @@ func (m *Manager) CapTick(time.Time) {
 		// Over budget: fine knob first (the paper's order is frequency
 		// then duty; DutyFirst flips it for the ablation).
 		m.capThrottles++
+		action := ""
 		if m.dutyFirst {
-			if !throttleDuty() {
-				throttleFreq()
+			if throttleDuty() {
+				action = trace.ActionThrottleDuty
+			} else if throttleFreq() {
+				action = trace.ActionThrottleFreq
 			}
-		} else if !throttleFreq() {
-			throttleDuty()
+		} else if throttleFreq() {
+			action = trace.ActionThrottleFreq
+		} else if throttleDuty() {
+			action = trace.ActionThrottleDuty
 		}
+		if action != "" {
+			m.beThrottles++
+		} else {
+			// Both knobs at their floors: physics, not a controller bug,
+			// but worth a trace record — sustained exhaustion is exactly
+			// what a power-budget post-mortem looks for.
+			action = trace.ActionExhausted
+		}
+		m.tracer.CapAction(now, trace.CapAction{
+			PowerW: reading, CapW: capW, Action: action,
+			BEFreqGHz: m.beFreq, BEDuty: m.beDuty,
+		})
 	case reading < capW*(1-m.capGuard):
 		// Comfortable headroom: restore in reverse order.
 		m.capRestores++
+		action := ""
 		if m.dutyFirst {
-			if !restoreFreq() {
-				restoreDuty()
+			if restoreFreq() {
+				action = trace.ActionRestoreFreq
+			} else if restoreDuty() {
+				action = trace.ActionRestoreDuty
 			}
-		} else if !restoreDuty() {
-			restoreFreq()
+		} else if restoreDuty() {
+			action = trace.ActionRestoreDuty
+		} else if restoreFreq() {
+			action = trace.ActionRestoreFreq
+		}
+		// Fully restored ticks are the idle steady state; recording them
+		// would flood the ring with no information, so only actual knob
+		// movements produce events here.
+		if action != "" {
+			m.beRestores++
+			m.tracer.CapAction(now, trace.CapAction{
+				PowerW: reading, CapW: capW, Action: action,
+				BEFreqGHz: m.beFreq, BEDuty: m.beDuty,
+			})
 		}
 	}
 	for _, be := range bes {
@@ -697,6 +765,7 @@ func (m *Manager) CapTick(time.Time) {
 			_ = srv.SetAlloc(be.Name, a)
 		}
 	}
+	sp.End(now)
 }
 
 // CapW returns the power budget the capper currently enforces: the
@@ -772,6 +841,14 @@ func (m *Manager) Boost() int { return m.boost }
 // cap restore actions so far.
 func (m *Manager) Counters() (control, throttles, restores int) {
 	return m.controlTicks, m.capThrottles, m.capRestores
+}
+
+// KnobCounters returns the number of capper interventions that actually
+// moved a best-effort knob (DVFS step or duty change), in each
+// direction. Unlike Counters' throttle/restore tallies, ticks where the
+// knobs were already at their limits are excluded.
+func (m *Manager) KnobCounters() (throttles, restores int) {
+	return m.beThrottles, m.beRestores
 }
 
 // PlannerCounters reports how the control loop's allocation lookups were

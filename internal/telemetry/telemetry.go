@@ -124,6 +124,32 @@ func (s *Series) Len() int {
 	return s.size()
 }
 
+// At returns the i-th oldest retained point (0 = oldest). The index is
+// in retained positions: after a bounded series wraps, At(0) is the
+// oldest point still held, not the first ever appended.
+func (s *Series) At(i int) (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= s.size() {
+		return Point{}, false
+	}
+	return s.at(i), true
+}
+
+// Iterate calls fn on each retained point, oldest first, stopping early
+// when fn returns false. Unlike Points it allocates nothing. The series
+// lock is held for the whole iteration, so fn must not call back into
+// the series.
+func (s *Series) Iterate(fn func(Point) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.size(); i++ {
+		if !fn(s.at(i)) {
+			return
+		}
+	}
+}
+
 // Last returns the most recent observation, if any.
 func (s *Series) Last() (Point, bool) {
 	s.mu.Lock()

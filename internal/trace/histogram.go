@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: each
+// bucket counts observations ≤ its upper bound, plus an implicit +Inf
+// bucket, a running sum, and a total count. Observe is mutex-protected
+// and allocation-free; all methods are no-ops on a nil receiver so a
+// disabled tracer costs nothing.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which are
+// sorted and deduplicated.
+func NewHistogram(bounds ...float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for i, b := range bs {
+		if i == 0 || b != bs[i-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, counts: make([]uint64, len(uniq)+1)}
+}
+
+// DurationBuckets is the default bucket ladder for phase durations in
+// seconds: 1µs … 100ms, roughly ×3 per step. Control ticks on simulated
+// hosts land in the low microseconds; real solves in the milliseconds.
+func DurationBuckets() []float64 {
+	return []float64{1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1}
+}
+
+// SlackBuckets is the default bucket ladder for relative p99 slack.
+// Negative slack is an SLO violation; the target region is ~[0, 0.2].
+func SlackBuckets() []float64 {
+	return []float64{-0.5, -0.25, -0.1, -0.05, 0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5}
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); Cumulative converts for the Prometheus
+// exposition.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1, last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the histogram state. A nil histogram snapshots empty.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// Cumulative returns the Prometheus-style cumulative bucket counts: the
+// i-th entry counts observations ≤ Bounds[i], and the final entry (the
+// +Inf bucket) equals Count.
+func (s HistogramSnapshot) Cumulative() []uint64 {
+	out := make([]uint64, len(s.Counts))
+	var run uint64
+	for i, c := range s.Counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// Merge adds the other snapshot's samples into s and returns the result.
+// A side with no samples contributes nothing (the sampled side's bounds
+// win); two sampled snapshots with mismatched bounds cannot be merged
+// and the receiver is returned unchanged with ok=false.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) (HistogramSnapshot, bool) {
+	if other.Count == 0 {
+		return s, true
+	}
+	if s.Count == 0 {
+		return other, true
+	}
+	if len(s.Bounds) != len(other.Bounds) {
+		return s, false
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return s, false
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: append([]uint64(nil), s.Counts...),
+		Sum:    s.Sum + other.Sum,
+		Count:  s.Count + other.Count,
+	}
+	for i := range other.Counts {
+		out.Counts[i] += other.Counts[i]
+	}
+	return out, true
+}

@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func at(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+func sampleControl(tick int) ControlDecision {
+	return ControlDecision{
+		Tick: tick, Load: 0.42, Target: 0.48, SlackIn: 0.11, Boost: 1,
+		Cores: 4, Ways: 6, FreqGHz: 2.2, Path: PathPlannerWarm, Feasible: true,
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("control_tick")
+	tr.ControlDecision(at(1), sampleControl(1))
+	tr.CapAction(at(1), CapAction{CapW: 100, Action: ActionThrottleFreq})
+	tr.Placement(at(1), Placement{BE: "x264", Node: "a"})
+	tr.Migration(at(1), Placement{BE: "x264", Node: "b", From: "a"})
+	tr.Degradation(at(1), "all agents dead")
+	tr.SolveSummary(at(1), SolveSummary{Method: "lp", Rows: 2, Cols: 2})
+	tr.ObserveSlack(0.1)
+	tr.ObserveSpanSeconds("x", 0.001)
+	sp.End(at(1))
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.Host() != "" {
+		t.Fatal("nil tracer leaked state")
+	}
+	if ev, next := tr.EventsSince(0, 10); ev != nil || next != 0 {
+		t.Fatal("nil tracer EventsSince not empty")
+	}
+	if tr.SpanDurations() != nil || tr.SlackDistribution().Count != 0 {
+		t.Fatal("nil tracer histograms not empty")
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var tr *Tracer
+	now := at(5)
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.StartSpan("control_tick")
+		tr.ObserveSlack(0.12)
+		tr.ControlDecision(now, sampleControl(1))
+		tr.CapAction(now, CapAction{PowerW: 120, CapW: 100, Action: ActionThrottleDuty})
+		sp.End(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New("h", 4)
+	for i := 1; i <= 10; i++ {
+		tr.ControlDecision(at(int64(i)), sampleControl(i))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(events))
+	}
+	for i, ev := range events {
+		wantTick := i + 7 // ticks 7..10 survive
+		if ev.Control.Tick != wantTick || ev.Seq != uint64(wantTick) {
+			t.Fatalf("event %d: tick %d seq %d, want tick=seq=%d", i, ev.Control.Tick, ev.Seq, wantTick)
+		}
+		if ev.Host != "h" || ev.Kind != KindControl {
+			t.Fatalf("event %d: host %q kind %v", i, ev.Host, ev.Kind)
+		}
+		if ev.TNS != at(int64(wantTick)).UnixNano() {
+			t.Fatalf("event %d: t_ns %d", i, ev.TNS)
+		}
+	}
+}
+
+func TestEventsSincePagination(t *testing.T) {
+	tr := New("h", 16)
+	for i := 1; i <= 9; i++ {
+		tr.ControlDecision(at(int64(i)), sampleControl(i))
+	}
+	var got []Event
+	cursor := uint64(0)
+	pages := 0
+	for {
+		events, next := tr.EventsSince(cursor, 4)
+		if len(events) == 0 {
+			if next != cursor {
+				t.Fatalf("empty page moved cursor %d -> %d", cursor, next)
+			}
+			break
+		}
+		got = append(got, events...)
+		cursor = next
+		pages++
+	}
+	if pages != 3 || len(got) != 9 {
+		t.Fatalf("pages=%d events=%d, want 3 pages / 9 events", pages, len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("page event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// After wraparound the cursor skips dropped events without stalling.
+	small := New("s", 2)
+	for i := 1; i <= 5; i++ {
+		small.ControlDecision(at(int64(i)), sampleControl(i))
+	}
+	events, next := small.EventsSince(1, 0)
+	if len(events) != 2 || events[0].Seq != 4 || next != 5 {
+		t.Fatalf("post-wrap page = %d events, first seq %d, next %d", len(events), events[0].Seq, next)
+	}
+}
+
+func TestSpanRecordsEventAndHistogram(t *testing.T) {
+	tr := New("h", 8)
+	sp := tr.StartSpan("control_tick")
+	time.Sleep(time.Millisecond)
+	sp.End(at(3))
+	events := tr.Events()
+	if len(events) != 1 || events[0].Kind != KindSpan {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Span.Name != "control_tick" || events[0].Span.DurNS <= 0 {
+		t.Fatalf("span payload = %+v", events[0].Span)
+	}
+	hists := tr.SpanDurations()
+	h, ok := hists["control_tick"]
+	if !ok || h.Count != 1 || h.Sum <= 0 {
+		t.Fatalf("span histogram = %+v", hists)
+	}
+}
+
+func TestHistogramBucketsAndMerge(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if want := []uint64{2, 1, 1, 1}; !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 5 || s.Sum != 106 {
+		t.Fatalf("count=%d sum=%g", s.Count, s.Sum)
+	}
+	if want := []uint64{2, 3, 4, 5}; !reflect.DeepEqual(s.Cumulative(), want) {
+		t.Fatalf("cumulative = %v, want %v", s.Cumulative(), want)
+	}
+	merged, ok := s.Merge(s)
+	if !ok || merged.Count != 10 || merged.Counts[0] != 4 {
+		t.Fatalf("merge = %+v ok=%v", merged, ok)
+	}
+	if _, ok := s.Merge(NewHistogram(1, 2).Snapshot()); !ok {
+		t.Fatal("merging an empty snapshot should succeed")
+	}
+	other := NewHistogram(1, 3, 9)
+	other.Observe(2)
+	if _, ok := s.Merge(other.Snapshot()); ok {
+		t.Fatal("merge across mismatched bounds should fail")
+	}
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	if nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+}
+
+func TestSetMergesDeterministically(t *testing.T) {
+	build := func() *Set {
+		s := NewSet(32)
+		// Interleave appends across children from multiple goroutines;
+		// per-child order is what matters.
+		var wg sync.WaitGroup
+		for _, host := range []string{"b", "a", "c"} {
+			wg.Add(1)
+			go func(host string) {
+				defer wg.Done()
+				tr := s.Tracer(host)
+				for i := 1; i <= 5; i++ {
+					tr.ControlDecision(at(int64(i)), sampleControl(i))
+					tr.ObserveSlack(0.1 * float64(i))
+					tr.ObserveSpanSeconds("control_tick", 1e-5)
+				}
+			}(host)
+		}
+		wg.Wait()
+		return s
+	}
+	a, b := build().Events(), build().Events()
+	if !reflect.DeepEqual(stripWall(a), stripWall(b)) {
+		t.Fatal("merged set timelines differ across identical runs")
+	}
+	if len(a) != 15 {
+		t.Fatalf("merged %d events, want 15", len(a))
+	}
+	// Sorted by (t, host, seq): first three events are t=1 on a, b, c.
+	if a[0].Host != "a" || a[1].Host != "b" || a[2].Host != "c" {
+		t.Fatalf("merge order: %q %q %q", a[0].Host, a[1].Host, a[2].Host)
+	}
+	s := build()
+	if s.SlackDistribution().Count != 15 {
+		t.Fatalf("merged slack count = %d", s.SlackDistribution().Count)
+	}
+	if s.SpanDurations()["control_tick"].Count != 15 {
+		t.Fatalf("merged span count = %d", s.SpanDurations()["control_tick"].Count)
+	}
+	if s.Dropped() != 0 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+	var nilSet *Set
+	if nilSet.Tracer("x") != nil || nilSet.Events() != nil || nilSet.Dropped() != 0 {
+		t.Fatal("nil set leaked state")
+	}
+}
+
+func stripWall(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	for i := range out {
+		out[i].WallNS = 0
+		if out[i].Kind == KindSpan {
+			out[i].Span.DurNS = 0
+		}
+	}
+	return out
+}
+
+func TestConcurrentRecordAndRead(t *testing.T) {
+	tr := New("h", 64)
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 1; i <= 200; i++ {
+				sp := tr.StartSpan("cap_tick")
+				tr.CapAction(at(int64(i)), CapAction{PowerW: 100, CapW: 90, Action: ActionThrottleFreq, BEDuty: 1})
+				sp.End(at(int64(i)))
+				tr.ObserveSlack(float64(g))
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Events()
+			tr.EventsSince(0, 8)
+			tr.SpanDurations()
+			tr.SlackDistribution()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if got := tr.SlackDistribution().Count; got != 800 {
+		t.Fatalf("slack observations = %d, want 800", got)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("ring length = %d, want 64", tr.Len())
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"pocolo/internal/sim"
 	"pocolo/internal/tco"
 	"pocolo/internal/timeshare"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -287,6 +288,12 @@ type System struct {
 	// grid search instead of the precomputed allocation planner. Results
 	// are bit-identical either way; the planner is only faster.
 	PlannerOff bool
+	// Trace, when non-nil, collects decision-trace events (control
+	// decisions, capper actions, placements, solves, tick-phase spans)
+	// from every simulation the system runs; see internal/trace. Traced
+	// runs bypass the process-wide sweep memo so the timeline is always
+	// complete.
+	Trace *trace.Set
 }
 
 // NewSystem profiles and fits every application on the Table I platform.
@@ -324,6 +331,7 @@ func (s *System) clusterConfig() cluster.Config {
 		Parallel:   s.Parallel,
 		Invariants: s.Invariants,
 		PlannerOff: s.PlannerOff,
+		Trace:      s.Trace,
 	}
 }
 
@@ -729,5 +737,6 @@ func (s *System) Experiments() (*Suite, error) {
 	suite.Parallel = s.Parallel
 	suite.Invariants = s.Invariants
 	suite.PlannerOff = s.PlannerOff
+	suite.Trace = s.Trace
 	return suite, nil
 }
