@@ -12,7 +12,15 @@
 //	                  [-timeout 500ms] [-dead-after 3] [-retries 1] \
 //	                  [-max-backoff 16s] [-jitter 0.2] [-solver lp] \
 //	                  [-resolve-every 30s] [-seed 42] \
+//	                  [-budget-tree 'dc:600{agent-a,agent-b}'] \
 //	                  [-trace cluster.jsonl] [-trace-events 4096]
+//
+// With -budget-tree the controller enforces a hierarchical power budget
+// over the fleet: the tree's leaves name the agents, every heartbeat
+// round re-divides each node's budget over the agents' reported power
+// draw, and the per-agent shares are pushed as power caps over
+// POST /v1/cap (see DESIGN.md §12). A spec starting with '@' is read
+// from the named file.
 //
 // With -listen set, the controller serves its own GET /v1/status (JSON),
 // GET /metrics (Prometheus), and GET /v1/trace — the cluster-wide
@@ -53,6 +61,7 @@ func main() {
 	solver := flag.String("solver", "lp", "assignment solver: lp, hungarian, or exhaustive")
 	resolveEvery := flag.Duration("resolve-every", 30*time.Second, "periodic re-solve interval (0 to re-solve only on membership changes)")
 	seed := flag.Int64("seed", 42, "random seed for the heartbeat jitter")
+	budgetTree := flag.String("budget-tree", "", "hierarchical power-budget tree whose leaves name the agents (e.g. 'dc:600{agent-a,agent-b}') or @file; shares are pushed as caps every round")
 	tracePath := flag.String("trace", "", "dump the aggregated cluster decision trace as JSONL to this file on shutdown")
 	traceEvents := flag.Int("trace-events", 0, "controller decision-trace ring capacity in events (0 = default, negative disables tracing)")
 	flag.Parse()
@@ -66,8 +75,18 @@ func main() {
 		tracer = trace.New("controller", n)
 	}
 
+	spec := *budgetTree
+	if strings.HasPrefix(spec, "@") {
+		raw, err := os.ReadFile(spec[1:])
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = strings.TrimSpace(string(raw))
+	}
+
 	if err := run(*agents, *be, *listen, *tracePath, controlplane.ControllerConfig{
 		Trace:        tracer,
+		BudgetTree:   spec,
 		Heartbeat:    *heartbeat,
 		Timeout:      *timeout,
 		DeadAfter:    *deadAfter,

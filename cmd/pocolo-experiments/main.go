@@ -8,6 +8,7 @@
 //	pocolo-experiments [-seed N] [-dwell 5s] [-parallel N] [-only fig12,fig13] [-markdown]
 //	                   [-invariants] [-planner on|off] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	                   [-trace out.jsonl] [-trace-chrome out.json] [-trace-events N]
+//	                   [-budget W] [-budget-policy equal|demand] [-budget-tree spec|@file] [-budget-period 5s]
 //
 // With -trace every cluster run in the selected experiments records its
 // control-loop decisions into shared per-host rings; the merged timeline
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"pocolo/internal/cluster"
 	"pocolo/internal/experiments"
 	"pocolo/internal/trace"
 )
@@ -47,6 +49,10 @@ func main() {
 	tracePath := flag.String("trace", "", "write the decision trace as canonical JSONL to this file")
 	traceChrome := flag.String("trace-chrome", "", "write the decision trace in Chrome trace-event format (Perfetto-loadable) to this file")
 	traceEvents := flag.Int("trace-events", trace.DefaultEvents, "decision-trace ring capacity per host, in events")
+	budgetW := flag.Float64("budget", 0, "flat cluster power budget in watts (0 = unbudgeted) applied to every cluster run")
+	budgetPolicy := flag.String("budget-policy", "equal", "flat budget division rule: equal or demand")
+	budgetTree := flag.String("budget-tree", "", "hierarchical budget-tree spec or @file; leaves name the LC servers; overrides -budget")
+	budgetPeriod := flag.Duration("budget-period", 5*time.Second, "budget rebalance interval")
 	flag.Parse()
 
 	var plannerOff bool
@@ -78,6 +84,10 @@ func main() {
 	suite.Parallel = *par
 	suite.Invariants = *invariants
 	suite.PlannerOff = plannerOff
+	suite.Budget, err = cluster.ParseBudgetFlags(*budgetW, *budgetPolicy, *budgetTree, *budgetPeriod, 0, 0, "")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *tracePath != "" || *traceChrome != "" {
 		suite.Trace = trace.NewSet(*traceEvents)
 	}

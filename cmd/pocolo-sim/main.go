@@ -5,7 +5,15 @@
 // Usage:
 //
 //	pocolo-sim [-policy pocolo] [-seed 42] [-dwell 5s] [-parallel N] [-models models.json] [-invariants] [-planner on|off] \
-//	           [-trace out.jsonl] [-trace-chrome out.json] [-trace-events N]
+//	           [-trace out.jsonl] [-trace-chrome out.json] [-trace-events N] \
+//	           [-budget W] [-budget-policy equal|demand] [-budget-tree spec|@file] [-budget-period 5s] \
+//	           [-brownout 0.3] [-brownout-at 10s] [-brownout-node dc]
+//
+// With -budget the run divides a flat cluster power budget across the
+// servers every rebalance period; -budget-tree instead enforces a
+// hierarchical budget tree (host ≤ rack ≤ row ≤ DC) whose leaves name
+// the LC servers, and -brownout cuts a tree node's budget mid-run to
+// exercise graceful degradation.
 //
 // With -trace the run records every control-loop decision, capper
 // intervention, placement, and solve into per-host rings and writes the
@@ -49,6 +57,13 @@ func run(args []string, out io.Writer) error {
 	tracePath := fs.String("trace", "", "write the decision trace as canonical JSONL to this file")
 	traceChrome := fs.String("trace-chrome", "", "write the decision trace in Chrome trace-event format (Perfetto-loadable) to this file")
 	traceEvents := fs.Int("trace-events", trace.DefaultEvents, "decision-trace ring capacity per host, in events")
+	budgetW := fs.Float64("budget", 0, "flat cluster power budget in watts (0 = unbudgeted); divided across servers every rebalance period")
+	budgetPolicy := fs.String("budget-policy", "equal", "flat budget division rule: equal or demand")
+	budgetTree := fs.String("budget-tree", "", "hierarchical budget-tree spec (e.g. 'dc:1200{rack1:600{img-dnn,sphinx},rack2:600{xapian,tpcc}}') or @file; leaves name the LC servers; overrides -budget")
+	budgetPeriod := fs.Duration("budget-period", 5*time.Second, "budget rebalance interval")
+	brownout := fs.Float64("brownout", 0, "cut the brownout node's budget by this fraction mid-run (0.3 = -30%; needs -budget-tree)")
+	brownoutAt := fs.Duration("brownout-at", 0, "simulated time of the brownout cut (default: halfway through the run)")
+	brownoutNode := fs.String("brownout-node", "", "tree node to cut (default: the root)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +97,10 @@ func run(args []string, out io.Writer) error {
 	sys.PlannerOff = plannerOff
 	if *tracePath != "" || *traceChrome != "" {
 		sys.Trace = trace.NewSet(*traceEvents)
+	}
+	sys.Budget, err = pocolo.ParseBudgetFlags(*budgetW, *budgetPolicy, *budgetTree, *budgetPeriod, *brownout, *brownoutAt, *brownoutNode)
+	if err != nil {
+		return err
 	}
 
 	var res pocolo.Result
@@ -131,6 +150,33 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "cluster mean power utilization:     %.1f%%\n", res.MeanPowerUtil*100)
 	fmt.Fprintf(out, "cluster energy:                     %.4f kWh\n", res.TotalEnergyKWh)
 	fmt.Fprintf(out, "worst SLO violation fraction:       %.2f%%\n", res.SLOViolFrac*100)
+
+	if res.Budget != nil {
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "budget: %d rebalances, %d cuts\n", res.Budget.Rebalances, res.Budget.Cuts)
+		shares := make([]string, 0, len(res.Budget.Shares))
+		for name := range res.Budget.Shares {
+			shares = append(shares, name)
+		}
+		sort.Strings(shares)
+		var sum float64
+		for _, name := range shares {
+			fmt.Fprintf(out, "  %-8s %8.1f W\n", name, res.Budget.Shares[name])
+			sum += res.Budget.Shares[name]
+		}
+		fmt.Fprintf(out, "  %-8s %8.1f W\n", "total", sum)
+		if len(res.Budget.NodeBudgets) > 0 {
+			nodes := make([]string, 0, len(res.Budget.NodeBudgets))
+			for name := range res.Budget.NodeBudgets {
+				nodes = append(nodes, name)
+			}
+			sort.Strings(nodes)
+			fmt.Fprintln(out, "  node budgets:")
+			for _, name := range nodes {
+				fmt.Fprintf(out, "    %-8s %8.1f W\n", name, res.Budget.NodeBudgets[name])
+			}
+		}
+	}
 
 	if sys.Trace != nil {
 		events := sys.Trace.Events()

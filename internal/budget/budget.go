@@ -62,12 +62,15 @@ type Config struct {
 	// controllers act on seconds-scale windows).
 	Period time.Duration
 	// Smoothing is the EWMA coefficient on power readings in (0, 1]
-	// (default 0.5; 1 = use the latest reading only).
-	Smoothing float64
+	// (nil selects DefaultSmoothing; 1 = use the latest reading only).
+	// Use Float to set it inline.
+	Smoothing *float64
 	// MarginW is the demand headroom added to each server's smoothed draw
-	// before dividing (default 5 W), letting throttled servers signal
-	// appetite beyond their current (capped) draw.
-	MarginW float64
+	// before dividing (nil selects DefaultMarginW), letting throttled
+	// servers signal appetite beyond their current (capped) draw. An
+	// explicit zero margin is valid and means "divide by smoothed draw
+	// alone" — the pointer distinguishes it from an unset field.
+	MarginW *float64
 }
 
 // Budgeter periodically re-divides a cluster power budget.
@@ -80,7 +83,7 @@ type Budgeter struct {
 	smoothing float64
 	marginW   float64
 
-	ewmaW      []float64
+	est        *DemandEstimator
 	rebalances int
 	lastShares []float64
 }
@@ -113,19 +116,13 @@ func New(cfg Config) (*Budgeter, error) {
 	if period <= 0 {
 		return nil, errors.New("budget: period must be positive")
 	}
-	smoothing := cfg.Smoothing
-	if smoothing == 0 {
-		smoothing = 0.5
+	smoothing, err := ResolveSmoothing(cfg.Smoothing)
+	if err != nil {
+		return nil, err
 	}
-	if smoothing <= 0 || smoothing > 1 {
-		return nil, errors.New("budget: smoothing outside (0, 1]")
-	}
-	marginW := cfg.MarginW
-	if marginW == 0 {
-		marginW = 5
-	}
-	if marginW < 0 {
-		return nil, errors.New("budget: margin must be non-negative")
+	marginW, err := ResolveMarginW(cfg.MarginW)
+	if err != nil {
+		return nil, err
 	}
 	b := &Budgeter{
 		total:      cfg.TotalW,
@@ -135,7 +132,7 @@ func New(cfg Config) (*Budgeter, error) {
 		period:     period,
 		smoothing:  smoothing,
 		marginW:    marginW,
-		ewmaW:      make([]float64, len(cfg.Hosts)),
+		est:        NewDemandEstimator(len(cfg.Hosts), smoothing, marginW),
 		lastShares: make([]float64, len(cfg.Hosts)),
 	}
 	return b, nil
@@ -152,119 +149,38 @@ func (b *Budgeter) Attach(e *sim.Engine) error {
 }
 
 // Rebalance reads the power meters, updates the demand estimates, and
-// installs fresh per-server budgets.
+// installs fresh per-server budgets. Division goes through the shared
+// helpers in divide.go: proportional or equal split clamped to the
+// provisioned capacities, then a floor pass that keeps every server above
+// its idle floor by draining headroom from the others, so the installed
+// shares never sum beyond the budget.
 func (b *Budgeter) Rebalance(time.Time) {
 	n := len(b.hosts)
+	caps := make([]float64, n)
+	floors := make([]float64, n)
 	for i, h := range b.hosts {
-		w := h.MeterReading().Watts
-		if w <= 0 {
-			w = h.Machine().IdlePowerW
-		}
-		if b.ewmaW[i] == 0 {
-			b.ewmaW[i] = w
-		} else {
-			b.ewmaW[i] = b.smoothing*w + (1-b.smoothing)*b.ewmaW[i]
-		}
+		b.est.Observe(i, h.MeterReading().Watts, h.Machine().IdlePowerW)
+		caps[i] = h.CapW()
+		floors[i] = h.Machine().IdlePowerW + 1
 	}
 
-	shares := make([]float64, n)
+	var shares []float64
 	switch b.policy {
 	case DemandProportional:
-		b.proportional(shares)
+		demand := make([]float64, n)
+		for i := range demand {
+			demand[i] = b.est.Demand(i)
+		}
+		shares = DivideProportional(b.total, demand, caps)
 	default:
-		for i := range shares {
-			shares[i] = b.total / float64(n)
-		}
-		// Clamp equal shares to provisioned capacities and spill the
-		// excess to unclamped servers so the whole budget stays usable.
-		b.spillOver(shares)
+		shares = DivideEqual(b.total, caps)
 	}
+	ApplyFloors(shares, floors)
 	for i, mgr := range b.managers {
-		// Never assign below the idle floor; SetCapW would reject it.
-		floor := b.hosts[i].Machine().IdlePowerW + 1
-		if shares[i] < floor {
-			shares[i] = floor
-		}
 		_ = mgr.SetCapW(shares[i])
 	}
 	copy(b.lastShares, shares)
 	b.rebalances++
-}
-
-// proportional divides the total in proportion to smoothed demand, clamped
-// per server to [idle floor, provisioned capacity], redistributing any
-// clamped-off remainder.
-func (b *Budgeter) proportional(shares []float64) {
-	n := len(b.hosts)
-	demand := make([]float64, n)
-	for i := range demand {
-		demand[i] = b.ewmaW[i] + b.marginW
-	}
-	active := make([]bool, n)
-	for i := range active {
-		active[i] = true
-	}
-	remaining := b.total
-	for iter := 0; iter < n+1; iter++ {
-		sum := 0.0
-		for i, a := range active {
-			if a {
-				sum += demand[i]
-			}
-		}
-		if sum <= 0 {
-			break
-		}
-		clamped := false
-		for i, a := range active {
-			if !a {
-				continue
-			}
-			want := remaining * demand[i] / sum
-			capW := b.hosts[i].CapW()
-			if want >= capW {
-				shares[i] = capW
-				remaining -= capW
-				active[i] = false
-				clamped = true
-			}
-		}
-		if clamped {
-			continue
-		}
-		for i, a := range active {
-			if a {
-				shares[i] = remaining * demand[i] / sum
-			}
-		}
-		return
-	}
-	// Everything clamped: shares already set.
-}
-
-// spillOver clamps shares to provisioned capacities and redistributes the
-// clipped excess across unclamped servers.
-func (b *Budgeter) spillOver(shares []float64) {
-	for iter := 0; iter < len(shares); iter++ {
-		excess := 0.0
-		var openIdx []int
-		for i := range shares {
-			capW := b.hosts[i].CapW()
-			if shares[i] > capW {
-				excess += shares[i] - capW
-				shares[i] = capW
-			} else if shares[i] < capW {
-				openIdx = append(openIdx, i)
-			}
-		}
-		if excess == 0 || len(openIdx) == 0 {
-			return
-		}
-		per := excess / float64(len(openIdx))
-		for _, i := range openIdx {
-			shares[i] += per
-		}
-	}
 }
 
 // Shares returns the most recently installed per-server budgets.
@@ -277,3 +193,9 @@ func (b *Budgeter) Rebalances() int { return b.rebalances }
 
 // TotalW returns the cluster budget.
 func (b *Budgeter) TotalW() float64 { return b.total }
+
+// Smoothing returns the resolved EWMA coefficient.
+func (b *Budgeter) Smoothing() float64 { return b.smoothing }
+
+// MarginW returns the resolved demand margin.
+func (b *Budgeter) MarginW() float64 { return b.marginW }

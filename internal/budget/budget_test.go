@@ -106,11 +106,17 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, Period: -time.Second}); err == nil {
 		t.Error("expected error for negative period")
 	}
-	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, Smoothing: 2}); err == nil {
+	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, Smoothing: Float(2)}); err == nil {
 		t.Error("expected error for bad smoothing")
 	}
-	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, MarginW: -1}); err == nil {
+	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, MarginW: Float(-1)}); err == nil {
 		t.Error("expected error for negative margin")
+	}
+	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, Smoothing: Float(math.NaN())}); err == nil {
+		t.Error("expected error for NaN smoothing")
+	}
+	if _, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers, MarginW: Float(math.Inf(1))}); err == nil {
+		t.Error("expected error for infinite margin")
 	}
 	b, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers})
 	if err != nil {
@@ -124,6 +130,36 @@ func TestNewValidation(t *testing.T) {
 	}
 	if EqualSplit.String() == "" || DemandProportional.String() == "" || Policy(9).String() == "" {
 		t.Error("policy strings broken")
+	}
+}
+
+func TestConfigSentinels(t *testing.T) {
+	// Regression for the zero-value footgun: an unset Smoothing/MarginW
+	// resolves to the documented defaults, while an explicit zero margin
+	// sticks instead of being silently promoted to the default.
+	r := buildRig(t, []float64{0.3, 0.6})
+	b, err := New(Config{TotalW: 300, Hosts: r.hosts, Managers: r.managers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Smoothing() != DefaultSmoothing {
+		t.Errorf("nil Smoothing resolved to %v, want %v", b.Smoothing(), DefaultSmoothing)
+	}
+	if b.MarginW() != DefaultMarginW {
+		t.Errorf("nil MarginW resolved to %v, want %v", b.MarginW(), DefaultMarginW)
+	}
+	b, err = New(Config{
+		TotalW: 300, Hosts: r.hosts, Managers: r.managers,
+		Smoothing: Float(1), MarginW: Float(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Smoothing() != 1 {
+		t.Errorf("explicit smoothing 1 resolved to %v", b.Smoothing())
+	}
+	if b.MarginW() != 0 {
+		t.Errorf("explicit zero margin resolved to %v, want 0", b.MarginW())
 	}
 }
 

@@ -1,0 +1,213 @@
+package budget
+
+import (
+	"errors"
+	"math"
+)
+
+// This file holds the pure division arithmetic shared by the flat
+// Budgeter and the hierarchical tree reallocator (budget/tree). The tree
+// divides every internal node's budget with exactly these functions, so a
+// degenerate one-level tree reproduces the flat Budgeter bit for bit.
+
+// Defaults shared by the flat Budgeter and the tree reallocator.
+const (
+	// DefaultSmoothing is the EWMA coefficient applied to power readings
+	// when Config.Smoothing is nil.
+	DefaultSmoothing = 0.5
+	// DefaultMarginW is the demand headroom added to each server's
+	// smoothed draw when Config.MarginW is nil.
+	DefaultMarginW = 5.0
+)
+
+// Float returns a pointer to v, for filling the optional Config fields
+// (Smoothing, MarginW) inline.
+func Float(v float64) *float64 { return &v }
+
+// ResolveSmoothing applies the default to a nil Smoothing pointer and
+// validates the resolved coefficient.
+func ResolveSmoothing(p *float64) (float64, error) {
+	s := DefaultSmoothing
+	if p != nil {
+		s = *p
+	}
+	if math.IsNaN(s) || s <= 0 || s > 1 {
+		return 0, errors.New("budget: smoothing outside (0, 1]")
+	}
+	return s, nil
+}
+
+// ResolveMarginW applies the default to a nil MarginW pointer and
+// validates the resolved margin. An explicit zero margin is valid — that
+// is the point of the pointer sentinel.
+func ResolveMarginW(p *float64) (float64, error) {
+	m := DefaultMarginW
+	if p != nil {
+		m = *p
+	}
+	if math.IsNaN(m) || math.IsInf(m, 0) || m < 0 {
+		return 0, errors.New("budget: margin must be non-negative and finite")
+	}
+	return m, nil
+}
+
+// DivideProportional divides total in proportion to demand, clamping each
+// share to caps[i] and redistributing any clamped-off remainder across the
+// still-unclamped entries. demand and caps must be the same length; the
+// returned shares sum to at most total (exactly total unless every entry
+// clamped).
+func DivideProportional(total float64, demand, caps []float64) []float64 {
+	n := len(demand)
+	shares := make([]float64, n)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := total
+	for iter := 0; iter < n+1; iter++ {
+		sum := 0.0
+		for i, a := range active {
+			if a {
+				sum += demand[i]
+			}
+		}
+		if sum <= 0 {
+			break
+		}
+		clamped := false
+		for i, a := range active {
+			if !a {
+				continue
+			}
+			want := remaining * demand[i] / sum
+			if want >= caps[i] {
+				shares[i] = caps[i]
+				remaining -= caps[i]
+				active[i] = false
+				clamped = true
+			}
+		}
+		if clamped {
+			continue
+		}
+		for i, a := range active {
+			if a {
+				shares[i] = remaining * demand[i] / sum
+			}
+		}
+		return shares
+	}
+	// Everything clamped: shares already set.
+	return shares
+}
+
+// DivideEqual gives every entry total/n, clamps to caps, and spills the
+// clipped excess across unclamped entries so the whole budget stays
+// usable.
+func DivideEqual(total float64, caps []float64) []float64 {
+	n := len(caps)
+	shares := make([]float64, n)
+	for i := range shares {
+		shares[i] = total / float64(n)
+	}
+	spillOver(shares, caps)
+	return shares
+}
+
+// spillOver clamps shares to caps and redistributes the clipped excess
+// across unclamped entries.
+func spillOver(shares, caps []float64) {
+	for iter := 0; iter < len(shares); iter++ {
+		excess := 0.0
+		var openIdx []int
+		for i := range shares {
+			if shares[i] > caps[i] {
+				excess += shares[i] - caps[i]
+				shares[i] = caps[i]
+			} else if shares[i] < caps[i] {
+				openIdx = append(openIdx, i)
+			}
+		}
+		if excess == 0 || len(openIdx) == 0 {
+			return
+		}
+		per := excess / float64(len(openIdx))
+		for _, i := range openIdx {
+			shares[i] += per
+		}
+	}
+}
+
+// ApplyFloors raises every share below its floor up to the floor and
+// drains the needed watts from shares above their floors (in proportion
+// to each one's headroom), preserving the sum. It is a no-op when no
+// share sits below its floor, so division results without floor pressure
+// pass through bit-identical. When the total headroom cannot cover the
+// deficit (total below the summed floors, which the constructors reject)
+// every share lands on its floor and the sum grows — the same never-
+// starve-a-host escape the per-server capper relies on.
+func ApplyFloors(shares, floors []float64) {
+	deficit := 0.0
+	for i := range shares {
+		if shares[i] < floors[i] {
+			deficit += floors[i] - shares[i]
+			shares[i] = floors[i]
+		}
+	}
+	if deficit <= 0 {
+		return
+	}
+	headroom := 0.0
+	for i := range shares {
+		if h := shares[i] - floors[i]; h > 0 {
+			headroom += h
+		}
+	}
+	if headroom <= 0 {
+		return
+	}
+	frac := deficit / headroom
+	if frac > 1 {
+		frac = 1
+	}
+	for i := range shares {
+		if h := shares[i] - floors[i]; h > 0 {
+			shares[i] -= h * frac
+		}
+	}
+}
+
+// DemandEstimator tracks each server's smoothed power draw — the demand
+// signal both the flat Budgeter and the tree reallocator divide by. The
+// estimate is an EWMA of meter readings, floored at idle (a dark meter
+// reads zero), plus a fixed request margin letting throttled servers
+// signal appetite beyond their current capped draw.
+type DemandEstimator struct {
+	smoothing float64
+	marginW   float64
+	ewmaW     []float64
+}
+
+// NewDemandEstimator builds an estimator for n servers with the resolved
+// smoothing coefficient and margin.
+func NewDemandEstimator(n int, smoothing, marginW float64) *DemandEstimator {
+	return &DemandEstimator{smoothing: smoothing, marginW: marginW, ewmaW: make([]float64, n)}
+}
+
+// Observe folds one power reading for server i into its EWMA. Readings at
+// or below zero are replaced with idleW; the first observation seeds the
+// EWMA directly.
+func (d *DemandEstimator) Observe(i int, watts, idleW float64) {
+	w := watts
+	if w <= 0 {
+		w = idleW
+	}
+	if d.ewmaW[i] == 0 {
+		d.ewmaW[i] = w
+	} else {
+		d.ewmaW[i] = d.smoothing*w + (1-d.smoothing)*d.ewmaW[i]
+	}
+}
+
+// Demand returns server i's current demand: smoothed draw plus margin.
+func (d *DemandEstimator) Demand(i int) float64 { return d.ewmaW[i] + d.marginW }

@@ -1,0 +1,351 @@
+package tree
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	pbudget "pocolo/internal/budget"
+	"pocolo/internal/machine"
+	"pocolo/internal/profiler"
+	"pocolo/internal/servermgr"
+	"pocolo/internal/sim"
+	"pocolo/internal/trace"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// rig builds hosts named h0..h{n-1} with distinct constant loads, each
+// with a co-runner, plus managers and an engine — mirroring the flat
+// budget package's test rig so the two stay comparable.
+type rig struct {
+	hosts    []*sim.Host
+	managers []*servermgr.Manager
+	engine   *sim.Engine
+}
+
+var fittedModels map[string]*utility.Model
+
+func buildRig(t testing.TB, loads []float64) *rig {
+	t.Helper()
+	cfg := machine.XeonE52650()
+	cat := workload.MustDefaults()
+	if fittedModels == nil {
+		models, err := profiler.FitAll(cfg, append(cat.LC(), cat.BE()...), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fittedModels = models
+	}
+	lcs := cat.LC()
+	bes := cat.BE()
+	engine, err := sim.NewEngine(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{engine: engine}
+	for i, load := range loads {
+		lc := lcs[i%len(lcs)]
+		tr, err := workload.NewConstantTrace(load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		host, err := sim.NewHost(sim.HostConfig{
+			Name:    fmt.Sprintf("h%d", i),
+			Machine: cfg,
+			LC:      lc,
+			BE:      bes[i%len(bes)],
+			Trace:   tr,
+			Seed:    int64(i) * 71,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.AddHost(host); err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := servermgr.New(servermgr.Config{
+			Host: host, Model: fittedModels[lc.Name], Policy: servermgr.PowerOptimized,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.Attach(engine); err != nil {
+			t.Fatal(err)
+		}
+		r.hosts = append(r.hosts, host)
+		r.managers = append(r.managers, mgr)
+	}
+	return r
+}
+
+func TestNewReallocatorValidation(t *testing.T) {
+	r := buildRig(t, []float64{0.3, 0.6})
+	tr, err := Parse("dc:300{h0,h1}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for nil tree")
+	}
+	if _, err := New(Config{Tree: tr, Hosts: r.hosts[:1], Managers: r.managers[:1]}); err == nil {
+		t.Error("expected error for missing hosts")
+	}
+	if _, err := New(Config{Tree: tr, Hosts: r.hosts, Managers: r.managers[:1]}); err == nil {
+		t.Error("expected error for mismatched slices")
+	}
+	if _, err := New(Config{Tree: tr, Hosts: []*sim.Host{nil, nil}, Managers: r.managers}); err == nil {
+		t.Error("expected error for nil host")
+	}
+	wrong, err := Parse("dc:300{h0,nope}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Tree: wrong, Hosts: r.hosts, Managers: r.managers}); err == nil {
+		t.Error("expected error for a leaf with no matching host")
+	}
+	tight, err := Parse("dc:90{h0,h1}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Tree: tight, Hosts: r.hosts, Managers: r.managers}); err == nil {
+		t.Error("expected error for a budget below the idle floors")
+	}
+	if _, err := New(Config{Tree: tr, Hosts: r.hosts, Managers: r.managers, Period: -time.Second}); err == nil {
+		t.Error("expected error for negative period")
+	}
+	if _, err := New(Config{Tree: tr, Hosts: r.hosts, Managers: r.managers, Smoothing: pbudget.Float(-1)}); err == nil {
+		t.Error("expected error for bad smoothing")
+	}
+	if _, err := New(Config{Tree: tr, Hosts: r.hosts, Managers: r.managers, MarginW: pbudget.Float(-1)}); err == nil {
+		t.Error("expected error for bad margin")
+	}
+	re, err := New(Config{Tree: tr, Hosts: r.hosts, Managers: r.managers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Attach(nil); err == nil {
+		t.Error("expected error attaching to nil engine")
+	}
+	if re.Period() != 5*time.Second {
+		t.Errorf("default period = %v", re.Period())
+	}
+	if re.Tree() != tr {
+		t.Error("Tree() accessor broken")
+	}
+}
+
+// TestDegenerateTreeMatchesFlatBudgeter is the golden contract: a
+// one-level tree driven by the Reallocator installs bit-identical shares
+// to the flat Budgeter over an identical seeded run.
+func TestDegenerateTreeMatchesFlatBudgeter(t *testing.T) {
+	loads := []float64{0.1, 0.8, 0.4, 0.6}
+	flatRig := buildRig(t, loads)
+	treeRig := buildRig(t, loads)
+	var total float64
+	for _, h := range flatRig.hosts {
+		total += h.CapW()
+	}
+	budgetW := 0.85 * total
+
+	flat, err := pbudget.New(pbudget.Config{
+		TotalW: budgetW, Hosts: flatRig.hosts, Managers: flatRig.managers,
+		Policy: pbudget.DemandProportional, Period: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Attach(flatRig.engine); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := fmt.Sprintf("dc:%g{h0,h1,h2,h3}", budgetW)
+	tr, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{
+		Tree: tr, Hosts: treeRig.hosts, Managers: treeRig.managers,
+		Period: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Attach(treeRig.engine); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := flatRig.engine.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := treeRig.engine.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if flat.Rebalances() != re.Rebalances() {
+		t.Fatalf("rebalance counts diverged: flat %d, tree %d", flat.Rebalances(), re.Rebalances())
+	}
+	if got, want := re.Shares(), flat.Shares(); !reflect.DeepEqual(got, want) {
+		t.Errorf("degenerate tree shares %v != flat budgeter shares %v", got, want)
+	}
+}
+
+func TestReallocatorShiftsTowardDemand(t *testing.T) {
+	// h0 is nearly idle, h1 is slammed; under one rack they share 250 W
+	// and the busy host must end up with the bigger slice.
+	r := buildRig(t, []float64{0.1, 0.9})
+	tr, err := Parse("dc:260=rack:250{h0,h1}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := New(Config{Tree: tr, Hosts: r.hosts, Managers: r.managers, Period: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Attach(r.engine); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	shares := re.Shares()
+	if shares[1] <= shares[0] {
+		t.Errorf("busy host share %v should exceed idle host share %v", shares[1], shares[0])
+	}
+	// The rack bound (250), not the dc bound (260), is the binding one.
+	if sum := shares[0] + shares[1]; sum > 250+1e-6 {
+		t.Errorf("shares sum %v exceed the rack budget", sum)
+	}
+	if re.Rebalances() < 10 {
+		t.Errorf("only %d rebalances", re.Rebalances())
+	}
+}
+
+func TestSetBudgetConvergesAndTraces(t *testing.T) {
+	r := buildRig(t, []float64{0.5, 0.3, 0.7, 0.2})
+	var total float64
+	for _, h := range r.hosts {
+		total += h.CapW()
+	}
+	budgetW := 0.9 * total
+	tr, err := Parse(fmt.Sprintf("dc:%g{rack1:%g{h0,h1},rack2:%g{h2,h3}}", budgetW, budgetW/2, budgetW/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.New("realloc", 0)
+	re, err := New(Config{
+		Tree: tr, Hosts: r.hosts, Managers: r.managers,
+		Period: 2 * time.Second, Tracer: tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Attach(r.engine); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.engine.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if re.InGrace() {
+		t.Error("still in grace after five periods with no cut")
+	}
+
+	// Brownout: cut the DC budget 30% mid-run.
+	cutW := 0.7 * budgetW
+	if err := re.SetBudget(r.engine.Now(), "dc", cutW, "brownout"); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.SetBudget(r.engine.Now(), "nope", 100, "brownout"); err == nil {
+		t.Error("expected error cutting an unknown node")
+	}
+	if !re.InGrace() {
+		t.Error("not in grace immediately after a cut")
+	}
+	if re.Cuts() != 1 {
+		t.Errorf("Cuts() = %d", re.Cuts())
+	}
+
+	// Within ConvergencePeriods reallocation periods the installed caps
+	// must fit inside the new budget.
+	if err := r.engine.Run(time.Duration(ConvergencePeriods) * re.Period()); err != nil {
+		t.Fatal(err)
+	}
+	if re.InGrace() {
+		t.Error("still in grace after the convergence window")
+	}
+	var sum float64
+	for _, m := range r.managers {
+		sum += m.CapW()
+	}
+	if sum > cutW+1e-6 {
+		t.Errorf("installed caps %v did not converge inside the cut budget %v", sum, cutW)
+	}
+
+	// The authority view matches the mutated tree.
+	if b := re.NodeBudgets()["dc"]; b != cutW {
+		t.Errorf("NodeBudgets[dc] = %v, want %v", b, cutW)
+	}
+	if hosts := re.NodeHosts("rack2"); !reflect.DeepEqual(hosts, []string{"h2", "h3"}) {
+		t.Errorf("NodeHosts(rack2) = %v", hosts)
+	}
+
+	// The trace carries the cut and at least one shift per host.
+	var cuts, shifts int
+	for _, ev := range tracer.Events() {
+		switch ev.Kind {
+		case trace.KindBudgetCut:
+			cuts++
+			if ev.Budget.Node != "dc" || ev.Budget.ToW != cutW || ev.Budget.Reason != "brownout" {
+				t.Errorf("bad cut event: %+v", ev.Budget)
+			}
+		case trace.KindBudgetShift:
+			shifts++
+		}
+	}
+	if cuts != 1 {
+		t.Errorf("%d BudgetCut events, want 1", cuts)
+	}
+	if shifts < len(r.hosts) {
+		t.Errorf("only %d BudgetShift events for %d hosts", shifts, len(r.hosts))
+	}
+}
+
+func BenchmarkBudgetRealloc4(b *testing.B)  { benchRealloc(b, 4) }
+func BenchmarkBudgetRealloc64(b *testing.B) { benchRealloc(b, 64) }
+
+// benchRealloc measures one full tree division — demand update plus
+// Alloc plus floor pass — over a two-level tree of n hosts, the per-period
+// cost a Reallocator pays.
+func benchRealloc(b *testing.B, n int) {
+	children := make([]*Node, 0, (n+7)/8)
+	for i := 0; i < n; i += 8 {
+		rack := &Node{Name: fmt.Sprintf("rack%d", i/8), BudgetW: 8 * 180}
+		for j := i; j < i+8 && j < n; j++ {
+			rack.Children = append(rack.Children, &Node{Name: fmt.Sprintf("h%d", j)})
+		}
+		children = append(children, rack)
+	}
+	tr, err := Build(&Node{Name: "dc", BudgetW: float64(n) * 160, Children: children})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := pbudget.NewDemandEstimator(n, pbudget.DefaultSmoothing, pbudget.DefaultMarginW)
+	demand := make([]float64, n)
+	caps := make([]float64, n)
+	floors := make([]float64, n)
+	for i := 0; i < n; i++ {
+		caps[i] = 200
+		floors[i] = 62
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			est.Observe(j, 80+float64((i+j)%40), 61)
+			demand[j] = est.Demand(j)
+		}
+		if _, err := tr.Alloc(demand, caps, floors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -115,6 +115,10 @@ type Config struct {
 	// repeated simulations of the same host inside one run land on
 	// distinct timelines.
 	TraceLabel string
+	// Budget, when non-nil, puts the run under a cluster power budget —
+	// flat or hierarchical (see BudgetConfig). Budgeted runs step every
+	// host on one shared engine and always bypass the sweep memo.
+	Budget *BudgetConfig
 }
 
 func (c *Config) defaults() error {
@@ -165,6 +169,9 @@ type Result struct {
 	TotalBEOps float64
 	// SLOViolFrac is the worst per-host SLO violation fraction.
 	SLOViolFrac float64
+	// Budget carries the installed shares and rebalance counters when the
+	// run was budgeted (nil otherwise).
+	Budget *BudgetResult
 }
 
 // PlaceRandom returns a uniformly random placement of the BE apps onto
@@ -230,6 +237,12 @@ func simEpoch() time.Time { return time.Unix(0, 0).UTC() }
 func RunPlacement(cfg Config, placement map[string]string, mgmt servermgr.LCPolicy) (Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return Result{}, err
+	}
+	// Budgeted runs need all hosts in lockstep on one engine and never
+	// touch the memo — the budgeter's installed caps depend on the whole
+	// cluster's demand history, which a per-host cache key cannot capture.
+	if cfg.Budget != nil {
+		return runBudgetedPlacement(cfg, placement, mgmt)
 	}
 	// Invert the placement to find each server's co-runner.
 	beBy := make(map[string]*workload.Spec)

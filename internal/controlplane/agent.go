@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -220,6 +221,7 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	a.mux.HandleFunc(RouteHealthz, a.handleHealthz)
 	a.mux.HandleFunc(RouteMetrics, a.handleMetrics)
 	a.mux.HandleFunc(RouteTrace, a.handleTrace)
+	a.mux.HandleFunc(RouteCap, a.handleCap)
 	return a, nil
 }
 
@@ -303,6 +305,25 @@ func (a *Agent) Assign(name string) error {
 	return nil
 }
 
+// SetCap installs a cluster-budget power cap on the server manager (zero
+// clears the override). The change applies immediately; the capper
+// enforces it from the next 100 ms cap tick.
+func (a *Agent) SetCap(w float64) error {
+	if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+		return fmt.Errorf("controlplane: agent %s: cap %v W is not physical", a.name, w)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mgr.SetCapW(w)
+}
+
+// CapW reports the power cap the agent's capper currently enforces.
+func (a *Agent) CapW() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mgr.CapW()
+}
+
 // Assigned returns the currently placed best-effort app, or "".
 func (a *Agent) Assigned() string {
 	a.mu.Lock()
@@ -375,6 +396,24 @@ func (a *Agent) handleAssign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, AssignResponse{Agent: a.name, AssignedBE: a.Assigned()})
+}
+
+// handleCap serves POST /v1/cap.
+func (a *Agent) handleCap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req CapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding cap request: %v", err)
+		return
+	}
+	if err := a.SetCap(req.CapW); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CapResponse{Agent: a.name, CapW: a.CapW()})
 }
 
 // handleStats serves GET /v1/stats.

@@ -36,6 +36,9 @@ const (
 	// RouteTrace (GET) pages through the agent's decision-trace ring with
 	// ?since=SEQ&limit=N cursor pagination.
 	RouteTrace = "/v1/trace"
+	// RouteCap (POST) installs a cluster-budget power cap on the agent's
+	// server manager.
+	RouteCap = "/v1/cap"
 )
 
 // AssignRequest asks an agent to run a best-effort app (or, with an empty
@@ -48,6 +51,19 @@ type AssignRequest struct {
 type AssignResponse struct {
 	Agent      string `json:"agent"`
 	AssignedBE string `json:"assigned_be"`
+}
+
+// CapRequest asks an agent to enforce a power cap (a budget reallocator
+// assigning this server its share of a datacenter budget). Zero clears
+// the override, returning the capper to the host's provisioned capacity.
+type CapRequest struct {
+	CapW float64 `json:"cap_w"`
+}
+
+// CapResponse acknowledges a cap change with the cap now enforced.
+type CapResponse struct {
+	Agent string  `json:"agent"`
+	CapW  float64 `json:"cap_w"`
 }
 
 // HealthResponse is the liveness probe body.

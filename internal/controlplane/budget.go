@@ -1,0 +1,291 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"pocolo/internal/budget"
+	"pocolo/internal/budget/tree"
+	"pocolo/internal/trace"
+)
+
+// This file is the controller half of the hierarchical power-budget
+// subsystem (internal/budget/tree): the controller owns a budget tree
+// whose leaves name its agents, re-divides every node's budget over the
+// fleet's reported power draw each heartbeat round, and pushes the
+// per-agent shares over POST /v1/cap. Runtime SetBudget mutations — the
+// brownout campaign's cut-and-restore hook — shrink or regrow a node
+// mid-flight, and the tree-conservation invariant rides the campaign
+// harness through the BudgetAuthority interface the Controller
+// implements.
+
+// shareTolerance is the smallest watt change worth a push or a
+// BudgetShift trace event.
+const shareTolerance = 1e-9
+
+// budgetState is the controller's budget bookkeeping, guarded by
+// Controller.mu.
+type budgetState struct {
+	tree   *tree.Tree
+	est    *budget.DemandEstimator
+	shares map[string]float64 // agent name → desired cap from the last division
+	// rebalances counts installed divisions; lastCutAtReb records the
+	// rebalance count at the latest SetBudget mutation, so convergence
+	// grace is measured in rebalances, not wall time (the agents'
+	// simulated clocks and the controller clock share no epoch).
+	rebalances   int
+	brownouts    int
+	lastCutAtReb int
+	floorsWarned bool
+}
+
+// newBudgetState parses the tree spec and builds the demand estimator.
+func newBudgetState(spec string) (*budgetState, error) {
+	tr, err := tree.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	smoothing, err := budget.ResolveSmoothing(nil)
+	if err != nil {
+		return nil, err
+	}
+	marginW, err := budget.ResolveMarginW(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetState{
+		tree:   tr,
+		est:    budget.NewDemandEstimator(len(tr.Hosts()), smoothing, marginW),
+		shares: make(map[string]float64, len(tr.Hosts())),
+	}, nil
+}
+
+// BudgetStatus is the controller's budget-tree snapshot.
+type BudgetStatus struct {
+	// NodeBudgets maps every budgeted tree node to its current budget.
+	NodeBudgets map[string]float64 `json:"node_budgets"`
+	// Shares maps each agent to the cap installed by the last rebalance.
+	Shares map[string]float64 `json:"shares"`
+	// Rebalances counts divisions installed across the fleet.
+	Rebalances int `json:"rebalances"`
+	// Brownouts counts runtime budget cuts (SetBudget reductions).
+	Brownouts int `json:"brownouts"`
+}
+
+// rebalanceBudgetLocked re-divides the budget tree over the agents'
+// latest reported draw and pushes changed caps over /v1/cap. It waits
+// until every tree leaf has a discovered agent (the first round's probes
+// complete before it runs, so a healthy fleet rebalances from round
+// one). Pushes drop the lock, mirroring reconcileLocked: a lost push is
+// retried next round because the desired share is re-derived from the
+// tree while the agent's probed CapW carries the truth back.
+func (c *Controller) rebalanceBudgetLocked(ctx context.Context, now time.Time) {
+	b := c.budget
+	if b == nil {
+		return
+	}
+	leaves := b.tree.Hosts()
+	byName := make(map[string]*agentState, len(c.agents))
+	for _, a := range c.agents {
+		if a.everSeen {
+			byName[a.name] = a
+		}
+	}
+	states := make([]*agentState, len(leaves))
+	for i, name := range leaves {
+		a, ok := byName[name]
+		if !ok {
+			return // discovery incomplete; retry next round
+		}
+		states[i] = a
+	}
+	demand := make([]float64, len(leaves))
+	caps := make([]float64, len(leaves))
+	floors := make([]float64, len(leaves))
+	for i, a := range states {
+		// Dead agents keep their last reported draw: their simulation is
+		// paused, so the stale reading is also the resume point.
+		b.est.Observe(i, a.last.PowerW, a.last.Machine.IdlePowerW)
+		demand[i] = b.est.Demand(i)
+		caps[i] = a.last.ProvisionedPowerW
+		floors[i] = a.last.Machine.IdlePowerW + 1
+	}
+	if err := b.tree.ValidateFloors(floors); err != nil {
+		if !b.floorsWarned {
+			c.logf("budget rebalance suspended: %v", err)
+			b.floorsWarned = true
+		}
+		return
+	}
+	b.floorsWarned = false
+	shares, err := b.tree.Alloc(demand, caps, floors)
+	if err != nil {
+		c.logf("budget division failed: %v", err)
+		return
+	}
+	b.rebalances++
+	type push struct {
+		url, name string
+		capW      float64
+	}
+	var pushes []push
+	for i, name := range leaves {
+		if prev, ok := b.shares[name]; !ok || math.Abs(shares[i]-prev) > shareTolerance {
+			c.tracer.BudgetShift(now, trace.BudgetChange{Node: name, FromW: b.shares[name], ToW: shares[i], Reason: "rebalance"})
+		}
+		b.shares[name] = shares[i]
+		if a := states[i]; a.alive && math.Abs(a.last.CapW-shares[i]) > shareTolerance {
+			pushes = append(pushes, push{url: a.url, name: name, capW: shares[i]})
+		}
+	}
+	if len(pushes) == 0 {
+		return
+	}
+	// Drop the lock for the network round-trips.
+	c.mu.Unlock()
+	acked := make([]bool, len(pushes))
+	for i, p := range pushes {
+		if err := c.postCap(ctx, p.url, p.capW); err != nil {
+			c.logf("cap %.1fW to %s (%s) failed: %v", p.capW, p.name, p.url, err)
+			continue
+		}
+		acked[i] = true
+	}
+	c.mu.Lock()
+	// Optimistically record the acks so the next round does not re-push
+	// before its probe refreshes the truth.
+	for i, p := range pushes {
+		if !acked[i] {
+			continue
+		}
+		for _, a := range c.agents {
+			if a.url == p.url && a.alive {
+				a.last.CapW = p.capW
+			}
+		}
+	}
+}
+
+// postCap pushes a power cap to an agent.
+func (c *Controller) postCap(ctx context.Context, baseURL string, capW float64) error {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	body, err := json.Marshal(CapRequest{CapW: capW})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+RouteCap, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s: %s: %s", baseURL+RouteCap, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// SetBudget mutates one budget-tree node at runtime — the brownout
+// campaign's cut-and-restore hook. A reduction counts as a brownout;
+// either direction restarts the convergence grace window, and the next
+// rebalance re-divides under the new bound.
+func (c *Controller) SetBudget(node string, watts float64, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.budget
+	if b == nil {
+		return errors.New("controlplane: controller has no budget tree")
+	}
+	n := b.tree.Lookup(node)
+	if n == nil {
+		return fmt.Errorf("controlplane: no budget node %q", node)
+	}
+	prev := n.BudgetW
+	if err := b.tree.SetBudget(node, watts); err != nil {
+		return err
+	}
+	if watts < prev {
+		b.brownouts++
+	}
+	b.lastCutAtReb = b.rebalances
+	c.tracer.BudgetCut(c.now(), trace.BudgetChange{Node: node, FromW: prev, ToW: watts, Reason: reason})
+	c.logf("budget node %s: %.1fW -> %.1fW (%s)", node, prev, watts, reason)
+	return nil
+}
+
+// BudgetRoot returns the budget tree's root node name, or "" when the
+// controller runs unbudgeted.
+func (c *Controller) BudgetRoot() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget == nil {
+		return ""
+	}
+	return c.budget.tree.Root().Name
+}
+
+// NodeBudgets implements invariant.BudgetAuthority: the current budget
+// of every budgeted tree node (nil without a budget tree).
+func (c *Controller) NodeBudgets() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget == nil {
+		return nil
+	}
+	return c.budget.tree.NodeBudgets()
+}
+
+// NodeHosts implements invariant.BudgetAuthority: the agents beneath a
+// tree node.
+func (c *Controller) NodeHosts(node string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget == nil {
+		return nil
+	}
+	return c.budget.tree.HostsUnder(node)
+}
+
+// InGrace implements invariant.BudgetAuthority: true while fewer than
+// tree.ConvergencePeriods rebalances have run since the latest budget
+// mutation (or since startup, before the first division reaches the
+// fleet).
+func (c *Controller) InGrace() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget == nil {
+		return false
+	}
+	return c.budget.rebalances < c.budget.lastCutAtReb+tree.ConvergencePeriods
+}
+
+// budgetStatusLocked snapshots the budget state for Status.
+func (c *Controller) budgetStatusLocked() *BudgetStatus {
+	b := c.budget
+	if b == nil {
+		return nil
+	}
+	shares := make(map[string]float64, len(b.shares))
+	for k, v := range b.shares {
+		shares[k] = v
+	}
+	return &BudgetStatus{
+		NodeBudgets: b.tree.NodeBudgets(),
+		Shares:      shares,
+		Rebalances:  b.rebalances,
+		Brownouts:   b.brownouts,
+	}
+}

@@ -46,6 +46,13 @@ const (
 	FaultDelayResponses
 	// FaultLoadSpike forces the agent's LC offered-load fraction to Level.
 	FaultLoadSpike
+	// FaultBrownout cuts a budget-tree node's power budget by Level
+	// (0.3 = −30%) when the fault begins and restores the original budget
+	// when it expires. Node names the tree node (default: the root);
+	// Agent is ignored. Requires CampaignConfig.BudgetTree. Brownouts are
+	// never drawn by RandomFaults — they only run when scheduled
+	// explicitly.
+	FaultBrownout
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +66,8 @@ func (k FaultKind) String() string {
 		return "delay-responses"
 	case FaultLoadSpike:
 		return "load-spike"
+	case FaultBrownout:
+		return "brownout"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -76,8 +85,12 @@ type FaultEvent struct {
 	Duration time.Duration
 	// Delay is the response delay for FaultDelayResponses.
 	Delay time.Duration
-	// Level is the forced load fraction in [0, 1] for FaultLoadSpike.
+	// Level is the forced load fraction in [0, 1] for FaultLoadSpike, or
+	// the budget cut fraction in (0, 1) for FaultBrownout.
 	Level float64
+	// Node is the budget-tree node FaultBrownout cuts (default: the
+	// root).
+	Node string
 }
 
 // RandomFaults draws a seeded fault schedule: n events spread over the
@@ -117,6 +130,13 @@ type CampaignConfig struct {
 	BE []string
 	// Faults is the schedule to replay (see RandomFaults).
 	Faults []FaultEvent
+	// BudgetTree, when non-empty, puts the controller in charge of a
+	// hierarchical power budget (see tree.Parse) whose leaves name the
+	// agents: each round it re-divides every node's budget over reported
+	// demand and pushes per-agent caps. The tree-conservation invariant
+	// is registered on the campaign harness. Required for FaultBrownout
+	// events.
+	BudgetTree string
 	// Duration is the total campaign length in simulated time; after the
 	// last fault expires the remainder is the recovery window.
 	Duration time.Duration
@@ -188,6 +208,11 @@ type Campaign struct {
 	ctl       *Controller
 	harness   *invariant.Harness
 
+	// Per-fault brownout edge state: the original budget of the cut node
+	// and whether the cut is currently applied.
+	brownoutOrig []float64
+	brownoutOn   []bool
+
 	clockMu sync.Mutex
 	clock   time.Time // synthetic controller clock; advances one heartbeat per round
 }
@@ -212,6 +237,14 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 		if ev.Duration <= 0 {
 			return nil, fmt.Errorf("controlplane: fault at %v has no duration", ev.At)
+		}
+		if ev.Kind == FaultBrownout {
+			if cfg.BudgetTree == "" {
+				return nil, errors.New("controlplane: brownout fault needs CampaignConfig.BudgetTree")
+			}
+			if ev.Level <= 0 || ev.Level >= 1 {
+				return nil, fmt.Errorf("controlplane: brownout level %v outside (0, 1)", ev.Level)
+			}
 		}
 	}
 	if cfg.Harness == nil {
@@ -256,6 +289,7 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		DeadAfter:  cfg.DeadAfter,
 		MaxBackoff: 4 * cfg.Heartbeat,
 		Solver:     cfg.Solver,
+		BudgetTree: cfg.BudgetTree,
 		Seed:       cfg.Seed,
 		Logf:       cfg.Logf,
 		Trace:      cfg.ControllerTrace,
@@ -270,6 +304,16 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		return nil, err
 	}
 	c.ctl = ctl
+	if cfg.BudgetTree != "" {
+		// The budget-tree conservation invariant rides every agent tick;
+		// the controller is the budget authority (caps it installed, grace
+		// it grants after mutations).
+		if err := cfg.Harness.Register(invariant.NewTreeConservation(ctl)); err != nil {
+			return nil, err
+		}
+	}
+	c.brownoutOrig = make([]float64, len(cfg.Faults))
+	c.brownoutOn = make([]bool, len(cfg.Faults))
 	return c, nil
 }
 
@@ -294,6 +338,10 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 		c.clockMu.Lock()
 		c.clock = c.clock.Add(c.cfg.Heartbeat)
 		c.clockMu.Unlock()
+
+		if err := c.applyBrownouts(now); err != nil {
+			return report, err
+		}
 
 		crashed := make([]bool, len(c.agents))
 		down := make([]bool, len(c.agents))
@@ -344,6 +392,41 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 	report.Deaths = report.Status.Deaths
 	report.Rejoins = report.Status.Rejoins
 	return report, nil
+}
+
+// applyBrownouts edge-triggers scheduled budget cuts: when a
+// FaultBrownout begins, the target node's budget drops by Level; when it
+// expires, the original budget comes back. Both edges go through the
+// controller's SetBudget, so each lands in the trace (reasons "brownout"
+// and "restore") and restarts the convergence grace window.
+func (c *Campaign) applyBrownouts(now time.Duration) error {
+	for i, ev := range c.cfg.Faults {
+		if ev.Kind != FaultBrownout {
+			continue
+		}
+		node := ev.Node
+		if node == "" {
+			node = c.ctl.BudgetRoot()
+		}
+		switch {
+		case !c.brownoutOn[i] && c.brownoutOrig[i] == 0 && now >= ev.At && now < ev.At+ev.Duration:
+			orig := c.ctl.NodeBudgets()[node]
+			if orig <= 0 {
+				return fmt.Errorf("controlplane: brownout node %q has no budget", node)
+			}
+			if err := c.ctl.SetBudget(node, orig*(1-ev.Level), "brownout"); err != nil {
+				return fmt.Errorf("controlplane: applying brownout at %v: %w", now, err)
+			}
+			c.brownoutOrig[i] = orig
+			c.brownoutOn[i] = true
+		case c.brownoutOn[i] && now >= ev.At+ev.Duration:
+			if err := c.ctl.SetBudget(node, c.brownoutOrig[i], "restore"); err != nil {
+				return fmt.Errorf("controlplane: restoring brownout at %v: %w", now, err)
+			}
+			c.brownoutOn[i] = false
+		}
+	}
+	return nil
 }
 
 // checkPlacement validates the controller's placement against its own

@@ -45,6 +45,12 @@ type ControllerConfig struct {
 	// Solver selects the assignment solver: "lp" (default), "hungarian",
 	// or "exhaustive".
 	Solver string
+	// BudgetTree, when non-empty, is a hierarchical budget-tree spec (see
+	// tree.Parse) whose leaves name the agents. Each round the controller
+	// re-divides every node's budget over the fleet's reported power draw
+	// and pushes the per-agent shares over POST /v1/cap; SetBudget
+	// mutates a node at runtime (brownout campaigns).
+	BudgetTree string
 	// ResolveEvery forces a periodic placement re-solve even without
 	// membership changes, picking up drifting model reports (default 0:
 	// re-solve only on membership changes).
@@ -107,6 +113,7 @@ type Status struct {
 	Solves    int               `json:"solves"`
 	Deaths    int               `json:"deaths"`
 	Rejoins   int               `json:"rejoins"`
+	Budget    *BudgetStatus     `json:"budget,omitempty"`
 }
 
 // Controller polls agents, detects failures, and keeps the cluster's
@@ -132,6 +139,7 @@ type Controller struct {
 	solves    int
 	deaths    int
 	rejoins   int
+	budget    *budgetState // nil when unbudgeted
 }
 
 // NewController validates the configuration and builds a controller.
@@ -202,6 +210,13 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	}
 	for _, u := range cfg.AgentURLs {
 		c.agents = append(c.agents, &agentState{url: u, name: u})
+	}
+	if cfg.BudgetTree != "" {
+		b, err := newBudgetState(cfg.BudgetTree)
+		if err != nil {
+			return nil, err
+		}
+		c.budget = b
 	}
 	return c, nil
 }
@@ -316,6 +331,7 @@ func (c *Controller) Round(ctx context.Context) {
 		c.resolveLocked(now)
 	}
 	c.reconcileLocked(ctx)
+	c.rebalanceBudgetLocked(ctx, now)
 }
 
 // probe fetches an agent's stats with the per-request timeout, retrying up
@@ -653,6 +669,7 @@ func (c *Controller) Status() Status {
 		Solves:    c.solves,
 		Deaths:    c.deaths,
 		Rejoins:   c.rejoins,
+		Budget:    c.budgetStatusLocked(),
 	}
 	urlToName := make(map[string]string, len(c.agents))
 	for _, a := range c.agents {
@@ -692,7 +709,11 @@ func (c *Controller) MetricsHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := writeControllerMetrics(w, c.Status()); err != nil {
+	st := c.Status()
+	if err := writeControllerMetrics(w, st); err != nil {
+		return
+	}
+	if err := writeBudgetMetrics(w, st.Budget); err != nil {
 		return
 	}
 	_ = writeTraceMetrics(w, "controller", "", c.tracer)

@@ -183,6 +183,34 @@ func writeControllerMetrics(w io.Writer, st Status) error {
 	return p.err
 }
 
+// writeBudgetMetrics renders the controller's budget-tree state. A nil
+// status (no budget tree configured) writes nothing, so unbudgeted
+// controllers expose no empty budget families.
+func writeBudgetMetrics(w io.Writer, b *BudgetStatus) error {
+	if b == nil {
+		return nil
+	}
+	p := &promWriter{w: w}
+
+	p.metric("pocolo_budget_node_watts", "gauge", "Current power budget of each tree node, watts.")
+	for _, n := range sortedKeys(b.NodeBudgets) {
+		p.sample("pocolo_budget_node_watts", []string{label("node", n)}, b.NodeBudgets[n])
+	}
+
+	p.metric("pocolo_budget_share_watts", "gauge", "Per-agent power cap installed by the last rebalance, watts.")
+	for _, n := range sortedKeys(b.Shares) {
+		p.sample("pocolo_budget_share_watts", []string{label("agent", n)}, b.Shares[n])
+	}
+
+	p.metric("pocolo_budget_rebalances_total", "counter", "Budget divisions installed across the fleet.")
+	p.sample("pocolo_budget_rebalances_total", nil, float64(b.Rebalances))
+
+	p.metric("pocolo_budget_brownouts_total", "counter", "Runtime budget cuts applied to the tree.")
+	p.sample("pocolo_budget_brownouts_total", nil, float64(b.Brownouts))
+
+	return p.err
+}
+
 // histogram emits the Prometheus histogram sample family for one
 // snapshot: cumulative _bucket samples with le labels (including +Inf),
 // then _sum and _count.

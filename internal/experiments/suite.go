@@ -45,6 +45,12 @@ type Suite struct {
 	// simulation the experiments run (and disables the sweep memo for
 	// them, so the timeline is complete).
 	Trace *trace.Set
+	// Budget, when non-nil, puts every cluster run under a power budget —
+	// flat or hierarchical (see cluster.BudgetConfig). Budgeted runs
+	// share one engine across all hosts and bypass the sweep memo, so
+	// the per-policy memoized results also stay per-budget correct: the
+	// policyRuns cache is keyed inside one Suite, which holds one budget.
+	Budget *cluster.BudgetConfig
 
 	mu         sync.Mutex
 	policyRuns map[cluster.Policy]*cluster.Result
@@ -85,6 +91,7 @@ func (s *Suite) clusterConfig() cluster.Config {
 		Invariants: s.Invariants,
 		PlannerOff: s.PlannerOff,
 		Trace:      s.Trace,
+		Budget:     s.Budget,
 	}
 }
 

@@ -1,0 +1,81 @@
+package invariant
+
+import (
+	"fmt"
+	"time"
+)
+
+// BudgetAuthority is the view of a hierarchical budget reallocator the
+// tree-conservation checker reads. budget/tree's Reallocator and the
+// controlplane's controller-side driver both implement it.
+type BudgetAuthority interface {
+	// NodeBudgets snapshots every budgeted node's current bound by name.
+	NodeBudgets() map[string]float64
+	// NodeHosts returns the hosts at or beneath the named node.
+	NodeHosts(node string) []string
+	// InGrace reports whether the reallocator is still converging after a
+	// budget mutation (or startup); conservation is not asserted during
+	// grace. Grace is counted in reallocation periods, not wall time —
+	// simulated and controller clocks share no epoch.
+	InGrace() bool
+}
+
+// budgetTolerance is the absolute slack, in watts, on each node's budget
+// before the checker flags — float summation across a few thousand hosts
+// plus the reallocator's own epsilon.
+const budgetTolerance = 1e-3
+
+// hostCap is one host's most recent cap observation.
+type hostCap struct {
+	capW float64
+	now  time.Time
+}
+
+// NewTreeConservation checks the hierarchical budget contract: the caps
+// installed on the hosts beneath any budgeted tree node never sum beyond
+// that node's budget. The checker accumulates the latest per-host cap
+// from the snapshot stream and asserts each node only when every host
+// beneath it has reported at the current snapshot instant — snapshots
+// inside one tick arrive host by host, so summing across timestamps
+// would mix pre- and post-rebalance caps and flag phantom excess. While
+// the authority is in its convergence grace (right after startup or a
+// budget cut) the assertion holds fire, which is how "caps converge
+// within N reallocation periods after a cut" becomes checkable: once
+// grace ends, any leftover excess is a violation.
+func NewTreeConservation(auth BudgetAuthority) Checker {
+	lastCap := make(map[string]hostCap)
+	return Checker{
+		Name: "tree-conservation",
+		Check: func(s *Snapshot) error {
+			if !s.Managed || s.CapW <= 0 {
+				return nil
+			}
+			lastCap[s.Host] = hostCap{capW: s.CapW, now: s.Now}
+			if auth.InGrace() {
+				return nil
+			}
+			for node, budget := range auth.NodeBudgets() {
+				sum := 0.0
+				seen := 0
+				hosts := auth.NodeHosts(node)
+				for _, h := range hosts {
+					c, ok := lastCap[h]
+					if !ok || !c.now.Equal(s.Now) {
+						break
+					}
+					sum += c.capW
+					seen++
+				}
+				if seen != len(hosts) {
+					// Not every host under this node has a cap observation
+					// at this instant yet.
+					continue
+				}
+				if sum > budget+budgetTolerance {
+					return fmt.Errorf("installed caps under node %q sum to %.3fW, over its %.3fW budget", node, sum, budget)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeAuthority is a scripted BudgetAuthority.
+type fakeAuthority struct {
+	budgets map[string]float64
+	hosts   map[string][]string
+	grace   bool
+}
+
+func (f *fakeAuthority) NodeBudgets() map[string]float64 { return f.budgets }
+func (f *fakeAuthority) NodeHosts(node string) []string  { return f.hosts[node] }
+func (f *fakeAuthority) InGrace() bool                   { return f.grace }
+
+func TestTreeConservation(t *testing.T) {
+	auth := &fakeAuthority{
+		budgets: map[string]float64{"dc": 300, "rack1": 160},
+		hosts: map[string][]string{
+			"dc":    {"h0", "h1", "h2"},
+			"rack1": {"h0", "h1"},
+		},
+	}
+	check := NewTreeConservation(auth)
+	snap := func(host string, capW float64) *Snapshot {
+		s := healthySnapshot()
+		s.Host = host
+		s.CapW = capW
+		return s
+	}
+
+	// Partial coverage: only h0 has reported, so nothing is asserted even
+	// though h0 alone could never violate.
+	if err := check.Check(snap("h0", 100)); err != nil {
+		t.Fatalf("partial coverage flagged: %v", err)
+	}
+	// Full coverage, caps inside every budget.
+	if err := check.Check(snap("h1", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := check.Check(snap("h2", 120)); err != nil {
+		t.Fatalf("conforming caps flagged: %v", err)
+	}
+
+	// h1's cap grows: rack1 (100+80 = 180 > 160) must trip even though the
+	// dc total (300) still holds.
+	err := check.Check(snap("h1", 80))
+	if err == nil {
+		t.Fatal("rack over-budget not caught")
+	}
+	if !strings.Contains(err.Error(), "rack1") {
+		t.Errorf("violation names the wrong node: %v", err)
+	}
+
+	// The same caps during grace are forgiven.
+	auth.grace = true
+	if err := check.Check(snap("h1", 80)); err != nil {
+		t.Errorf("violation flagged during grace: %v", err)
+	}
+	auth.grace = false
+
+	// Unmanaged and cap-free snapshots contribute nothing and never trip.
+	s := snap("h1", 80)
+	s.Managed = false
+	if err := check.Check(s); err != nil {
+		t.Errorf("unmanaged snapshot flagged: %v", err)
+	}
+
+	// Back within budget: the checker clears as caps shrink.
+	if err := check.Check(snap("h1", 50)); err != nil {
+		t.Errorf("restored caps flagged: %v", err)
+	}
+
+	// Harness integration: registers alongside the defaults.
+	h := NewHarness()
+	if err := h.Register(NewTreeConservation(auth)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -79,10 +79,16 @@ type capState struct {
 const capTolerance = 0.05
 
 // capGraceMultiple bounds how long a sustained over-cap excursion may last
-// before the checker calls it a violation even though throttling continues:
-// the capper halves frequency step-by-step and then decays duty, so it
-// reaches the floor well inside 20 capper periods (2 s at defaults).
-const capGraceMultiple = 20
+// before the checker calls it a violation even though throttling continues.
+// The bound must cover the capper's worst-case full descent after a step
+// change in the cap (a hierarchical budget cut can land the cap far below
+// the current draw in one rebalance): the DVFS walk from max to min
+// frequency takes ~10 steps, and the proportional duty cut decays by at
+// worst ~0.93 per period for a reading just past the 5% tolerance —
+// log(0.05)/log(0.93) ≈ 41 periods from full duty to the floor. Sixty
+// periods (6 s at defaults) covers both phases; a capper that oscillates
+// or stalls is still caught by the per-period action check above.
+const capGraceMultiple = 60
 
 // NewPowerCapCompliance checks the paper's capping contract on managed
 // hosts: whenever the metered power sits above the enforced cap, the

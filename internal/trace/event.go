@@ -43,6 +43,12 @@ const (
 	// KindSpan is a timed phase (control_tick, cap_tick, build_matrix,
 	// solve); its duration is wall-clock and therefore nondeterministic.
 	KindSpan
+	// KindBudgetShift is a hierarchical budget reallocator moving one
+	// node's (usually a host's) power allocation.
+	KindBudgetShift
+	// KindBudgetCut is a runtime budget mutation on a tree node — a
+	// brownout cutting the DC budget, or its later restore.
+	KindBudgetCut
 )
 
 var kindNames = [...]string{
@@ -53,6 +59,8 @@ var kindNames = [...]string{
 	KindDegradation: "degradation",
 	KindSolve:       "solve",
 	KindSpan:        "span",
+	KindBudgetShift: "budget-shift",
+	KindBudgetCut:   "budget-cut",
 }
 
 // String implements fmt.Stringer.
@@ -166,6 +174,21 @@ type SolveSummary struct {
 	Total float64
 }
 
+// BudgetChange is the payload of budget-shift and budget-cut events: one
+// node of the power-budget hierarchy moving from FromW to ToW watts. For
+// shifts the node is the host whose installed cap moved; for cuts it is
+// the tree node whose budget was mutated.
+type BudgetChange struct {
+	// Node names the budget-tree node (or host) that changed.
+	Node string
+	// FromW and ToW are the watts before and after the change. FromW is 0
+	// for the first allocation a host receives.
+	FromW float64
+	ToW   float64
+	// Reason carries the mutation context ("rebalance", "brownout", ...).
+	Reason string
+}
+
 // SpanInfo is the payload of a timed phase.
 type SpanInfo struct {
 	// Name is the phase ("control_tick", "cap_tick", "build_matrix",
@@ -203,6 +226,7 @@ type Event struct {
 	Place   Placement
 	Solve   SolveSummary
 	Span    SpanInfo
+	Budget  BudgetChange
 }
 
 // appendJSON appends the event's JSON object. includeWall selects the
@@ -261,6 +285,12 @@ func (e *Event) appendJSON(b []byte, includeWall bool) []byte {
 		if includeWall {
 			b = appendIntField(b, "dur_ns", e.Span.DurNS)
 		}
+	case KindBudgetShift, KindBudgetCut:
+		c := &e.Budget
+		b = appendStringField(b, "node", c.Node)
+		b = appendFloatField(b, "from_w", c.FromW)
+		b = appendFloatField(b, "to_w", c.ToW)
+		b = appendStringField(b, "reason", c.Reason)
 	}
 	return append(b, '}')
 }
@@ -329,6 +359,9 @@ type eventJSON struct {
 
 	Name  string `json:"name"`
 	DurNS int64  `json:"dur_ns"`
+
+	FromW float64 `json:"from_w"`
+	ToW   float64 `json:"to_w"`
 }
 
 // event converts the flat decode form back to a typed Event.
@@ -356,6 +389,8 @@ func (j *eventJSON) event() (Event, error) {
 		ev.Solve = SolveSummary{Method: j.Method, Rows: j.Rows, Cols: j.Cols, Total: j.Total}
 	case KindSpan:
 		ev.Span = SpanInfo{Name: j.Name, DurNS: j.DurNS}
+	case KindBudgetShift, KindBudgetCut:
+		ev.Budget = BudgetChange{Node: j.Node, FromW: j.FromW, ToW: j.ToW, Reason: j.Reason}
 	}
 	return ev, nil
 }

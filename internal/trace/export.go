@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -164,6 +165,22 @@ func validatePayload(ev *Event) error {
 		if ev.Span.DurNS < 0 {
 			return fmt.Errorf("span: negative duration %d ns", ev.Span.DurNS)
 		}
+	case KindBudgetShift, KindBudgetCut:
+		c := &ev.Budget
+		if c.Node == "" {
+			return fmt.Errorf("budget: empty node")
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{{"from_w", c.FromW}, {"to_w", c.ToW}} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+				return fmt.Errorf("budget: %s %g outside physical domain", v.name, v.val)
+			}
+		}
+		if c.ToW <= 0 {
+			return fmt.Errorf("budget: to_w %g not positive", c.ToW)
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", ev.Kind)
 	}
@@ -268,6 +285,10 @@ func chromeEventName(ev *Event) string {
 		return "degraded"
 	case KindSolve:
 		return "solve " + ev.Solve.Method
+	case KindBudgetShift:
+		return "budget-shift " + ev.Budget.Node
+	case KindBudgetCut:
+		return "budget-cut " + ev.Budget.Node
 	}
 	return ev.Kind.String()
 }
@@ -294,6 +315,9 @@ func chromeArgs(ev *Event) map[string]any {
 	case KindSolve:
 		s := &ev.Solve
 		return map[string]any{"method": s.Method, "rows": s.Rows, "cols": s.Cols, "total": s.Total}
+	case KindBudgetShift, KindBudgetCut:
+		c := &ev.Budget
+		return map[string]any{"node": c.Node, "from_w": c.FromW, "to_w": c.ToW, "reason": c.Reason}
 	}
 	return nil
 }

@@ -21,6 +21,8 @@ func fullTrace() []Event {
 	tr.Migration(at(5), Placement{BE: "x264", Node: "agent-2", From: "agent-1", Reason: "agent-1 dead"})
 	tr.Degradation(at(6), "no live agents")
 	tr.SolveSummary(at(7), SolveSummary{Method: "hungarian", Rows: 2, Cols: 3, Total: 1.75})
+	tr.BudgetShift(at(8), BudgetChange{Node: "host-a", FromW: 0, ToW: 118.4, Reason: "rebalance"})
+	tr.BudgetCut(at(9), BudgetChange{Node: "dc", FromW: 540, ToW: 378, Reason: "brownout"})
 	return tr.Events()
 }
 
@@ -181,6 +183,12 @@ func TestValidateRejectsViolations(t *testing.T) {
 			ev := base()
 			ev.Kind = KindSpan
 			ev.Span = SpanInfo{Name: "solve", DurNS: -1}
+			return []Event{ev}
+		},
+		"zero budget target": func() []Event {
+			ev := base()
+			ev.Kind = KindBudgetCut
+			ev.Budget = BudgetChange{Node: "dc", FromW: 540, ToW: 0, Reason: "brownout"}
 			return []Event{ev}
 		},
 		"unknown kind": func() []Event {

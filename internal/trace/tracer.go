@@ -161,6 +161,23 @@ func (t *Tracer) SolveSummary(now time.Time, s SolveSummary) {
 	t.record(now, Event{Kind: KindSolve, Solve: s})
 }
 
+// BudgetShift records a budget reallocator moving one node's power
+// allocation.
+func (t *Tracer) BudgetShift(now time.Time, c BudgetChange) {
+	if t == nil {
+		return
+	}
+	t.record(now, Event{Kind: KindBudgetShift, Budget: c})
+}
+
+// BudgetCut records a runtime budget mutation on a tree node.
+func (t *Tracer) BudgetCut(now time.Time, c BudgetChange) {
+	if t == nil {
+		return
+	}
+	t.record(now, Event{Kind: KindBudgetCut, Budget: c})
+}
+
 // ObserveSlack feeds the LC slack distribution histogram.
 func (t *Tracer) ObserveSlack(v float64) {
 	if t == nil {

@@ -101,7 +101,18 @@ type (
 	BatchPolicy = timeshare.Policy
 	// BudgetPolicy selects how a cluster power budget is divided.
 	BudgetPolicy = budget.Policy
+	// BudgetConfig puts a cluster run under a flat or hierarchical power
+	// budget; see cluster.BudgetConfig and internal/budget/tree.
+	BudgetConfig = cluster.BudgetConfig
+	// BudgetResult carries the installed shares and rebalance counters of
+	// a budgeted cluster run.
+	BudgetResult = cluster.BudgetResult
 )
+
+// ParseBudgetFlags assembles a BudgetConfig from the budget CLI flags
+// shared by pocolo-sim and pocolo-experiments; nil when no budget was
+// requested. A tree spec starting with '@' is read from the named file.
+var ParseBudgetFlags = cluster.ParseBudgetFlags
 
 // Cluster budget division policies.
 const (
@@ -294,6 +305,11 @@ type System struct {
 	// runs bypass the process-wide sweep memo so the timeline is always
 	// complete.
 	Trace *trace.Set
+	// Budget, when non-nil, puts every cluster run under a power budget —
+	// flat (TotalW + Policy) or hierarchical (a budget-tree spec whose
+	// leaves name the LC servers). Budgeted runs step all hosts on one
+	// shared engine and bypass the sweep memo.
+	Budget *BudgetConfig
 }
 
 // NewSystem profiles and fits every application on the Table I platform.
@@ -332,6 +348,7 @@ func (s *System) clusterConfig() cluster.Config {
 		Invariants: s.Invariants,
 		PlannerOff: s.PlannerOff,
 		Trace:      s.Trace,
+		Budget:     s.Budget,
 	}
 }
 
