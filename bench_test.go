@@ -644,6 +644,92 @@ func BenchmarkModelSaveLoad(b *testing.B) {
 	}
 }
 
+// --- hyperscale sharded assignment ---
+
+// benchShardedConfig builds an n-host fleet: hosts cycle the catalog's LC
+// classes with caps staggered across a few whole-watt steps (so columns
+// spread over several memo fingerprints, as a jittered fleet would), jobs
+// cycle the BE classes, and every instance shares its class's fitted model.
+func benchShardedConfig(b *testing.B, hosts, jobs int) cluster.MatrixConfig {
+	b.Helper()
+	cat := workload.MustDefaults()
+	base, err := profiler.FitAll(machine.XeonE52650(), append(cat.LC(), cat.BE()...), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := make(map[string]*utility.Model, hosts+jobs)
+	lcs, bes := cat.LC(), cat.BE()
+	lc := make([]*workload.Spec, hosts)
+	for i := range lc {
+		c := *lcs[i%len(lcs)]
+		c.Name = fmt.Sprintf("host-%d", i)
+		c.ProvisionedPowerW += float64(i % 5)
+		lc[i] = &c
+		models[c.Name] = base[lcs[i%len(lcs)].Name]
+	}
+	be := make([]*workload.Spec, jobs)
+	for i := range be {
+		c := *bes[i%len(bes)]
+		c.Name = fmt.Sprintf("job-%d", i)
+		be[i] = &c
+		models[c.Name] = base[bes[i%len(bes)].Name]
+	}
+	return cluster.MatrixConfig{Machine: machine.XeonE52650(), LC: lc, BE: be, Models: models}
+}
+
+// benchClusterSolve is the from-scratch cost: pod construction, matrix
+// build (through the shared cell memo), and a full solve in every pod.
+func benchClusterSolve(b *testing.B, hosts int) {
+	cfg := benchShardedConfig(b, hosts, hosts*3/4)
+	epoch := time.Unix(0, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh, err := cluster.NewSharded(cfg, cluster.ShardSettings{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sh.Solve(nil, epoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClusterResolve is the steady-state incremental path the from-scratch
+// bench is measured against: one host's power cap flips between two values
+// each iteration, Refresh recomputes only that column, and the owning pod
+// repairs its matching with a single dual-preserving augmentation while
+// every other pod is untouched.
+func benchClusterResolve(b *testing.B, hosts int) {
+	cfg := benchShardedConfig(b, hosts, hosts*3/4)
+	epoch := time.Unix(0, 0).UTC()
+	sh, err := cluster.NewSharded(cfg, cluster.ShardSettings{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sh.Solve(nil, epoch); err != nil {
+		b.Fatal(err)
+	}
+	target := cfg.LC[len(cfg.LC)/2]
+	basecap := target.ProvisionedPowerW
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.ProvisionedPowerW = basecap - float64(7+i%2)
+		if _, err := sh.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sh.Solve(nil, epoch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCluster1k(b *testing.B)         { benchClusterSolve(b, 1024) }
+func BenchmarkCluster1kResolve(b *testing.B)  { benchClusterResolve(b, 1024) }
+func BenchmarkCluster10k(b *testing.B)        { benchClusterSolve(b, 10240) }
+func BenchmarkCluster10kResolve(b *testing.B) { benchClusterResolve(b, 10240) }
+
 func BenchmarkHungarian32x32(b *testing.B) {
 	m := randomMatrix(32, 9)
 	b.ResetTimer()

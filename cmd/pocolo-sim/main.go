@@ -64,6 +64,13 @@ func run(args []string, out io.Writer) error {
 	brownout := fs.Float64("brownout", 0, "cut the brownout node's budget by this fraction mid-run (0.3 = -30%; needs -budget-tree)")
 	brownoutAt := fs.Duration("brownout-at", 0, "simulated time of the brownout cut (default: halfway through the run)")
 	brownoutNode := fs.String("brownout-node", "", "tree node to cut (default: the root)")
+	hyper := fs.Int("hyperscale", 0, "run the hyperscale diurnal scenario over this many hosts instead of the four-server simulation (e.g. 10000); hosts cycle the catalog's LC classes with jittered power caps")
+	hyperJobs := fs.Int("hyperscale-jobs", 0, "BE job instances in the hyperscale fleet (default: 3/4 of the hosts)")
+	podSize := fs.Int("pod-size", 0, "hosts per assignment pod in the hyperscale scenario (default 64)")
+	hyperRounds := fs.Int("hyperscale-rounds", 3, "churn rounds after the initial hyperscale solve")
+	churn := fs.Float64("churn", 0.1, "per-round fraction of hosts whose caps drift (and per-class model re-fit probability)")
+	rebalanceGap := fs.Float64("rebalance-gap", 0, "minimum estimated gain before a job migrates across pods")
+	hyperBudget := fs.Float64("hyperscale-budget", 0, "size a per-pod power-budget tree at this fraction of provisioned capacity (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +108,31 @@ func run(args []string, out io.Writer) error {
 	sys.Budget, err = pocolo.ParseBudgetFlags(*budgetW, *budgetPolicy, *budgetTree, *budgetPeriod, *brownout, *brownoutAt, *brownoutNode)
 	if err != nil {
 		return err
+	}
+
+	if *hyper > 0 {
+		jobs := *hyperJobs
+		if jobs == 0 {
+			jobs = *hyper * 3 / 4
+		}
+		hres, herr := sys.RunHyperscale(pocolo.HyperscaleConfig{
+			Fleet: pocolo.FleetConfig{
+				Hosts: *hyper,
+				Jobs:  jobs,
+				Shard: pocolo.ShardSettings{
+					PodSize:      *podSize,
+					RebalanceGap: *rebalanceGap,
+				},
+				BudgetFrac: *hyperBudget,
+			},
+			Rounds: *hyperRounds,
+			Churn:  *churn,
+		})
+		if herr != nil {
+			return herr
+		}
+		printHyperscale(out, hres)
+		return writeTraces(sys, out, *tracePath, *traceChrome)
 	}
 
 	var res pocolo.Result
@@ -178,22 +210,63 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	if sys.Trace != nil {
-		events := sys.Trace.Events()
-		if *tracePath != "" {
-			canonical := func(w io.Writer, ev []trace.Event) error { return trace.WriteJSONL(w, ev, false) }
-			if err := writeTraceFile(*tracePath, events, canonical); err != nil {
-				return err
-			}
-		}
-		if *traceChrome != "" {
-			if err := writeTraceFile(*traceChrome, events, trace.WriteChromeTrace); err != nil {
-				return err
-			}
-		}
-		fmt.Fprintf(out, "\ntrace: %d events retained (%d dropped)\n", len(events), sys.Trace.Dropped())
+	return writeTraces(sys, out, *tracePath, *traceChrome)
+}
+
+// writeTraces flushes the system's decision trace to the requested files and
+// reports retention; a no-op when tracing is off.
+func writeTraces(sys *pocolo.System, out io.Writer, tracePath, traceChrome string) error {
+	if sys.Trace == nil {
+		return nil
 	}
+	events := sys.Trace.Events()
+	if tracePath != "" {
+		canonical := func(w io.Writer, ev []trace.Event) error { return trace.WriteJSONL(w, ev, false) }
+		if err := writeTraceFile(tracePath, events, canonical); err != nil {
+			return err
+		}
+	}
+	if traceChrome != "" {
+		if err := writeTraceFile(traceChrome, events, trace.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "\ntrace: %d events retained (%d dropped)\n", len(events), sys.Trace.Dropped())
 	return nil
+}
+
+// printHyperscale renders the hyperscale scenario summary: fleet shape,
+// the per-round churn/refresh/migration table, and pod budgets if sized.
+func printHyperscale(out io.Writer, res pocolo.HyperscaleResult) {
+	fmt.Fprintf(out, "hyperscale: %d hosts, %d jobs, %d pods\n", res.Hosts, res.Jobs, res.Pods)
+	fmt.Fprintf(out, "initial placement value: %.1f\n", res.InitialTotal)
+	if len(res.Rounds) > 0 {
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "%-6s  %12s  %8s  %8s  %10s  %10s  %8s\n",
+			"round", "value", "hosts Δ", "models Δ", "recomputed", "reused", "moves")
+		for _, r := range res.Rounds {
+			fmt.Fprintf(out, "%-6d  %12.1f  %8d  %8d  %10d  %10d  %8d\n",
+				r.Round, r.Total, r.HostsChanged, r.ClassesChanged,
+				r.Refresh.CellsComputed, r.Refresh.CellsReused, r.Moves)
+		}
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "final placement value: %.1f (%d migrations over %d rounds)\n",
+		res.FinalTotal, res.Moves, len(res.Rounds))
+	if res.BudgetSpec != "" {
+		pods := make([]string, 0, len(res.PodBudgets))
+		for name := range res.PodBudgets {
+			pods = append(pods, name)
+		}
+		sort.Strings(pods)
+		var sum float64
+		fmt.Fprintln(out, "pod budgets:")
+		for _, name := range pods {
+			fmt.Fprintf(out, "  %-10s %10.0f W\n", name, res.PodBudgets[name])
+			sum += res.PodBudgets[name]
+		}
+		fmt.Fprintf(out, "  %-10s %10.0f W\n", "total", sum)
+	}
 }
 
 // writeTraceFile streams events through the given exporter into path.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pocolo/internal/trace"
@@ -87,6 +88,53 @@ func TestTraceDeterministicReplay(t *testing.T) {
 	}
 	if byKind[trace.KindPlacement] == 0 {
 		t.Fatal("no placement events traced")
+	}
+}
+
+// TestHyperscaleCLI drives the sharded hyperscale scenario through the CLI
+// seam and checks the printed summary plus a validated trace file.
+func TestHyperscaleCLI(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "hyper.jsonl")
+	var out bytes.Buffer
+	args := []string{"-seed", "7", "-hyperscale", "64", "-hyperscale-jobs", "48",
+		"-pod-size", "16", "-hyperscale-rounds", "2", "-churn", "0.3",
+		"-hyperscale-budget", "0.8", "-trace", jsonl}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"hyperscale: 64 hosts, 48 jobs, 4 pods",
+		"initial placement value:",
+		"final placement value:",
+		"pod budgets:",
+		"pod-0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	f, err := os.Open(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ParseJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	sharded := 0
+	for _, ev := range events {
+		if ev.Kind == trace.KindSolve && ev.Solve.Method == "sharded" {
+			sharded++
+		}
+	}
+	if sharded == 0 {
+		t.Error("no sharded solve summaries in the hyperscale trace")
 	}
 }
 

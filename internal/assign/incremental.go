@@ -1,0 +1,426 @@
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Incremental is an exact assignment solver built for steady-state
+// re-solves: it keeps the Jonker–Volgenant dual prices (row and column
+// potentials) alive between solves, so when a single cell, row, or column
+// of the value matrix changes only the affected row is re-augmented —
+// one O(m²) shortest-augmenting-path pass — instead of re-running the
+// full O(m³) Hungarian solve. Rows can also be added and removed, which
+// is what the cluster rebalancer uses to migrate a job between pods.
+//
+// The solver maximizes total value over an n×m matrix with n workers
+// (rows) and m ≥ n tasks (columns), exactly like Hungarian; after every
+// mutation the maintained assignment is optimal for the current matrix,
+// so Total always equals what a from-scratch Hungarian solve of the same
+// matrix would report.
+//
+// Internally the matrix is padded square with m−n all-zero dummy rows,
+// so the matching is always perfect and the optimality certificate needs
+// no free-column side conditions. The invariants maintained between
+// operations (on the minimization costs c(i,j) = −value[i][j]) are:
+//
+//   - dual feasibility: c(i,j) − u[i] − v[j] ≥ 0 for every cell,
+//   - complementary slackness: equality on every matched edge,
+//   - perfect matching over all m internal rows.
+//
+// Feasible duals plus a perfect matching of tight edges certify
+// optimality by LP duality, and a dummy row of zeros adds the same
+// constant (zero) to every assignment's total, so the optimum of the
+// padded problem restricted to real rows is the optimum of the
+// rectangular one. (Without padding, rectangular duals carry an extra
+// side condition — v must vanish on unmatched columns — that single-row
+// repairs cannot cheaply maintain; padding removes the condition
+// altogether.) Each mutation detaches at most one row and restores the
+// matching with a single augmenting pass — the induction step of the JV
+// algorithm, which preserves all three invariants even when the
+// detached row's potential is stale: the pass is a Dijkstra from that
+// row, and shifting a Dijkstra source's out-edges by a constant does
+// not change the shortest-path tree.
+//
+// Incremental is not safe for concurrent use.
+type Incremental struct {
+	n int // real (caller-visible) rows
+	m int // columns; also the internal row count after padding
+
+	value [][]float64 // m×m owned; rows n..m-1 are all-zero dummies
+
+	u        []float64 // row potentials, len m
+	v        []float64 // column potentials, len m
+	rowMatch []int     // rowMatch[i] = column of internal row i
+	colMatch []int     // colMatch[j] = internal row of column j
+
+	// Scratch for the augmenting pass, reused across calls.
+	minv []float64
+	used []bool
+	way  []int
+}
+
+// NewIncremental validates and copies the value matrix and computes an
+// initial optimal assignment (m augmenting passes over the padded
+// square matrix, the same order of work a fresh Hungarian solve does).
+func NewIncremental(value [][]float64) (*Incremental, error) {
+	n, m, err := validateMatrix(value)
+	if err != nil {
+		return nil, err
+	}
+	inc := newIncrementalCols(m)
+	inc.n = n
+	for i, row := range value {
+		copy(inc.value[i], row)
+	}
+	if err := inc.solveFresh(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// NewIncrementalCols returns a solver with m columns and no rows yet —
+// the state of an empty pod, ready for AddRow as jobs arrive.
+func NewIncrementalCols(m int) (*Incremental, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("assign: need at least 1 column, got %d", m)
+	}
+	inc := newIncrementalCols(m)
+	if err := inc.solveFresh(); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+func newIncrementalCols(m int) *Incremental {
+	inc := &Incremental{
+		m:        m,
+		value:    make([][]float64, m),
+		u:        make([]float64, m),
+		v:        make([]float64, m),
+		rowMatch: make([]int, m),
+		colMatch: make([]int, m),
+		minv:     make([]float64, m),
+		used:     make([]bool, m),
+		way:      make([]int, m),
+	}
+	for i := range inc.value {
+		inc.value[i] = make([]float64, m)
+		inc.rowMatch[i] = -1
+		inc.colMatch[i] = -1
+	}
+	return inc
+}
+
+func (inc *Incremental) solveFresh() error {
+	for i := 0; i < inc.m; i++ {
+		if err := inc.augment(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cost is the minimization transform. Unlike Hungarian's maxV−value
+// offset, plain negation needs no global constant, so a single cell
+// update never invalidates the rest of the cost matrix; the potentials
+// absorb any shift.
+func (inc *Incremental) cost(i, j int) float64 { return -inc.value[i][j] }
+
+// Rows returns the current number of workers (rows).
+func (inc *Incremental) Rows() int { return inc.n }
+
+// Cols returns the number of tasks (columns).
+func (inc *Incremental) Cols() int { return inc.m }
+
+// At returns the current value of cell (i, j).
+func (inc *Incremental) At(i, j int) float64 { return inc.value[i][j] }
+
+// Assignment returns a copy of the current optimal assignment: element i
+// is the column assigned to row i.
+func (inc *Incremental) Assignment() []int {
+	return append([]int(nil), inc.rowMatch[:inc.n]...)
+}
+
+// ColAssignment returns a copy of the column-side matching: element j is
+// the row assigned to column j, or -1 if the column is free (matched
+// only to an internal dummy row).
+func (inc *Incremental) ColAssignment() []int {
+	out := make([]int, inc.m)
+	for j, r := range inc.colMatch {
+		if r >= inc.n {
+			r = -1
+		}
+		out[j] = r
+	}
+	return out
+}
+
+// Total returns the value of the current optimal assignment, summed in
+// row order — the same summation order Hungarian uses, so identical
+// assignments produce bit-identical totals.
+func (inc *Incremental) Total() float64 {
+	t := 0.0
+	for i := 0; i < inc.n; i++ {
+		t += inc.value[i][inc.rowMatch[i]]
+	}
+	return t
+}
+
+// SetCell updates one cell and restores optimality. If the cell is
+// unmatched and the change keeps the duals feasible the update is O(1);
+// otherwise the cell's row is re-augmented (one O(m²) pass).
+func (inc *Incremental) SetCell(i, j int, val float64) error {
+	if i < 0 || i >= inc.n || j < 0 || j >= inc.m {
+		return fmt.Errorf("assign: cell (%d, %d) outside %dx%d matrix", i, j, inc.n, inc.m)
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return fmt.Errorf("assign: non-finite value at (%d, %d)", i, j)
+	}
+	if inc.value[i][j] == val {
+		return nil
+	}
+	matchedHere := inc.rowMatch[i] == j
+	inc.value[i][j] = val
+	if !matchedHere && inc.cost(i, j)-inc.u[i]-inc.v[j] >= 0 {
+		// Duals still feasible and no matched edge touched: the old
+		// assignment remains optimal.
+		return nil
+	}
+	return inc.resolveRow(i)
+}
+
+// SetRow replaces one row of the matrix and re-augments it.
+func (inc *Incremental) SetRow(i int, row []float64) error {
+	if i < 0 || i >= inc.n {
+		return fmt.Errorf("assign: row %d outside %d rows", i, inc.n)
+	}
+	if len(row) != inc.m {
+		return fmt.Errorf("assign: row has %d values, want %d", len(row), inc.m)
+	}
+	same := true
+	for j, val := range row {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return fmt.Errorf("assign: non-finite value at (%d, %d)", i, j)
+		}
+		if val != inc.value[i][j] {
+			same = false
+		}
+	}
+	if same {
+		return nil
+	}
+	copy(inc.value[i], row)
+	return inc.resolveRow(i)
+}
+
+// SetCol replaces one column of the matrix (dummy-row entries stay
+// zero, so col holds one value per real row). The column's potential is
+// repaired directly (v[j] = min over internal rows of c(i,j) − u[i],
+// the tightest feasible value), so at most the row matched to the
+// column needs re-augmenting; if its matched edge stays tight the whole
+// update finishes without touching the matching.
+func (inc *Incremental) SetCol(j int, col []float64) error {
+	if j < 0 || j >= inc.m {
+		return fmt.Errorf("assign: column %d outside %d columns", j, inc.m)
+	}
+	if len(col) != inc.n {
+		return fmt.Errorf("assign: column has %d values, want %d", len(col), inc.n)
+	}
+	same := true
+	for i, val := range col {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return fmt.Errorf("assign: non-finite value at (%d, %d)", i, j)
+		}
+		if val != inc.value[i][j] {
+			same = false
+		}
+	}
+	if same {
+		return nil
+	}
+	for i, val := range col {
+		inc.value[i][j] = val
+	}
+	minRed := math.Inf(1)
+	for i := 0; i < inc.m; i++ {
+		if red := inc.cost(i, j) - inc.u[i]; red < minRed {
+			minRed = red
+		}
+	}
+	inc.v[j] = minRed
+	r := inc.colMatch[j]
+	if inc.cost(r, j)-inc.u[r]-inc.v[j] == 0 {
+		// The matched edge is still tight: feasibility plus tight matched
+		// edges plus a perfect matching means it is still optimal.
+		return nil
+	}
+	return inc.resolveRow(r)
+}
+
+// AddRow appends a worker with the given task values and augments it in,
+// returning its row index. The matrix must stay at most square (n ≤ m).
+func (inc *Incremental) AddRow(row []float64) (int, error) {
+	if inc.n+1 > inc.m {
+		return 0, fmt.Errorf("assign: cannot add row %d with only %d columns", inc.n+1, inc.m)
+	}
+	if len(row) != inc.m {
+		return 0, fmt.Errorf("assign: row has %d values, want %d", len(row), inc.m)
+	}
+	for j, val := range row {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return 0, fmt.Errorf("assign: non-finite value at (%d, %d)", inc.n, j)
+		}
+	}
+	// The first dummy row becomes real: overwrite its zeros and repair.
+	idx := inc.n
+	copy(inc.value[idx], row)
+	inc.n++
+	if err := inc.resolveRow(idx); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// RemoveRow deletes a worker. The last row is swapped into index i (the
+// caller must mirror that swap in any parallel bookkeeping).
+func (inc *Incremental) RemoveRow(i int) error {
+	if i < 0 || i >= inc.n {
+		return fmt.Errorf("assign: row %d outside %d rows", i, inc.n)
+	}
+	// The row reverts to an all-zero dummy; one augmenting pass
+	// re-certifies optimality with the row contributing nothing.
+	for j := range inc.value[i] {
+		inc.value[i][j] = 0
+	}
+	if err := inc.resolveRow(i); err != nil {
+		return err
+	}
+	last := inc.n - 1
+	if i != last {
+		// Swap the freed dummy past the last real row so dummies stay
+		// contiguous. A wholesale row swap (values, potential, matching)
+		// is pure relabeling and preserves every invariant.
+		inc.value[i], inc.value[last] = inc.value[last], inc.value[i]
+		inc.u[i], inc.u[last] = inc.u[last], inc.u[i]
+		inc.rowMatch[i], inc.rowMatch[last] = inc.rowMatch[last], inc.rowMatch[i]
+		inc.colMatch[inc.rowMatch[i]] = i
+		inc.colMatch[inc.rowMatch[last]] = last
+	}
+	inc.n = last
+	return nil
+}
+
+// resolveRow detaches internal row i and re-augments it. Every other row
+// keeps a feasible, tight matched edge, so one augmenting pass restores
+// a perfect optimal matching — the JV induction step.
+func (inc *Incremental) resolveRow(i int) error {
+	if j := inc.rowMatch[i]; j >= 0 {
+		inc.colMatch[j] = -1
+		inc.rowMatch[i] = -1
+	}
+	return inc.augment(i)
+}
+
+// augment runs one shortest-augmenting-path pass from free row start,
+// updating the potentials so dual feasibility is preserved. The source
+// row's potential may be arbitrarily stale: the pass is a Dijkstra with
+// the row as source, and a constant shift of all source out-edges
+// leaves the shortest-path tree unchanged.
+func (inc *Incremental) augment(start int) error {
+	m := inc.m
+	minv, used, way := inc.minv, inc.used, inc.way
+	for j := 0; j < m; j++ {
+		minv[j] = math.Inf(1)
+		used[j] = false
+		way[j] = -1
+	}
+	i0 := start
+	j0 := -1
+	for {
+		delta := math.Inf(1)
+		j1 := -1
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			cur := inc.cost(i0, j) - inc.u[i0] - inc.v[j]
+			if cur < minv[j] {
+				minv[j] = cur
+				way[j] = j0
+			}
+			if minv[j] < delta {
+				delta = minv[j]
+				j1 = j
+			}
+		}
+		if j1 == -1 || math.IsInf(delta, 1) {
+			return errors.New("assign: augment failed to reach a free column")
+		}
+		inc.u[start] += delta
+		for j := 0; j < m; j++ {
+			if used[j] {
+				inc.u[inc.colMatch[j]] += delta
+				inc.v[j] -= delta
+			} else {
+				minv[j] -= delta
+			}
+		}
+		used[j1] = true
+		j0 = j1
+		if inc.colMatch[j1] == -1 {
+			break
+		}
+		i0 = inc.colMatch[j1]
+	}
+	for j0 != -1 {
+		j1 := way[j0]
+		var r int
+		if j1 == -1 {
+			r = start
+		} else {
+			r = inc.colMatch[j1]
+		}
+		inc.colMatch[j0] = r
+		inc.rowMatch[r] = j0
+		j0 = j1
+	}
+	return nil
+}
+
+// SelfCheck verifies the solver's internal invariants — dual
+// feasibility, tightness of matched edges, matching consistency, and
+// all-zero dummy rows — and returns the first violation. It exists for
+// tests and debugging; a non-nil error means a solver bug, not a caller
+// error.
+func (inc *Incremental) SelfCheck() error {
+	const tol = 1e-9
+	for i := 0; i < inc.m; i++ {
+		j := inc.rowMatch[i]
+		if j < 0 || j >= inc.m {
+			return fmt.Errorf("assign: row %d unmatched", i)
+		}
+		if inc.colMatch[j] != i {
+			return fmt.Errorf("assign: match arrays disagree at row %d / col %d", i, j)
+		}
+		if red := inc.cost(i, j) - inc.u[i] - inc.v[j]; math.Abs(red) > tol {
+			return fmt.Errorf("assign: matched edge (%d, %d) not tight (reduced %g)", i, j, red)
+		}
+	}
+	for i := inc.n; i < inc.m; i++ {
+		for j, val := range inc.value[i] {
+			if val != 0 {
+				return fmt.Errorf("assign: dummy row %d has nonzero value at column %d", i, j)
+			}
+		}
+	}
+	for i := 0; i < inc.m; i++ {
+		for j := 0; j < inc.m; j++ {
+			if red := inc.cost(i, j) - inc.u[i] - inc.v[j]; red < -tol {
+				return fmt.Errorf("assign: dual infeasible at (%d, %d): reduced %g", i, j, red)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, m)
+		for j := range v[i] {
+			v[i][j] = rng.Float64() * 100
+		}
+	}
+	return v
+}
+
+// checkAgainstHungarian asserts that the incremental solver's current
+// assignment value matches a from-scratch Hungarian solve of the same
+// matrix bit-for-bit, and that the solver's internal invariants hold.
+func checkAgainstHungarian(t *testing.T, inc *Incremental) {
+	t.Helper()
+	if err := inc.SelfCheck(); err != nil {
+		t.Fatalf("SelfCheck: %v", err)
+	}
+	fresh := make([][]float64, inc.Rows())
+	for i := range fresh {
+		fresh[i] = make([]float64, inc.Cols())
+		for j := range fresh[i] {
+			fresh[i][j] = inc.At(i, j)
+		}
+	}
+	_, want, err := Hungarian(fresh)
+	if err != nil {
+		t.Fatalf("Hungarian: %v", err)
+	}
+	if got := inc.Total(); got != want {
+		t.Fatalf("incremental total %v != Hungarian total %v (diff %g)", got, want, got-want)
+	}
+}
+
+func TestIncrementalMatchesHungarianFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{1, 1}, {1, 5}, {2, 2}, {3, 7}, {8, 8}, {12, 20}} {
+		inc, err := NewIncremental(randMatrix(rng, dims[0], dims[1]))
+		if err != nil {
+			t.Fatalf("%dx%d: %v", dims[0], dims[1], err)
+		}
+		checkAgainstHungarian(t, inc)
+	}
+}
+
+// TestIncrementalPerturbationProperty is the satellite-required property
+// test: after k random single-cell perturbations, the incremental solver
+// matches a from-scratch assign.Hungarian solve in total value.
+func TestIncrementalPerturbationProperty(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m := n + rng.Intn(6) // rectangular about half the time
+		inc, err := NewIncremental(randMatrix(rng, n, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(30)
+		for p := 0; p < k; p++ {
+			i, j := rng.Intn(n), rng.Intn(m)
+			if err := inc.SetCell(i, j, rng.Float64()*100); err != nil {
+				t.Fatalf("seed %d perturbation %d: %v", seed, p, err)
+			}
+		}
+		checkAgainstHungarian(t, inc)
+	}
+}
+
+func TestIncrementalSetRowSetCol(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 2 + rng.Intn(8)
+		m := n + rng.Intn(4)
+		inc, err := NewIncremental(randMatrix(rng, n, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 8; p++ {
+			if rng.Intn(2) == 0 {
+				row := make([]float64, m)
+				for j := range row {
+					row[j] = rng.Float64() * 100
+				}
+				if err := inc.SetRow(rng.Intn(n), row); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				col := make([]float64, n)
+				for i := range col {
+					col[i] = rng.Float64() * 100
+				}
+				if err := inc.SetCol(rng.Intn(m), col); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkAgainstHungarian(t, inc)
+		}
+	}
+}
+
+func TestIncrementalAddRemoveRows(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		m := 6 + rng.Intn(6)
+		inc, err := NewIncremental(randMatrix(rng, 1+rng.Intn(3), m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 12; p++ {
+			if inc.Rows() < inc.Cols() && (inc.Rows() == 1 || rng.Intn(2) == 0) {
+				row := make([]float64, m)
+				for j := range row {
+					row[j] = rng.Float64() * 100
+				}
+				if _, err := inc.AddRow(row); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := inc.RemoveRow(rng.Intn(inc.Rows())); err != nil {
+					t.Fatal(err)
+				}
+				if inc.Rows() == 0 {
+					// An empty matrix has nothing to check; refill below.
+					row := make([]float64, m)
+					for j := range row {
+						row[j] = rng.Float64() * 100
+					}
+					if _, err := inc.AddRow(row); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			checkAgainstHungarian(t, inc)
+		}
+	}
+}
+
+// TestIncrementalDegenerate covers tie-heavy small-integer matrices
+// where many optima share the same value: the totals are exact integer
+// sums, so equality with Hungarian is still bit-for-bit.
+func TestIncrementalDegenerate(t *testing.T) {
+	cases := [][][]float64{
+		{{5}},                         // 1x1
+		{{1, 1, 1}},                   // all-tie single row
+		{{0, 0}, {0, 0}},              // all-zero square
+		{{1, 2}, {2, 1}},              // symmetric swap
+		{{3, 3, 3}, {3, 3, 3}},        // constant rectangular
+		{{-1, -2, -3}, {-3, -2, -1}},  // all-negative values
+		{{10, 0, 0}, {10, 0, 0}},      // duplicate rows forcing a tie split
+		{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, // identity
+	}
+	for ci, v := range cases {
+		inc, err := NewIncremental(v)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		checkAgainstHungarian(t, inc)
+		rng := rand.New(rand.NewSource(int64(ci)))
+		for p := 0; p < 10; p++ {
+			i, j := rng.Intn(inc.Rows()), rng.Intn(inc.Cols())
+			if err := inc.SetCell(i, j, float64(rng.Intn(7)-3)); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstHungarian(t, inc)
+		}
+	}
+}
+
+func TestIncrementalRemoveRowKeepsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inc, err := NewIncremental(randMatrix(rng, 6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the middle row: last row swaps into its slot.
+	if err := inc.RemoveRow(2); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Rows() != 5 {
+		t.Fatalf("Rows = %d, want 5", inc.Rows())
+	}
+	checkAgainstHungarian(t, inc)
+	// Removing the last row must not touch anything else.
+	if err := inc.RemoveRow(inc.Rows() - 1); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstHungarian(t, inc)
+}
+
+func TestIncrementalErrors(t *testing.T) {
+	inc, err := NewIncremental([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetCell(2, 0, 1); err == nil {
+		t.Error("SetCell out-of-range row accepted")
+	}
+	if err := inc.SetCell(0, 0, math.NaN()); err == nil {
+		t.Error("SetCell NaN accepted")
+	}
+	if err := inc.SetRow(0, []float64{1}); err == nil {
+		t.Error("SetRow wrong length accepted")
+	}
+	if err := inc.SetCol(0, []float64{1, math.Inf(1)}); err == nil {
+		t.Error("SetCol Inf accepted")
+	}
+	if _, err := inc.AddRow([]float64{1, 2}); err == nil {
+		t.Error("AddRow beyond square accepted")
+	}
+	if err := inc.RemoveRow(5); err == nil {
+		t.Error("RemoveRow out-of-range accepted")
+	}
+	if _, err := NewIncremental([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewIncremental(nil); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+func TestIncrementalNoOpUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inc, err := NewIncremental(randMatrix(rng, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Assignment()
+	// Writing identical values must leave the matching untouched.
+	if err := inc.SetCell(1, 2, inc.At(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, inc.Cols())
+	for j := range row {
+		row[j] = inc.At(0, j)
+	}
+	if err := inc.SetRow(0, row); err != nil {
+		t.Fatal(err)
+	}
+	col := make([]float64, inc.Rows())
+	for i := range col {
+		col[i] = inc.At(i, 3)
+	}
+	if err := inc.SetCol(3, col); err != nil {
+		t.Fatal(err)
+	}
+	after := inc.Assignment()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("no-op updates changed assignment: %v -> %v", before, after)
+		}
+	}
+	// Lowering an unmatched cell keeps feasibility: must be O(1) no-op.
+	var free int
+	assigned := map[int]bool{}
+	for _, j := range after {
+		assigned[j] = true
+	}
+	for j := 0; j < inc.Cols(); j++ {
+		if !assigned[j] {
+			free = j
+			break
+		}
+	}
+	if err := inc.SetCell(0, free, inc.At(0, free)-50); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstHungarian(t, inc)
+}

@@ -73,15 +73,18 @@ func MemoStats() (hits, misses int) {
 }
 
 // fingerprintConfig writes the cacheable identity of a cluster Config: the
-// machine, dwell, tick, seed, slack guard, and every involved spec and
-// fitted model by value. Parallel is deliberately excluded — worker count
-// must not change results. Invariants and PlannerOff are included even
+// machine, dwell, tick, seed, slack guard, shard layout, and every
+// involved spec and fitted model by value. Parallel is deliberately
+// excluded — worker count must not change results. Invariants and PlannerOff are included even
 // though neither perturbs results (the planner is bit-identical to the
 // exact search): a run requesting invariant checks or the exact search
 // must not silently satisfy itself from a cache entry produced in the
 // other mode.
 func fingerprintConfig(w *strings.Builder, cfg *Config) {
-	fmt.Fprintf(w, "m=%+v|dwell=%d|tick=%d|seed=%d|slack=%g|inv=%t|planner=%t", cfg.Machine, cfg.Dwell, cfg.Tick, cfg.Seed, cfg.TargetSlack, cfg.Invariants, cfg.PlannerOff)
+	// Shard is included because the pod layout changes the POColo
+	// placement: a result computed under one layout must not satisfy a
+	// request made under another.
+	fmt.Fprintf(w, "m=%+v|dwell=%d|tick=%d|seed=%d|slack=%g|inv=%t|planner=%t|shard=%+v", cfg.Machine, cfg.Dwell, cfg.Tick, cfg.Seed, cfg.TargetSlack, cfg.Invariants, cfg.PlannerOff, cfg.Shard)
 	writeSpecs := func(label string, specs []*workload.Spec) {
 		fmt.Fprintf(w, "|%s=", label)
 		for _, s := range specs {

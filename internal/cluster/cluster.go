@@ -119,6 +119,11 @@ type Config struct {
 	// flat or hierarchical (see BudgetConfig). Budgeted runs step every
 	// host on one shared engine and always bypass the sweep memo.
 	Budget *BudgetConfig
+	// Shard, when PodSize > 0, shards the POColo placement into
+	// independently solved pods with cross-pod rebalancing (see Sharded)
+	// instead of the full-matrix LP. The pod layout changes which
+	// placement Place returns, so Shard is part of the memo fingerprint.
+	Shard ShardSettings
 }
 
 func (c *Config) defaults() error {
@@ -187,20 +192,38 @@ func PlaceRandom(lc, be []*workload.Spec, seed int64) map[string]string {
 }
 
 // Place computes the POColo placement: build the performance matrix from
-// the fitted models and solve it with the LP solver.
+// the fitted models and solve it with the LP solver — or, when
+// cfg.Shard.PodSize > 0, through the sharded incremental path with
+// cross-pod rebalancing.
 func Place(cfg Config) (map[string]string, float64, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, 0, err
 	}
 	tr := cfg.Trace.Tracer(cfg.TraceLabel + "cluster")
-	mx, err := BuildMatrix(MatrixConfig{
+	mcfg := MatrixConfig{
 		Machine:  cfg.Machine,
 		LC:       cfg.LC,
 		BE:       cfg.BE,
 		Models:   cfg.Models,
 		Parallel: cfg.Parallel,
 		Trace:    tr,
-	})
+	}
+	if cfg.Shard.PodSize > 0 {
+		sh, err := NewSharded(mcfg, cfg.Shard)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := sh.Rebalance(tr, simEpoch()); err != nil {
+			return nil, 0, err
+		}
+		placement, total, err := sh.Solve(tr, simEpoch())
+		if err != nil {
+			return nil, 0, err
+		}
+		recordPlacement(tr, placement, "sharded solve")
+		return placement, total, nil
+	}
+	mx, err := BuildMatrix(mcfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -208,16 +231,21 @@ func Place(cfg Config) (map[string]string, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	// Record the chosen placement in a deterministic (sorted) order.
+	recordPlacement(tr, placement, "lp solve")
+	return placement, total, nil
+}
+
+// recordPlacement records the chosen placement in a deterministic
+// (sorted) order.
+func recordPlacement(tr *trace.Tracer, placement map[string]string, reason string) {
 	bes := make([]string, 0, len(placement))
 	for be := range placement {
 		bes = append(bes, be)
 	}
 	sort.Strings(bes)
 	for _, be := range bes {
-		tr.Placement(simEpoch(), trace.Placement{BE: be, Node: placement[be], Reason: "lp solve"})
+		tr.Placement(simEpoch(), trace.Placement{BE: be, Node: placement[be], Reason: reason})
 	}
-	return placement, total, nil
 }
 
 // simEpoch is the engine's time origin; cluster-level events (placement,

@@ -16,7 +16,6 @@ import (
 	"pocolo/internal/assign"
 	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
-	"pocolo/internal/parallel"
 	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
@@ -79,60 +78,21 @@ func BuildMatrix(cfg MatrixConfig) (*Matrix, error) {
 	}
 	sp := cfg.Trace.StartSpan("build_matrix")
 	defer sp.End(stamp)
-	if err := cfg.Machine.Validate(); err != nil {
-		return nil, err
-	}
-	if len(cfg.LC) == 0 || len(cfg.BE) == 0 {
+	if len(cfg.BE) == 0 {
 		return nil, errors.New("cluster: need at least one LC and one BE application")
 	}
-	loads := cfg.Loads
-	if len(loads) == 0 {
-		loads = DefaultLoadRange()
-	}
-	for _, l := range loads {
-		if l <= 0 || l > 1 {
-			return nil, fmt.Errorf("cluster: load fraction %v outside (0, 1]", l)
-		}
-	}
-	mx := &Matrix{
-		BENames: make([]string, len(cfg.BE)),
-		LCNames: make([]string, len(cfg.LC)),
-		Value:   make([][]float64, len(cfg.BE)),
-	}
-	for j, lc := range cfg.LC {
-		mx.LCNames[j] = lc.Name
-	}
-	for i, be := range cfg.BE {
-		mx.BENames[i] = be.Name
-		mx.Value[i] = make([]float64, len(cfg.LC))
-	}
-	// Cells are independent pure functions of (machine, specs, models), so
-	// they fan through the bounded worker pool; each writes its own slot
-	// and ForEach reports the lowest-index error, which is the same error
-	// the sequential row-major loop would have hit first.
-	nLC := len(cfg.LC)
-	err := parallel.ForEach(len(cfg.BE)*nLC, cfg.Parallel, func(idx int) error {
-		i, j := idx/nLC, idx%nLC
-		be, lc := cfg.BE[i], cfg.LC[j]
-		beModel, ok := cfg.Models[be.Name]
-		if !ok {
-			return fmt.Errorf("cluster: no fitted model for %s", be.Name)
-		}
-		lcModel, ok := cfg.Models[lc.Name]
-		if !ok {
-			return fmt.Errorf("cluster: no fitted model for %s", lc.Name)
-		}
-		v, err := estimatePairThroughput(cfg.Machine, lc, lcModel, beModel, loads)
-		if err != nil {
-			return fmt.Errorf("cluster: estimating %s on %s: %w", be.Name, lc.Name, err)
-		}
-		mx.Value[i][j] = v
-		return nil
-	})
+	// Construction goes through the delta-driven builder: cells with
+	// identical (machine, model, host-class) fingerprints are evaluated
+	// once and fanned out — bit-identical to evaluating every cell, since
+	// cells are pure functions of the fingerprinted inputs — and distinct
+	// cells fan through the bounded worker pool with the lowest-index
+	// error reported, matching the sequential row-major loop's first
+	// error.
+	b, err := NewMatrixBuilder(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return mx, nil
+	return b.Matrix(), nil
 }
 
 // estimatePairThroughput averages the model-estimated BE throughput over

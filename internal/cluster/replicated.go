@@ -5,16 +5,22 @@ import (
 
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
+	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
 
 // RunReplicated evaluates a datacenter-scale variant of the evaluation:
 // each of the LC clusters runs `replicas` servers and each BE application
 // submits `replicas` instances (Section II-A's datacenter "comprising of
-// multiple such clusters"). The performance matrix is replicated
-// block-wise, solved exactly with the Hungarian method (the LP grows
-// quadratically in variables and is no longer the cheap option at this
-// size), and the full placement is simulated.
+// multiple such clusters"). The placement routes through the sharded
+// incremental path with one pod per replica cluster, which is exact
+// here, not an approximation: the replicated matrix is block-constant,
+// so the assignment relaxes to a transportation problem over job and
+// host types whose optimum equals replicas times the base block's
+// optimum — exactly what the per-replica pod solves achieve. Pod matrix
+// rows share the base block's cell fingerprints (the delta-cell memo
+// collapses all replicas onto one block of evaluations), and the
+// per-pod solves fan through the bounded worker pool.
 //
 // Host names take the form "<lc>#<i>"; the returned Result keys hosts by
 // those names and the placement by BE instance names "<be>#<i>".
@@ -25,37 +31,41 @@ func RunReplicated(cfg Config, replicas int, mgmt servermgr.LCPolicy) (Result, e
 	if replicas < 1 {
 		return Result{}, fmt.Errorf("cluster: replicas must be at least 1, got %d", replicas)
 	}
-	base, err := BuildMatrix(MatrixConfig{
-		Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: cfg.Models,
-		Parallel: cfg.Parallel,
-	})
-	if err != nil {
-		return Result{}, err
-	}
 
-	nBE := len(cfg.BE) * replicas
-	nLC := len(cfg.LC) * replicas
-	value := make([][]float64, nBE)
-	for i := range value {
-		value[i] = make([]float64, nLC)
-		for j := range value[i] {
-			value[i][j] = base.Value[i%len(cfg.BE)][j%len(cfg.LC)]
-		}
+	nBE0, nLC0 := len(cfg.BE), len(cfg.LC)
+	models := make(map[string]*utility.Model, len(cfg.Models)+(nBE0+nLC0)*replicas)
+	for k, v := range cfg.Models {
+		models[k] = v
 	}
-	mx := &Matrix{Value: value}
-	for i := 0; i < nBE; i++ {
-		mx.BENames = append(mx.BENames, fmt.Sprintf("%s#%d", cfg.BE[i%len(cfg.BE)].Name, i/len(cfg.BE)))
+	instance := func(base *workload.Spec, replica int) *workload.Spec {
+		c := *base
+		c.Name = fmt.Sprintf("%s#%d", base.Name, replica)
+		models[c.Name] = cfg.Models[base.Name]
+		return &c
 	}
-	for j := 0; j < nLC; j++ {
-		mx.LCNames = append(mx.LCNames, fmt.Sprintf("%s#%d", cfg.LC[j%len(cfg.LC)].Name, j/len(cfg.LC)))
+	lc := make([]*workload.Spec, nLC0*replicas)
+	for j := range lc {
+		lc[j] = instance(cfg.LC[j%nLC0], j/nLC0)
 	}
-	placement, _, err := mx.Solve("hungarian")
+	be := make([]*workload.Spec, nBE0*replicas)
+	for i := range be {
+		be[i] = instance(cfg.BE[i%nBE0], i/nBE0)
+	}
+	sh, err := NewSharded(MatrixConfig{
+		Machine: cfg.Machine, LC: lc, BE: be, Models: models,
+		Parallel: cfg.Parallel,
+	}, ShardSettings{PodSize: nLC0})
 	if err != nil {
 		return Result{}, err
 	}
+	placement, _, err := sh.Solve(cfg.Trace.Tracer(cfg.TraceLabel+"cluster"), simEpoch())
+	if err != nil {
+		return Result{}, err
+	}
+	nLC := nLC0 * replicas
 
 	// Invert: each host gets at most one BE spec.
-	beByHost := make(map[string]*workload.Spec, nBE)
+	beByHost := make(map[string]*workload.Spec, len(be))
 	for beInst, lcInst := range placement {
 		// Strip the "#k" suffix to recover the spec name.
 		beName := beInst
@@ -82,7 +92,7 @@ func RunReplicated(cfg Config, replicas int, mgmt servermgr.LCPolicy) (Result, e
 	var hosts []*sim.Host
 	for j := 0; j < nLC; j++ {
 		lc := cfg.LC[j%len(cfg.LC)]
-		hostName := mx.LCNames[j]
+		hostName := fmt.Sprintf("%s#%d", lc.Name, j/nLC0)
 		host, err := sim.NewHost(sim.HostConfig{
 			Name:    hostName,
 			Machine: cfg.Machine,

@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pocolo/internal/assign"
+	"pocolo/internal/invariant"
+	"pocolo/internal/machine"
+	"pocolo/internal/parallel"
+	"pocolo/internal/trace"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// DefaultPodSize is the default number of hosts per pod. Pods keep the
+// O(m³) assignment solve and the O(n·m) matrix bounded: a 10k-host
+// cluster becomes ~160 independent 64-host problems instead of one
+// 10k×10k matrix that could never be built, let alone solved, per
+// round.
+const DefaultPodSize = 64
+
+// DefaultRebalanceRounds bounds the cross-pod migration passes per
+// Rebalance call.
+const DefaultRebalanceRounds = 2
+
+// ShardSettings configures pod sharding of the assignment problem.
+// The zero value means unsharded (one pod spanning the whole cluster).
+type ShardSettings struct {
+	// PodSize is the number of LC hosts per pod (0 = DefaultPodSize when
+	// sharding is in use). Hosts are partitioned contiguously, so a
+	// budget tree whose leaf order matches the host order maps rack- or
+	// row-aligned subtrees onto pods.
+	PodSize int
+	// RebalanceGap is the minimum estimated cross-pod gain (in matrix
+	// value units) before a job migrates to another pod. Every migration
+	// strictly increases total value by more than the gap, so
+	// rebalancing terminates.
+	RebalanceGap float64
+	// RebalanceRounds bounds migration passes per Rebalance call
+	// (0 = DefaultRebalanceRounds).
+	RebalanceRounds int
+}
+
+func (s ShardSettings) podSize() int {
+	if s.PodSize <= 0 {
+		return DefaultPodSize
+	}
+	return s.PodSize
+}
+
+func (s ShardSettings) rounds() int {
+	if s.RebalanceRounds <= 0 {
+		return DefaultRebalanceRounds
+	}
+	return s.RebalanceRounds
+}
+
+// sPod is one shard: a contiguous slice of hosts with its own
+// delta-driven matrix builder and incremental solver, index-aligned
+// row for row (both sides use the same swap-remove semantics).
+type sPod struct {
+	name    string
+	builder *MatrixBuilder
+	solver  *assign.Incremental
+	pending DeltaStats // matrix work since the last Solve emit
+	// touched marks that the matrix or matching changed since the last
+	// validated Solve; untouched pods skip re-validation, which is what
+	// keeps a steady-state single-host re-solve sublinear in pod count.
+	touched bool
+}
+
+// Sharded decomposes a cluster-wide assignment into independently
+// solved pods. Jobs are apportioned to pods proportionally to pod
+// capacity (largest remainder, contiguous slices — a block-replicated
+// cluster shards into exact per-replica pods), each pod keeps an
+// incremental solver warm across rounds, and Rebalance migrates jobs
+// across pods when the estimated gain exceeds the configured gap.
+//
+// Matrix construction and refresh run sequentially across pods so the
+// shared delta-cell memo's computed/reused split is deterministic (the
+// counters are traced); solver work — the expensive part — has no
+// shared state and fans through the parallel pool.
+//
+// Sharded is not safe for concurrent use.
+type Sharded struct {
+	platform machine.Config
+	loads    []float64
+	models   map[string]*utility.Model
+	workers  int
+	set      ShardSettings
+	globalID uint32
+	pods     []*sPod
+}
+
+// NewSharded partitions the cluster into pods and builds every pod's
+// matrix and solver. cfg.LC and cfg.BE are the global host and job
+// lists; specs are shared (not copied) so later in-place cap mutations
+// are visible to Refresh.
+func NewSharded(cfg MatrixConfig, set ShardSettings) (*Sharded, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.LC) == 0 {
+		return nil, errors.New("cluster: need at least one LC host")
+	}
+	if len(cfg.BE) > len(cfg.LC) {
+		return nil, fmt.Errorf("cluster: %d BE jobs exceed %d hosts", len(cfg.BE), len(cfg.LC))
+	}
+	loads := cfg.Loads
+	if len(loads) == 0 {
+		loads = DefaultLoadRange()
+	}
+	s := &Sharded{
+		platform: cfg.Machine,
+		loads:    append([]float64(nil), loads...),
+		models:   cfg.Models,
+		workers:  cfg.Parallel,
+		set:      set,
+		globalID: internFP(globalFP(cfg.Machine, loads)),
+	}
+	podSize := set.podSize()
+	nPods := (len(cfg.LC) + podSize - 1) / podSize
+	// Apportion jobs to pods proportionally to capacity by largest
+	// remainder, in contiguous slices. Contiguity means a block-
+	// replicated cluster (k replicas of an nBE×nLC block) with
+	// PodSize == nLC shards into exactly its per-replica blocks.
+	counts := apportion(len(cfg.BE), podCapacities(len(cfg.LC), podSize))
+	s.pods = make([]*sPod, nPods)
+	jobAt := 0
+	for p := 0; p < nPods; p++ {
+		lo, hi := p*podSize, (p+1)*podSize
+		if hi > len(cfg.LC) {
+			hi = len(cfg.LC)
+		}
+		pcfg := cfg
+		pcfg.LC = cfg.LC[lo:hi]
+		pcfg.BE = cfg.BE[jobAt : jobAt+counts[p]]
+		pcfg.Loads = s.loads
+		jobAt += counts[p]
+		b, err := NewMatrixBuilder(pcfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: pod %d: %w", p, err)
+		}
+		s.pods[p] = &sPod{name: fmt.Sprintf("pod-%d", p), builder: b, pending: b.Stats(), touched: true}
+	}
+	// Solver construction is per-pod pure work: fan it out.
+	err := parallel.ForEach(nPods, s.workers, func(p int) error {
+		pod := s.pods[p]
+		var err error
+		if pod.builder.Rows() > 0 {
+			pod.solver, err = assign.NewIncremental(pod.builder.Matrix().Value)
+		} else {
+			pod.solver, err = assign.NewIncrementalCols(pod.builder.Cols())
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: pod %d solve: %w", p, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func podCapacities(nLC, podSize int) []int {
+	nPods := (nLC + podSize - 1) / podSize
+	caps := make([]int, nPods)
+	for p := range caps {
+		caps[p] = podSize
+	}
+	if rem := nLC % podSize; rem != 0 {
+		caps[nPods-1] = rem
+	}
+	return caps
+}
+
+// apportion distributes total items over buckets proportionally to
+// caps by largest remainder, never exceeding a bucket's cap. total must
+// be at most the sum of caps.
+func apportion(total int, caps []int) []int {
+	sum := 0
+	for _, c := range caps {
+		sum += c
+	}
+	counts := make([]int, len(caps))
+	if total == 0 || sum == 0 {
+		return counts
+	}
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(caps))
+	for i, c := range caps {
+		exact := float64(total) * float64(c) / float64(sum)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems = append(rems, rem{i, exact - float64(counts[i])})
+	}
+	// Hand out the leftovers to the largest fractional remainders;
+	// ties break toward the earlier pod for determinism.
+	for assigned < total {
+		best := -1
+		for k := range rems {
+			i := rems[k].idx
+			if counts[i] >= caps[i] {
+				continue
+			}
+			if best == -1 || rems[k].frac > rems[best].frac {
+				best = k
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return counts
+}
+
+// Pods returns the number of pods.
+func (s *Sharded) Pods() int { return len(s.pods) }
+
+// PodDims returns pod p's current (jobs, hosts) dimensions.
+func (s *Sharded) PodDims(p int) (rows, cols int) {
+	return s.pods[p].builder.Rows(), s.pods[p].builder.Cols()
+}
+
+// Total returns the summed optimal assignment value across pods.
+func (s *Sharded) Total() float64 {
+	t := 0.0
+	for _, pod := range s.pods {
+		t += pod.solver.Total()
+	}
+	return t
+}
+
+// Placement returns the BE→LC host mapping across all pods.
+func (s *Sharded) Placement() map[string]string {
+	out := make(map[string]string)
+	for _, pod := range s.pods {
+		mx := pod.builder.Matrix()
+		for i, j := range pod.solver.Assignment() {
+			out[mx.BENames[i]] = mx.LCNames[j]
+		}
+	}
+	return out
+}
+
+// Refresh picks up host-cap and job-model drift: each pod's builder
+// re-fingerprints its inputs and recomputes only dirty cells, then each
+// pod's solver repairs exactly the changed rows and columns — one
+// augmenting pass per dirty line instead of a from-scratch solve.
+func (s *Sharded) Refresh() (DeltaStats, error) {
+	var agg DeltaStats
+	results := make([]RefreshResult, len(s.pods))
+	for p, pod := range s.pods {
+		res, err := pod.builder.Refresh()
+		if err != nil {
+			return agg, fmt.Errorf("cluster: pod %d refresh: %w", p, err)
+		}
+		results[p] = res
+		pod.pending.add(res.Stats)
+		agg.add(res.Stats)
+		if len(res.ChangedRows) > 0 || len(res.ChangedCols) > 0 {
+			pod.touched = true
+		}
+	}
+	err := parallel.ForEach(len(s.pods), s.workers, func(p int) error {
+		pod := s.pods[p]
+		mx := pod.builder.Matrix()
+		for _, i := range results[p].ChangedRows {
+			if err := pod.solver.SetRow(i, mx.Value[i]); err != nil {
+				return fmt.Errorf("cluster: pod %d row %d: %w", p, i, err)
+			}
+		}
+		col := make([]float64, pod.builder.Rows())
+		for _, j := range results[p].ChangedCols {
+			for i := range col {
+				col[i] = mx.Value[i][j]
+			}
+			if err := pod.solver.SetCol(j, col); err != nil {
+				return fmt.Errorf("cluster: pod %d col %d: %w", p, j, err)
+			}
+		}
+		return nil
+	})
+	return agg, err
+}
+
+// pairValue prices one (job, host) cell through the delta-cell memo —
+// the rebalancer's cross-pod lens, sharing cached cells with every
+// builder.
+func (s *Sharded) pairValue(be *workload.Spec, beM *utility.Model, lc *workload.Spec, lcM *utility.Model) (float64, error) {
+	k := cellKey{global: s.globalID, row: internFP(utility.ModelKey(beM)), col: internFP(colFP(lc, lcM))}
+	if v, ok := cellMemoLookup(k); ok {
+		return v, nil
+	}
+	v, err := estimatePairThroughput(s.platform, lc, lcM, beM, s.loads)
+	if err != nil {
+		return 0, err
+	}
+	cellMemoStore(k, v)
+	return v, nil
+}
+
+// Rebalance migrates jobs across pods while a free host in another pod
+// beats a job's current cell by more than the configured gap. The gain
+// estimate is a lower bound — adding the job's row to the target pod
+// can only match it at least as well as the best free column, and
+// removing it costs the source exactly its current cell — so every
+// migration strictly increases total value, which both guarantees
+// termination and means sharding's placement quality monotonically
+// approaches the unsharded optimum as the gap shrinks. Migrations are
+// traced as migration events with reason "rebalance".
+func (s *Sharded) Rebalance(tr *trace.Tracer, now time.Time) (int, error) {
+	moves := 0
+	for round := 0; round < s.set.rounds(); round++ {
+		moved := 0
+		for p, pod := range s.pods {
+			for r := 0; r < pod.builder.Rows(); {
+				migrated, err := s.tryMigrate(p, r, tr, now)
+				if err != nil {
+					return moves, err
+				}
+				if migrated {
+					moved++
+					// RemoveRow swapped the last job into slot r:
+					// re-examine it before advancing.
+					continue
+				}
+				r++
+			}
+		}
+		moves += moved
+		if moved == 0 {
+			break
+		}
+	}
+	return moves, nil
+}
+
+// tryMigrate evaluates job r of pod p against every other pod's free
+// hosts and moves it to the best one if the gain clears the gap.
+func (s *Sharded) tryMigrate(p, r int, tr *trace.Tracer, now time.Time) (bool, error) {
+	src := s.pods[p]
+	spec := src.builder.RowSpec(r)
+	model, ok := s.models[spec.Name]
+	if !ok {
+		return false, fmt.Errorf("cluster: no fitted model for %s", spec.Name)
+	}
+	cur := src.solver.At(r, src.solver.Assignment()[r])
+	bestGain := s.set.RebalanceGap
+	bestPod := -1
+	for q, dst := range s.pods {
+		if q == p || dst.builder.Rows() >= dst.builder.Cols() {
+			continue
+		}
+		free := dst.solver.ColAssignment()
+		for j := range free {
+			if free[j] != -1 {
+				continue
+			}
+			v, err := s.pairValue(spec, model, dst.builder.lc[j], dst.builder.lcModel[j])
+			if err != nil {
+				return false, err
+			}
+			if gain := v - cur; gain > bestGain {
+				bestGain = gain
+				bestPod = q
+			}
+		}
+	}
+	if bestPod == -1 {
+		return false, nil
+	}
+	src, dst := s.pods[p], s.pods[bestPod]
+	fromHost := src.builder.Matrix().LCNames[src.solver.Assignment()[r]]
+	if err := src.builder.RemoveRow(r); err != nil {
+		return false, err
+	}
+	if err := src.solver.RemoveRow(r); err != nil {
+		return false, err
+	}
+	i, err := dst.builder.AddRow(spec)
+	if err != nil {
+		return false, err
+	}
+	if _, err := dst.solver.AddRow(dst.builder.Matrix().Value[i]); err != nil {
+		return false, err
+	}
+	toHost := dst.builder.Matrix().LCNames[dst.solver.Assignment()[i]]
+	src.touched = true
+	dst.touched = true
+	tr.Migration(now, trace.Placement{BE: spec.Name, Node: toHost, From: fromHost, Reason: "rebalance"})
+	return true, nil
+}
+
+// Solve aggregates the per-pod optima into a cluster placement,
+// validating each pod's assignment, and emits one traced SolveSummary
+// per non-empty pod (tagged with the pod name and the delta-cell
+// counters accumulated since the last Solve) plus a cluster-level
+// "sharded" summary.
+func (s *Sharded) Solve(tr *trace.Tracer, now time.Time) (map[string]string, float64, error) {
+	sp := tr.StartSpan("solve")
+	defer sp.End(now)
+	nRows := 0
+	for _, pod := range s.pods {
+		nRows += pod.builder.Rows()
+	}
+	placement := make(map[string]string, nRows)
+	total := 0.0
+	rows, cols := 0, 0
+	var agg DeltaStats
+	for p, pod := range s.pods {
+		mx := pod.builder.Matrix()
+		idx := pod.solver.Assignment()
+		val := pod.solver.Total()
+		if pod.builder.Rows() > 0 {
+			// A pod untouched since its last validated Solve still holds
+			// the same matrix and matching, so re-validating it would only
+			// make the steady-state re-solve linear in cluster size.
+			if pod.touched {
+				if err := invariant.CheckAssignment(mx.Value, idx, val); err != nil {
+					return nil, 0, fmt.Errorf("cluster: pod %d solver: %w", p, err)
+				}
+			}
+			tr.SolveSummary(now, trace.SolveSummary{
+				Method: "incremental", Rows: pod.builder.Rows(), Cols: pod.builder.Cols(),
+				Total: val, Pod: pod.name,
+				CellsComputed: pod.pending.CellsComputed, CellsReused: pod.pending.CellsReused,
+			})
+		}
+		agg.add(pod.pending)
+		pod.pending = DeltaStats{}
+		pod.touched = false
+		for i, j := range idx {
+			placement[mx.BENames[i]] = mx.LCNames[j]
+		}
+		total += val
+		rows += pod.builder.Rows()
+		cols += pod.builder.Cols()
+	}
+	if rows > 0 {
+		tr.SolveSummary(now, trace.SolveSummary{
+			Method: "sharded", Rows: rows, Cols: cols, Total: total,
+			CellsComputed: agg.CellsComputed, CellsReused: agg.CellsReused,
+		})
+	}
+	return placement, total, nil
+}
+
+// SelfCheck verifies every pod solver's dual invariants and the
+// consistency between builders and solvers. Test and debugging aid.
+func (s *Sharded) SelfCheck() error {
+	for p, pod := range s.pods {
+		if err := pod.solver.SelfCheck(); err != nil {
+			return fmt.Errorf("pod %d: %w", p, err)
+		}
+		if pod.solver.Rows() != pod.builder.Rows() || pod.solver.Cols() != pod.builder.Cols() {
+			return fmt.Errorf("pod %d: solver %dx%d vs builder %dx%d", p,
+				pod.solver.Rows(), pod.solver.Cols(), pod.builder.Rows(), pod.builder.Cols())
+		}
+		for i := 0; i < pod.builder.Rows(); i++ {
+			for j := 0; j < pod.builder.Cols(); j++ {
+				if pod.solver.At(i, j) != pod.builder.Matrix().Value[i][j] {
+					return fmt.Errorf("pod %d: cell (%d,%d) diverged", p, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

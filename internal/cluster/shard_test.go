@@ -1,0 +1,439 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"pocolo/internal/assign"
+	"pocolo/internal/trace"
+	"pocolo/internal/utility"
+	"pocolo/internal/workload"
+)
+
+// shardFixture scales the 4-app fixture to an nBE×nLC fleet by cycling
+// renamed per-instance clones of the catalog specs. Cloned instances
+// share their class's fitted model, so the delta-cell memo collapses
+// them onto a handful of distinct cells — the hyperscale shape.
+func shardFixture(t *testing.T, nLC, nBE int) MatrixConfig {
+	t.Helper()
+	cfg := fixture(t)
+	models := make(map[string]*utility.Model, len(cfg.Models)+nLC+nBE)
+	for k, v := range cfg.Models {
+		models[k] = v
+	}
+	lc := make([]*workload.Spec, nLC)
+	for i := range lc {
+		base := cfg.LC[i%len(cfg.LC)]
+		c := cloneSpec(base)
+		c.Name = fmt.Sprintf("host-%d", i)
+		models[c.Name] = cfg.Models[base.Name]
+		lc[i] = c
+	}
+	be := make([]*workload.Spec, nBE)
+	for i := range be {
+		base := cfg.BE[i%len(cfg.BE)]
+		c := cloneSpec(base)
+		c.Name = fmt.Sprintf("job-%d", i)
+		models[c.Name] = cfg.Models[base.Name]
+		be[i] = c
+	}
+	return MatrixConfig{Machine: cfg.Machine, LC: lc, BE: be, Models: models}
+}
+
+// unshardedTotal solves the full-matrix assignment from scratch.
+func unshardedTotal(t *testing.T, cfg MatrixConfig) float64 {
+	t.Helper()
+	mx, err := BuildMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := assign.Hungarian(mx.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+func checkPlacement(t *testing.T, cfg MatrixConfig, placement map[string]string) {
+	t.Helper()
+	if len(placement) != len(cfg.BE) {
+		t.Fatalf("placement has %d jobs, want %d", len(placement), len(cfg.BE))
+	}
+	used := make(map[string]string)
+	for job, host := range placement {
+		if prev, dup := used[host]; dup {
+			t.Fatalf("host %s assigned to both %s and %s", host, prev, job)
+		}
+		used[host] = job
+	}
+}
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total int
+		caps  []int
+		want  []int
+	}{
+		{10, []int{4, 4, 4}, []int{4, 3, 3}},
+		{5, []int{2, 2, 2}, []int{2, 2, 1}},
+		{6, []int{2, 2, 2}, []int{2, 2, 2}},
+		{0, []int{3, 3}, []int{0, 0}},
+		{4, []int{1, 3}, []int{1, 3}},
+		{3, []int{1, 4}, []int{1, 2}},
+		{2, []int{2, 2, 2, 2}, []int{1, 1, 0, 0}},
+	}
+	for _, c := range cases {
+		got := apportion(c.total, c.caps)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("apportion(%d, %v) = %v, want %v", c.total, c.caps, got, c.want)
+		}
+		sum := 0
+		for i, n := range got {
+			sum += n
+			if n > c.caps[i] {
+				t.Errorf("apportion(%d, %v) overfills bucket %d", c.total, c.caps, i)
+			}
+		}
+		if sum != c.total {
+			t.Errorf("apportion(%d, %v) distributed %d", c.total, c.caps, sum)
+		}
+	}
+}
+
+// When every pod contains one host of each capacity class and holds at
+// most one job, each job gets its globally best host class, so the
+// sharded total is exactly the unsharded optimum.
+func TestShardedExactWhenPodsCoverClasses(t *testing.T) {
+	cfg := shardFixture(t, 16, 4)
+	s, err := NewSharded(cfg, ShardSettings{PodSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, total, err := s.Solve(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacement(t, cfg, placement)
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	want := unshardedTotal(t, cfg)
+	if math.Abs(total-want) > 1e-6*math.Abs(want) {
+		t.Errorf("sharded total %v, unsharded optimum %v", total, want)
+	}
+}
+
+func TestShardedWithinToleranceOfUnsharded(t *testing.T) {
+	cfg := shardFixture(t, 16, 12)
+	s, err := NewSharded(cfg, ShardSettings{PodSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before, err := s.Solve(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := unshardedTotal(t, cfg)
+	if before > want*(1+1e-9) {
+		t.Errorf("sharded total %v exceeds unsharded optimum %v", before, want)
+	}
+	if before < 0.90*want {
+		t.Errorf("sharded total %v below 90%% of unsharded optimum %v", before, want)
+	}
+	// Rebalancing only improves, and never past the optimum.
+	if _, err := s.Rebalance(nil, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	placement, after, err := s.Solve(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacement(t, cfg, placement)
+	if after < before-1e-9 || after > want*(1+1e-9) {
+		t.Errorf("rebalance moved total %v -> %v (optimum %v)", before, after, want)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedRefreshMatchesRebuild(t *testing.T) {
+	cfg := shardFixture(t, 8, 6)
+	set := ShardSettings{PodSize: 4}
+	s, err := NewSharded(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(nil, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle refresh: no drift, no work, no change.
+	before := s.Total()
+	stats, err := s.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (DeltaStats{}) {
+		t.Errorf("idle refresh did work: %+v", stats)
+	}
+	if s.Total() != before {
+		t.Errorf("idle refresh changed total %v -> %v", before, s.Total())
+	}
+
+	// One host cap cut: only that pod's column is touched (one cell per
+	// row of the owning pod), and the repaired solver state must match a
+	// from-scratch rebuild of the mutated inputs exactly.
+	cfg.LC[2].ProvisionedPowerW -= 30
+	stats, err = s.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows0, _ := s.PodDims(0)
+	if got := stats.CellsComputed + stats.CellsReused; got != rows0 {
+		t.Errorf("cap cut touched %d cells, want %d (one pod column)", got, rows0)
+	}
+	fresh, err := NewSharded(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Total(), fresh.Total(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("refreshed total %v, rebuilt total %v", got, want)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A job model replacement dirties one row of one pod.
+	nudged := *cfg.Models[cfg.BE[1].Name]
+	nudged.Alpha0 *= 1.07
+	cfg.Models[cfg.BE[1].Name] = &nudged
+	stats, err = s.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cols0 := s.PodDims(0)
+	if got := stats.CellsComputed + stats.CellsReused; got != cols0 {
+		t.Errorf("model nudge touched %d cells, want %d (one pod row)", got, cols0)
+	}
+	fresh, err = NewSharded(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Total(), fresh.Total(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("refreshed total %v, rebuilt total %v", got, want)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedRebalanceMigrates(t *testing.T) {
+	base := fixture(t)
+	models := make(map[string]*utility.Model, 4)
+	mk := func(name string, from *workload.Spec, capW float64) *workload.Spec {
+		c := cloneSpec(from)
+		c.Name = name
+		c.ProvisionedPowerW = capW
+		models[name] = base.Models[from.Name]
+		return c
+	}
+	// Pod 0 holds two starved hosts (caps barely above idle), pod 1 two
+	// well-provisioned ones. Capacity-proportional apportionment puts one
+	// job in each pod, so the pod-0 job starts on a starved host with a
+	// strictly better free host sitting in pod 1.
+	starvedCap := base.Machine.IdlePowerW + 3
+	richCap := base.LC[0].ProvisionedPowerW + 40
+	lc := []*workload.Spec{
+		mk("host-0", base.LC[0], starvedCap),
+		mk("host-1", base.LC[0], starvedCap),
+		mk("host-2", base.LC[0], richCap),
+		mk("host-3", base.LC[0], richCap),
+	}
+	job := cloneSpec(base.BE[0])
+	job.Name = "job-0"
+	models[job.Name] = base.Models[base.BE[0].Name]
+	job2 := cloneSpec(base.BE[1])
+	job2.Name = "job-1"
+	models[job2.Name] = base.Models[base.BE[1].Name]
+	cfg := MatrixConfig{Machine: base.Machine, LC: lc, BE: []*workload.Spec{job, job2}, Models: models}
+
+	s, err := NewSharded(cfg, ShardSettings{PodSize: 2, RebalanceRounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Total()
+	tr := trace.New("cluster", 0)
+	moves, err := s.Rebalance(tr, time.Unix(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("no migration off a starved pod")
+	}
+	if after := s.Total(); after <= before {
+		t.Errorf("rebalance total %v -> %v, want strict improvement", before, after)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	migrations := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind != trace.KindMigration {
+			continue
+		}
+		migrations++
+		if ev.Place.Reason != "rebalance" || ev.Place.Node == ev.Place.From || ev.Place.BE == "" {
+			t.Errorf("bad migration event %+v", ev.Place)
+		}
+	}
+	if migrations != moves {
+		t.Errorf("traced %d migrations, Rebalance reported %d", migrations, moves)
+	}
+	// The rebalanced placement must respect matching feasibility.
+	placement, _, err := s.Solve(tr, time.Unix(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacement(t, cfg, placement)
+	if err := trace.Validate(tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedSolveTrace(t *testing.T) {
+	cfg := shardFixture(t, 16, 12)
+	s, err := NewSharded(cfg, ShardSettings{PodSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New("cluster", 0)
+	_, total, err := s.Solve(tr, time.Unix(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if err := trace.Validate(events); err != nil {
+		t.Fatal(err)
+	}
+	var pods []string
+	var agg *trace.SolveSummary
+	cells := 0
+	for i := range events {
+		if events[i].Kind != trace.KindSolve {
+			continue
+		}
+		sv := events[i].Solve
+		if sv.Pod != "" {
+			pods = append(pods, sv.Pod)
+			if sv.Method != "incremental" || sv.Rows == 0 {
+				t.Errorf("pod event %+v", sv)
+			}
+			cells += sv.CellsComputed + sv.CellsReused
+			continue
+		}
+		if agg != nil {
+			t.Fatal("multiple aggregate solve events")
+		}
+		agg = &sv
+	}
+	if want := []string{"pod-0", "pod-1", "pod-2", "pod-3"}; !reflect.DeepEqual(pods, want) {
+		t.Fatalf("pod events %v, want %v", pods, want)
+	}
+	if agg == nil {
+		t.Fatal("no aggregate solve event")
+	}
+	if agg.Method != "sharded" || agg.Rows != 12 || agg.Cols != 16 || agg.Total != total {
+		t.Errorf("aggregate event %+v (total %v)", agg, total)
+	}
+	// Every matrix cell was either computed or memo-served exactly once
+	// across the initial builds.
+	if agg.CellsComputed+agg.CellsReused != cells || cells != 12*4 {
+		t.Errorf("cell counters: agg %d+%d, pods %d, want %d",
+			agg.CellsComputed, agg.CellsReused, cells, 12*4)
+	}
+	// A second Solve emits zero pending counters: no matrix work happened
+	// in between.
+	tr2 := trace.New("cluster", 0)
+	if _, _, err := s.Solve(tr2, time.Unix(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tr2.Events() {
+		if ev.Kind == trace.KindSolve && ev.Solve.CellsComputed+ev.Solve.CellsReused != 0 {
+			t.Errorf("stale pending counters leaked: %+v", ev.Solve)
+		}
+	}
+}
+
+// Place with Shard.PodSize set routes the POColo placement through the
+// sharded path and stays feasible and no better than the LP optimum.
+func TestPlaceSharded(t *testing.T) {
+	cfg := fixture(t)
+	_, lpTotal, err := Place(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shard = ShardSettings{PodSize: 2}
+	placement, total, err := Place(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := MatrixConfig{Machine: cfg.Machine, LC: cfg.LC, BE: cfg.BE, Models: cfg.Models}
+	checkPlacement(t, mcfg, placement)
+	if total <= 0 || total > lpTotal*(1+1e-9) {
+		t.Errorf("sharded Place total %v (LP optimum %v)", total, lpTotal)
+	}
+}
+
+func TestShardedDegenerate(t *testing.T) {
+	// More pods than jobs: trailing pods are empty but still solve.
+	cfg := shardFixture(t, 8, 2)
+	s, err := NewSharded(cfg, ShardSettings{PodSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pods() != 4 {
+		t.Fatalf("pods = %d", s.Pods())
+	}
+	placement, _, err := s.Solve(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacement(t, cfg, placement)
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rebalance(nil, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-host pods.
+	cfg = shardFixture(t, 4, 3)
+	s, err = NewSharded(cfg, ShardSettings{PodSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, _, err = s.Solve(nil, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacement(t, cfg, placement)
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid fleets.
+	if _, err := NewSharded(MatrixConfig{Machine: cfg.Machine}, ShardSettings{}); err == nil {
+		t.Error("accepted a cluster with no hosts")
+	}
+	over := shardFixture(t, 2, 3)
+	if _, err := NewSharded(over, ShardSettings{}); err == nil {
+		t.Error("accepted more jobs than hosts")
+	}
+}

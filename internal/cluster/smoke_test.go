@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"pocolo/internal/trace"
+)
+
+// TestSharded1kSmoke is the CI-scale end-to-end check on the sharded
+// path: a seeded 1024-host, 768-job fleet with jittered caps is solved
+// through 16 pods, rebalanced, and diffed against the unsharded
+// from-scratch optimum (full matrix + Hungarian). The sharded placement
+// must be feasible, within tolerance of the optimum, never above it,
+// and the decision trace it emits must validate.
+//
+// The unsharded comparator is cubic in fleet size, so the test is too
+// slow for the race-enabled default suite; CI runs it as a dedicated
+// step with POCOLO_SMOKE_1K=1.
+func TestSharded1kSmoke(t *testing.T) {
+	if os.Getenv("POCOLO_SMOKE_1K") == "" {
+		t.Skip("set POCOLO_SMOKE_1K=1 to run the 1k-host smoke (CI runs it as a dedicated step)")
+	}
+	cfg := shardFixture(t, 1024, 768)
+	rng := rand.New(rand.NewSource(7))
+	for _, lc := range cfg.LC {
+		lc.ProvisionedPowerW = math.Round(lc.ProvisionedPowerW * (1 + 0.08*(2*rng.Float64()-1)))
+	}
+
+	epoch := time.Unix(0, 0).UTC()
+	tr := trace.New("smoke", 0)
+	sh, err := NewSharded(cfg, ShardSettings{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Pods() != 16 {
+		t.Fatalf("pods = %d, want 16", sh.Pods())
+	}
+	moves, err := sh.Rebalance(tr, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, total, err := sh.Solve(tr, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlacement(t, cfg, placement)
+	if err := sh.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := unshardedTotal(t, cfg)
+	t.Logf("sharded %.1f vs unsharded optimum %.1f (%.2f%%), %d migrations",
+		total, opt, 100*total/opt, moves)
+	if total > opt*(1+1e-9) {
+		t.Fatalf("sharded total %v exceeds the optimum %v", total, opt)
+	}
+	if total < 0.95*opt {
+		t.Fatalf("sharded total %v below 95%% of the optimum %v", total, opt)
+	}
+
+	if err := trace.Validate(tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	podSolves, sharded := 0, 0
+	for _, ev := range tr.Events() {
+		if ev.Kind != trace.KindSolve {
+			continue
+		}
+		switch {
+		case ev.Solve.Pod != "":
+			podSolves++
+		case ev.Solve.Method == "sharded":
+			sharded++
+		}
+	}
+	if podSolves != 16 || sharded != 1 {
+		t.Fatalf("traced %d pod solves and %d sharded summaries, want 16 and 1", podSolves, sharded)
+	}
+}

@@ -23,7 +23,10 @@ func CheckAssignment(value [][]float64, assignment []int, total float64) error {
 		return nil
 	}
 	m := len(value[0])
-	used := make(map[int]int, n)
+	used := make([]int, m)
+	for j := range used {
+		used[j] = -1
+	}
 	sum := 0.0
 	for i, j := range assignment {
 		if len(value[i]) != m {
@@ -32,7 +35,7 @@ func CheckAssignment(value [][]float64, assignment []int, total float64) error {
 		if j < 0 || j >= m {
 			return fmt.Errorf("invariant: row %d assigned column %d outside [0, %d)", i, j, m)
 		}
-		if prev, dup := used[j]; dup {
+		if prev := used[j]; prev >= 0 {
 			return fmt.Errorf("invariant: rows %d and %d both assigned column %d (not a matching)", prev, i, j)
 		}
 		used[j] = i

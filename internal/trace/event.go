@@ -165,13 +165,23 @@ type Placement struct {
 
 // SolveSummary is the payload of one assignment solve.
 type SolveSummary struct {
-	// Method is the solver ("lp", "hungarian", "exhaustive").
+	// Method is the solver ("lp", "hungarian", "exhaustive",
+	// "incremental", "sharded").
 	Method string
 	// Rows and Cols are the matrix dimensions (BE × LC).
 	Rows int
 	Cols int
 	// Total is the solver's predicted total value.
 	Total float64
+	// Pod names the shard the solve belongs to; empty for whole-cluster
+	// solves.
+	Pod string
+	// CellsComputed and CellsReused count delta-driven matrix
+	// construction work for the solve: cells evaluated fresh vs. served
+	// from the fingerprint memo. Both zero when construction was not
+	// delta-driven.
+	CellsComputed int
+	CellsReused   int
 }
 
 // BudgetChange is the payload of budget-shift and budget-cut events: one
@@ -280,6 +290,15 @@ func (e *Event) appendJSON(b []byte, includeWall bool) []byte {
 		b = appendIntField(b, "rows", int64(s.Rows))
 		b = appendIntField(b, "cols", int64(s.Cols))
 		b = appendFloatField(b, "total", s.Total)
+		// Pod and cell counters are emitted only when set, keeping the
+		// canonical form of pre-sharding events byte-identical.
+		if s.Pod != "" {
+			b = appendStringField(b, "pod", s.Pod)
+		}
+		if s.CellsComputed != 0 || s.CellsReused != 0 {
+			b = appendIntField(b, "cells_computed", int64(s.CellsComputed))
+			b = appendIntField(b, "cells_reused", int64(s.CellsReused))
+		}
 	case KindSpan:
 		b = appendStringField(b, "name", e.Span.Name)
 		if includeWall {
@@ -352,10 +371,13 @@ type eventJSON struct {
 	From   string `json:"from"`
 	Reason string `json:"reason"`
 
-	Method string  `json:"method"`
-	Rows   int     `json:"rows"`
-	Cols   int     `json:"cols"`
-	Total  float64 `json:"total"`
+	Method        string  `json:"method"`
+	Rows          int     `json:"rows"`
+	Cols          int     `json:"cols"`
+	Total         float64 `json:"total"`
+	Pod           string  `json:"pod"`
+	CellsComputed int     `json:"cells_computed"`
+	CellsReused   int     `json:"cells_reused"`
 
 	Name  string `json:"name"`
 	DurNS int64  `json:"dur_ns"`
@@ -386,7 +408,10 @@ func (j *eventJSON) event() (Event, error) {
 	case KindPlacement, KindMigration, KindDegradation:
 		ev.Place = Placement{BE: j.BE, Node: j.Node, From: j.From, Reason: j.Reason}
 	case KindSolve:
-		ev.Solve = SolveSummary{Method: j.Method, Rows: j.Rows, Cols: j.Cols, Total: j.Total}
+		ev.Solve = SolveSummary{
+			Method: j.Method, Rows: j.Rows, Cols: j.Cols, Total: j.Total,
+			Pod: j.Pod, CellsComputed: j.CellsComputed, CellsReused: j.CellsReused,
+		}
 	case KindSpan:
 		ev.Span = SpanInfo{Name: j.Name, DurNS: j.DurNS}
 	case KindBudgetShift, KindBudgetCut:

@@ -158,6 +158,9 @@ func validatePayload(ev *Event) error {
 		if s.Rows <= 0 || s.Cols <= 0 {
 			return fmt.Errorf("solve: non-positive dimensions %dx%d", s.Rows, s.Cols)
 		}
+		if s.CellsComputed < 0 || s.CellsReused < 0 {
+			return fmt.Errorf("solve: negative cell counters %d/%d", s.CellsComputed, s.CellsReused)
+		}
 	case KindSpan:
 		if ev.Span.Name == "" {
 			return fmt.Errorf("span: empty name")
@@ -314,7 +317,15 @@ func chromeArgs(ev *Event) map[string]any {
 		return map[string]any{"be": p.BE, "node": p.Node, "from": p.From, "reason": p.Reason}
 	case KindSolve:
 		s := &ev.Solve
-		return map[string]any{"method": s.Method, "rows": s.Rows, "cols": s.Cols, "total": s.Total}
+		args := map[string]any{"method": s.Method, "rows": s.Rows, "cols": s.Cols, "total": s.Total}
+		if s.Pod != "" {
+			args["pod"] = s.Pod
+		}
+		if s.CellsComputed != 0 || s.CellsReused != 0 {
+			args["cells_computed"] = s.CellsComputed
+			args["cells_reused"] = s.CellsReused
+		}
+		return args
 	case KindBudgetShift, KindBudgetCut:
 		c := &ev.Budget
 		return map[string]any{"node": c.Node, "from_w": c.FromW, "to_w": c.ToW, "reason": c.Reason}

@@ -21,6 +21,10 @@ func fullTrace() []Event {
 	tr.Migration(at(5), Placement{BE: "x264", Node: "agent-2", From: "agent-1", Reason: "agent-1 dead"})
 	tr.Degradation(at(6), "no live agents")
 	tr.SolveSummary(at(7), SolveSummary{Method: "hungarian", Rows: 2, Cols: 3, Total: 1.75})
+	tr.SolveSummary(at(7), SolveSummary{
+		Method: "incremental", Rows: 4, Cols: 8, Total: 3.5,
+		Pod: "pod-2", CellsComputed: 6, CellsReused: 26,
+	})
 	tr.BudgetShift(at(8), BudgetChange{Node: "host-a", FromW: 0, ToW: 118.4, Reason: "rebalance"})
 	tr.BudgetCut(at(9), BudgetChange{Node: "dc", FromW: 540, ToW: 378, Reason: "brownout"})
 	return tr.Events()
@@ -177,6 +181,12 @@ func TestValidateRejectsViolations(t *testing.T) {
 			ev := base()
 			ev.Kind = KindSolve
 			ev.Solve = SolveSummary{Rows: 1, Cols: 1}
+			return []Event{ev}
+		},
+		"negative solve cell counter": func() []Event {
+			ev := base()
+			ev.Kind = KindSolve
+			ev.Solve = SolveSummary{Method: "sharded", Rows: 1, Cols: 1, CellsComputed: -1}
 			return []Event{ev}
 		},
 		"negative span": func() []Event {

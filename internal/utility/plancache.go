@@ -40,9 +40,19 @@ func NewPlanCache() *PlanCache {
 	return &PlanCache{entries: make(map[string]*planEntry)}
 }
 
+// ModelKey fingerprints a model's full fitted parameter vector as a
+// string. It is the model half of the plan-cache key, exported so the
+// cluster's delta-driven matrix builder can reuse the exact same
+// fingerprint to decide whether a cell's model input changed between
+// rounds.
+func ModelKey(m *Model) string {
+	return fmt.Sprintf("%+v", *m)
+}
+
 func planKey(m *Model, caps []int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%+v|caps=%v", *m, caps)
+	b.WriteString(ModelKey(m))
+	fmt.Fprintf(&b, "|caps=%v", caps)
 	return b.String()
 }
 

@@ -107,6 +107,19 @@ type (
 	// BudgetResult carries the installed shares and rebalance counters of
 	// a budgeted cluster run.
 	BudgetResult = cluster.BudgetResult
+	// ShardSettings configures pod sharding of the assignment problem.
+	ShardSettings = cluster.ShardSettings
+	// FleetConfig scales the catalog to a synthetic hyperscale fleet.
+	FleetConfig = cluster.FleetConfig
+	// HyperscaleConfig drives a sharded fleet through churn rounds.
+	HyperscaleConfig = cluster.HyperscaleConfig
+	// HyperscaleResult summarizes a hyperscale scenario run.
+	HyperscaleResult = cluster.HyperscaleResult
+	// HyperscaleRound reports one churn round of a hyperscale run.
+	HyperscaleRound = cluster.HyperscaleRound
+	// DeltaStats counts delta-driven matrix work (computed vs memo-reused
+	// cells).
+	DeltaStats = cluster.DeltaStats
 )
 
 // ParseBudgetFlags assembles a BudgetConfig from the budget CLI flags
@@ -379,6 +392,38 @@ func (s *System) Run(policy cluster.Policy) (Result, error) {
 // management policy.
 func (s *System) RunPlacement(placement map[string]string, mgmt servermgr.LCPolicy) (Result, error) {
 	return cluster.RunPlacement(s.clusterConfig(), placement, mgmt)
+}
+
+// RunHyperscale scales the system's catalog to a synthetic fleet of
+// cfg.Fleet.Hosts servers and drives it through churn rounds on the
+// sharded incremental assignment path (see cluster.RunHyperscale).
+// Unset fleet fields default from the system: machine, catalog classes,
+// models, seed, and worker pool. With tracing enabled on the system the
+// run records per-pod solve summaries and rebalance migrations under the
+// "hyperscale" timeline.
+func (s *System) RunHyperscale(cfg HyperscaleConfig) (HyperscaleResult, error) {
+	if cfg.Fleet.Machine == (MachineConfig{}) {
+		cfg.Fleet.Machine = s.Machine
+	}
+	if cfg.Fleet.LCClasses == nil {
+		cfg.Fleet.LCClasses = s.Catalog.LC()
+	}
+	if cfg.Fleet.BEClasses == nil {
+		cfg.Fleet.BEClasses = s.Catalog.BE()
+	}
+	if cfg.Fleet.Models == nil {
+		cfg.Fleet.Models = s.Models
+	}
+	if cfg.Fleet.Seed == 0 {
+		cfg.Fleet.Seed = s.Seed
+	}
+	if cfg.Fleet.Parallel == 0 {
+		cfg.Fleet.Parallel = s.Parallel
+	}
+	if cfg.Trace == nil && s.Trace != nil {
+		cfg.Trace = s.Trace.Tracer("hyperscale")
+	}
+	return cluster.RunHyperscale(cfg)
 }
 
 // RunReplicated evaluates a datacenter-scale variant: each LC cluster runs

@@ -399,3 +399,30 @@ func TestPublicRunReplicated(t *testing.T) {
 		t.Error("expected error for zero replicas")
 	}
 }
+
+func TestPublicRunHyperscale(t *testing.T) {
+	sys := newTestSystem(t)
+	res, err := sys.RunHyperscale(HyperscaleConfig{
+		Fleet: FleetConfig{
+			Hosts: 64,
+			Jobs:  48,
+			Shard: ShardSettings{PodSize: 16},
+		},
+		Rounds: 2,
+		Churn:  0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hosts != 64 || res.Jobs != 48 || res.Pods != 4 {
+		t.Fatalf("shape %d/%d/%d", res.Hosts, res.Jobs, res.Pods)
+	}
+	if res.FinalTotal <= 0 || len(res.Rounds) != 2 {
+		t.Fatalf("total %v over %d rounds", res.FinalTotal, len(res.Rounds))
+	}
+	if _, err := sys.RunHyperscale(HyperscaleConfig{
+		Fleet: FleetConfig{Hosts: 4, Jobs: 8},
+	}); err == nil {
+		t.Error("expected error for jobs > hosts")
+	}
+}
