@@ -9,7 +9,14 @@
 //	             [-be graph,lstm] [-trace diurnal] [-level 0.5] \
 //	             [-noise 0] [-period 4m] [-speed 1] [-seed 42] \
 //	             [-series-cap 4096] [-catalog apps.json] [-pprof :6060] \
-//	             [-trace-file decisions.jsonl] [-trace-events 4096]
+//	             [-trace-file decisions.jsonl] [-trace-events 4096] \
+//	             [-push http://127.0.0.1:7100] [-push-every 1s] \
+//	             [-advertise http://127.0.0.1:7001]
+//
+// With -push the agent streams binary delta heartbeats to the named
+// controller's POST /v1/heartbeat (see pocolo-controller -transport
+// stream) instead of waiting to be polled; -advertise must match the URL
+// the controller lists this agent under.
 //
 // Endpoints: POST /v1/assign, GET /v1/stats, GET /v1/healthz,
 // GET /metrics, GET /v1/trace (cursor-paginated decision trace).
@@ -21,7 +28,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -60,6 +69,9 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	traceFile := flag.String("trace-file", "", "dump the decision trace as JSONL to this file on shutdown")
 	traceEvents := flag.Int("trace-events", 0, "decision-trace ring capacity in events (0 = default, negative disables tracing)")
+	push := flag.String("push", "", "stream binary delta heartbeats to this controller base URL (e.g. http://127.0.0.1:7100); empty leaves the agent poll-only")
+	pushEvery := flag.Duration("push-every", time.Second, "heartbeat push interval under -push")
+	advertise := flag.String("advertise", "", "base URL this agent is known by in the controller's -agents list (default http://127.0.0.1<listen>)")
 	flag.Parse()
 
 	if err := run(agentOptions{
@@ -67,6 +79,7 @@ func main() {
 		trace: *traceKind, level: *level, noise: *noise, period: *period,
 		speed: *speed, seriesCap: *seriesCap, catalog: *catalogPath, seed: *seed,
 		pprofAddr: *pprofAddr, traceFile: *traceFile, traceEvents: *traceEvents,
+		push: *push, pushEvery: *pushEvery, advertise: *advertise,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -81,6 +94,9 @@ type agentOptions struct {
 	pprofAddr                            string
 	traceFile                            string
 	traceEvents                          int
+	push                                 string
+	pushEvery                            time.Duration
+	advertise                            string
 }
 
 func run(opts agentOptions) error {
@@ -171,6 +187,24 @@ func run(opts agentOptions) error {
 
 	agent.Start()
 	defer agent.Stop()
+	if opts.push != "" {
+		adv := opts.advertise
+		if adv == "" {
+			// A bare ":port" listen address binds every interface; advertise
+			// the loopback form the controller's -agents list would use.
+			if strings.HasPrefix(opts.listen, ":") {
+				adv = "http://127.0.0.1" + opts.listen
+			} else {
+				adv = "http://" + opts.listen
+			}
+		}
+		every := opts.pushEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		go streamHeartbeats(ctx, agent, opts.name, adv, opts.push, every)
+		log.Printf("streaming heartbeats to %s every %s (advertised as %s)", opts.push, every, adv)
+	}
 	srv := &http.Server{Addr: opts.listen, Handler: agent.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -197,6 +231,59 @@ func run(opts agentOptions) error {
 		}
 	}
 	return nil
+}
+
+// streamHeartbeats pushes the agent's state to the controller every
+// interval as a binary heartbeat frame: a full snapshot until the first
+// ack lands, compact deltas after. A transport error or a resync ack
+// drops back to a full frame, so the loop self-heals across controller
+// restarts; frames are best-effort and a lost one just widens the next
+// delta.
+func streamHeartbeats(ctx context.Context, agent *controlplane.Agent, name, advertise, controller string, every time.Duration) {
+	enc := controlplane.NewHeartbeatEncoder(name, advertise)
+	client := &http.Client{Timeout: every}
+	endpoint := strings.TrimSuffix(controller, "/") + controlplane.RouteHeartbeat
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		stats, epoch := agent.StatsEpoch()
+		frame, err := enc.Encode(stats, epoch)
+		if err != nil {
+			log.Printf("heartbeat encode: %v", err)
+			continue
+		}
+		ack, err := postHeartbeatFrame(ctx, client, endpoint, frame)
+		if err != nil {
+			enc.Resync()
+			log.Printf("heartbeat push: %v", err)
+			continue
+		}
+		enc.Ack(ack)
+	}
+}
+
+// postHeartbeatFrame POSTs one frame and decodes the controller's ack.
+func postHeartbeatFrame(ctx context.Context, client *http.Client, endpoint string, frame []byte) (controlplane.HeartbeatAck, error) {
+	var ack controlplane.HeartbeatAck
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(frame))
+	if err != nil {
+		return ack, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		return ack, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return ack, fmt.Errorf("decoding heartbeat ack: %w", err)
+	}
+	return ack, nil
 }
 
 // dumpDecisionTrace writes the agent's retained decision trace as JSONL

@@ -13,7 +13,14 @@
 //	                  [-max-backoff 16s] [-jitter 0.2] [-solver lp] \
 //	                  [-resolve-every 30s] [-seed 42] \
 //	                  [-budget-tree 'dc:600{agent-a,agent-b}'] \
-//	                  [-trace cluster.jsonl] [-trace-events 4096]
+//	                  [-trace cluster.jsonl] [-trace-events 4096] \
+//	                  [-transport stream] [-pod-size 64]
+//
+// With -transport stream the controller stops scraping GET /v1/stats and
+// instead accepts binary delta heartbeats pushed by the agents to
+// POST /v1/heartbeat (run pocolo-agent with -push pointed here). Agent
+// state lands in per-pod shards sized by -pod-size and the round loop
+// reads immutable snapshots without blocking ingest; see DESIGN.md §14.
 //
 // With -budget-tree the controller enforces a hierarchical power budget
 // over the fleet: the tree's leaves name the agents, every heartbeat
@@ -62,6 +69,8 @@ func main() {
 	resolveEvery := flag.Duration("resolve-every", 30*time.Second, "periodic re-solve interval (0 to re-solve only on membership changes)")
 	seed := flag.Int64("seed", 42, "random seed for the heartbeat jitter")
 	budgetTree := flag.String("budget-tree", "", "hierarchical power-budget tree whose leaves name the agents (e.g. 'dc:600{agent-a,agent-b}') or @file; shares are pushed as caps every round")
+	transport := flag.String("transport", controlplane.TransportPoll, "state transport: poll (controller scrapes GET /v1/stats each round) or stream (agents push binary delta heartbeats to POST /v1/heartbeat; requires -listen)")
+	podSize := flag.Int("pod-size", 0, "agents per state shard under -transport stream (0 = default)")
 	tracePath := flag.String("trace", "", "dump the aggregated cluster decision trace as JSONL to this file on shutdown")
 	traceEvents := flag.Int("trace-events", 0, "controller decision-trace ring capacity in events (0 = default, negative disables tracing)")
 	flag.Parse()
@@ -96,6 +105,8 @@ func main() {
 		Solver:       *solver,
 		ResolveEvery: *resolveEvery,
 		Seed:         *seed,
+		Transport:    *transport,
+		PodSize:      *podSize,
 		Logf:         log.Printf,
 	}); err != nil {
 		log.Fatal(err)
@@ -114,6 +125,9 @@ func run(agents, be, listen, tracePath string, cfg controlplane.ControllerConfig
 			cfg.BE = append(cfg.BE, strings.TrimSpace(n))
 		}
 	}
+	if cfg.Transport == controlplane.TransportStream && listen == "" {
+		return errors.New("-transport stream needs -listen (agents push heartbeats to POST /v1/heartbeat)")
+	}
 	ctl, err := controlplane.NewController(cfg)
 	if err != nil {
 		return err
@@ -129,6 +143,9 @@ func run(agents, be, listen, tracePath string, cfg controlplane.ControllerConfig
 		mux.HandleFunc("/v1/status", ctl.StatusHandler)
 		mux.HandleFunc("/metrics", ctl.MetricsHandler)
 		mux.HandleFunc(controlplane.RouteTrace, ctl.TraceHandler)
+		if cfg.Transport == controlplane.TransportStream {
+			mux.HandleFunc(controlplane.RouteHeartbeat, ctl.HeartbeatHandler)
+		}
 		srv = &http.Server{Addr: listen, Handler: mux}
 		go func() { httpErr <- srv.ListenAndServe() }()
 		log.Printf("status endpoint on %s", listen)

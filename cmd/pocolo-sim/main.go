@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"pocolo"
+	"pocolo/internal/controlplane"
 	"pocolo/internal/trace"
 )
 
@@ -71,8 +73,15 @@ func run(args []string, out io.Writer) error {
 	churn := fs.Float64("churn", 0.1, "per-round fraction of hosts whose caps drift (and per-class model re-fit probability)")
 	rebalanceGap := fs.Float64("rebalance-gap", 0, "minimum estimated gain before a job migrates across pods")
 	hyperBudget := fs.Float64("hyperscale-budget", 0, "size a per-pod power-budget tree at this fraction of provisioned capacity (0 = none)")
+	streamDemo := fs.Int("stream-demo", 0, "run the in-process control-plane demo over this many agents instead of the simulation: catalog LC apps round-robin, one BE replica per two agents, a per-pod budget tree, and the sharded solver, all driven through live controller rounds")
+	transport := fs.String("transport", "stream", "control-plane transport for -stream-demo: stream (delta heartbeats) or poll (per-round HTTP stats)")
+	streamRounds := fs.Int("stream-rounds", 12, "controller rounds to run in -stream-demo")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *streamDemo > 0 {
+		return runStreamDemo(out, *streamDemo, *transport, *podSize, *streamRounds, *seed)
 	}
 
 	plannerOff, err := parsePlannerFlag(*planner)
@@ -211,6 +220,27 @@ func run(args []string, out io.Writer) error {
 	}
 
 	return writeTraces(sys, out, *tracePath, *traceChrome)
+}
+
+// runStreamDemo drives the in-process control-plane demo and prints each
+// round's decisions followed by a summary. The decision lines are
+// transport-neutral: a stream run and a poll run with the same seed print
+// identical decisions, which CI verifies by diffing the two outputs.
+func runStreamDemo(out io.Writer, agents int, transport string, podSize, rounds int, seed int64) error {
+	report, err := controlplane.RunStreamDemo(context.Background(), controlplane.StreamDemoConfig{
+		Agents:    agents,
+		Transport: transport,
+		PodSize:   podSize,
+		Rounds:    rounds,
+		Seed:      seed,
+		Out:       out,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "demo: %d agents, %d rounds, %d placed, %d deaths, %d rejoins\n",
+		agents, report.Rounds, len(report.Status.Placement), report.Deaths, report.Rejoins)
+	return report.Err()
 }
 
 // writeTraces flushes the system's decision trace to the requested files and

@@ -91,6 +91,7 @@ type Agent struct {
 	mgr      *servermgr.Manager
 	engine   *sim.Engine
 	assigned string
+	epoch    uint64 // bumped on every applied assignment change
 	ticks    uint64
 
 	started   time.Time
@@ -283,23 +284,34 @@ func (a *Agent) Stop() {
 }
 
 // Assign places the named best-effort candidate (or evicts and parks the
-// best-effort partition when name is empty). The change applies
-// immediately, without waiting for the next control tick.
+// best-effort partition when name is empty). A replica instance name
+// ("graph#3", cluster.RunReplicated's convention) runs the base
+// candidate's binary while the full instance name is reported back, so a
+// controller placing one replica per agent round-trips its own names.
+// The change applies immediately, without waiting for the next control
+// tick, and bumps the agent's assignment epoch.
 func (a *Agent) Assign(name string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if name == "" {
+		if a.assigned != "" {
+			a.epoch++
+		}
 		a.mgr.SetBEParked(true)
 		a.assigned = ""
 		return nil
 	}
-	if _, ok := a.byName[name]; !ok {
+	base := baseBE(name)
+	if _, ok := a.byName[base]; !ok {
 		return fmt.Errorf("controlplane: agent %s has no best-effort candidate %q", a.name, name)
 	}
 	a.mgr.SetBEParked(false)
-	if err := a.mgr.SetActiveBE(name); err != nil {
+	if err := a.mgr.SetActiveBE(base); err != nil {
 		a.mgr.SetBEParked(true)
 		return err
+	}
+	if a.assigned != name {
+		a.epoch++
 	}
 	a.assigned = name
 	return nil
@@ -336,6 +348,15 @@ func (a *Agent) Stats() StatsResponse {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.statsLocked()
+}
+
+// StatsEpoch returns the snapshot together with the assignment epoch
+// under one lock acquisition — the streaming publisher's read, so a
+// frame's stats and epoch always describe the same instant.
+func (a *Agent) StatsEpoch() (StatsResponse, uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.statsLocked(), a.epoch
 }
 
 // statsLocked assembles the snapshot. Callers must hold a.mu.

@@ -39,6 +39,10 @@ const (
 	// RouteCap (POST) installs a cluster-budget power cap on the agent's
 	// server manager.
 	RouteCap = "/v1/cap"
+	// RouteHeartbeat (POST) is served by the controller under the
+	// streaming transport: agents push binary delta heartbeat frames
+	// (codec.go) and receive a JSON HeartbeatAck.
+	RouteHeartbeat = "/v1/heartbeat"
 )
 
 // AssignRequest asks an agent to run a best-effort app (or, with an empty

@@ -1,0 +1,173 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchTransport answers the controller's HTTP traffic from memory so
+// the round benchmarks measure controller cost, not a network stack:
+// GET /v1/stats serves a pre-marshaled snapshot per agent, pushes are
+// acknowledged and discarded.
+type benchTransport struct {
+	stats map[string][]byte // base URL → canned GET /v1/stats body
+}
+
+func (bt *benchTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	status, body := http.StatusOK, []byte(nil)
+	if req.Method == http.MethodGet && req.URL.Path == RouteStats {
+		body = bt.stats["http://"+req.URL.Host]
+		if body == nil {
+			status = http.StatusNotFound
+		}
+	}
+	return &http.Response{
+		StatusCode: status,
+		Status:     http.StatusText(status),
+		Header:     make(http.Header),
+		Body:       io.NopCloser(bytes.NewReader(body)),
+		Request:    req,
+	}, nil
+}
+
+// benchFleet builds n canned agent snapshots (identity, LC envelope,
+// fitted models, best-effort candidates) plus their URLs. Snapshots are
+// cloned from one template so 10k-agent setup stays cheap enough for
+// the CI bench smoke's -benchtime=1x pass.
+func benchFleet(b *testing.B, n int) ([]string, []StatsResponse) {
+	b.Helper()
+	tmpl := streamTestStats(b, "template", "graph", "lstm")
+	urls := make([]string, n)
+	stats := make([]StatsResponse, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://bench-agent-%d", i)
+		st := tmpl
+		st.Agent = fmt.Sprintf("agent-%05d", i)
+		stats[i] = st
+	}
+	return urls, stats
+}
+
+// benchController stands up a controller over the fleet with a
+// deterministic clock. The returned tick advances it one heartbeat.
+func benchController(b *testing.B, urls []string, transport string, client *http.Client) (*Controller, func()) {
+	b.Helper()
+	clock := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	ctl, err := NewController(ControllerConfig{
+		AgentURLs: urls,
+		BE:        []string{"graph", "lstm"},
+		Solver:    SolverSharded,
+		Transport: transport,
+		PodSize:   64,
+		DeadAfter: 2,
+		Heartbeat: time.Second,
+		Retries:   0,
+		Client:    client,
+		Now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return clock
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctl, func() {
+		mu.Lock()
+		clock = clock.Add(time.Second)
+		mu.Unlock()
+	}
+}
+
+// benchmarkPollRound measures one polling round at steady state: every
+// agent answers GET /v1/stats with a full JSON snapshot, the controller
+// decodes all n of them, and liveness bookkeeping runs over the results.
+func benchmarkPollRound(b *testing.B, n int) {
+	urls, stats := benchFleet(b, n)
+	bt := &benchTransport{stats: make(map[string][]byte, n)}
+	for i, st := range stats {
+		blob, err := json.Marshal(st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bt.stats[urls[i]] = blob
+	}
+	ctl, tick := benchController(b, urls, TransportPoll, &http.Client{Transport: bt})
+	ctx := context.Background()
+	ctl.Round(ctx) // discovery + solve + initial pushes, outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick()
+		ctl.Round(ctx)
+	}
+}
+
+// benchmarkStreamRound measures one streaming round at steady state:
+// every agent encodes a delta heartbeat (one float changed), the
+// controller ingests the batch into its shards, and the round loop reads
+// the swapped snapshots. Encoding is included — it is the agent-side
+// cost the transport actually charges per round.
+func benchmarkStreamRound(b *testing.B, n int) {
+	urls, stats := benchFleet(b, n)
+	ctl, tick := benchController(b, urls, TransportStream, &http.Client{Transport: &benchTransport{}})
+	encs := make([]*HeartbeatEncoder, n)
+	frames := make([][]byte, n)
+	for i := range encs {
+		encs[i] = NewHeartbeatEncoder(stats[i].Agent, urls[i])
+		frame, err := encs[i].Encode(stats[i], 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = frame
+	}
+	for i, ack := range ctl.IngestBatch(frames) {
+		if ack.Reject || ack.Resync {
+			b.Fatalf("full frame %d ack %+v", i, ack)
+		}
+		encs[i].Ack(ack)
+	}
+	ctx := context.Background()
+	ctl.Round(ctx) // discovery + solve + initial pushes, outside the timer
+	seq := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		tick()
+		seq++
+		for i := range stats {
+			stats[i].PowerW = 100 + float64(iter%16)*0.5
+			frame, err := encs[i].Encode(stats[i], seq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames[i] = frame
+		}
+		for i, ack := range ctl.IngestBatch(frames) {
+			if ack.Reject || ack.Resync {
+				b.Fatalf("delta ack %d = %+v", i, ack)
+			}
+			encs[i].Ack(ack)
+		}
+		ctl.Round(ctx)
+	}
+}
+
+func BenchmarkControllerRoundPoll100(b *testing.B)   { benchmarkPollRound(b, 100) }
+func BenchmarkControllerRoundPoll1k(b *testing.B)    { benchmarkPollRound(b, 1000) }
+func BenchmarkControllerRoundPoll10k(b *testing.B)   { benchmarkPollRound(b, 10000) }
+func BenchmarkControllerRoundStream100(b *testing.B) { benchmarkStreamRound(b, 100) }
+func BenchmarkControllerRoundStream1k(b *testing.B)  { benchmarkStreamRound(b, 1000) }
+func BenchmarkControllerRoundStream10k(b *testing.B) { benchmarkStreamRound(b, 10000) }

@@ -79,17 +79,18 @@ type BudgetStatus struct {
 	Brownouts int `json:"brownouts"`
 }
 
-// rebalanceBudgetLocked re-divides the budget tree over the agents'
-// latest reported draw and pushes changed caps over /v1/cap. It waits
-// until every tree leaf has a discovered agent (the first round's probes
-// complete before it runs, so a healthy fleet rebalances from round
-// one). Pushes drop the lock, mirroring reconcileLocked: a lost push is
-// retried next round because the desired share is re-derived from the
-// tree while the agent's probed CapW carries the truth back.
-func (c *Controller) rebalanceBudgetLocked(ctx context.Context, now time.Time) {
+// budgetPushesLocked re-divides the budget tree over the agents' latest
+// reported draw and returns the cap pushes for agents whose installed
+// cap drifted from their share. It waits until every tree leaf has a
+// discovered agent (the first round's reports land before it runs, so a
+// healthy fleet rebalances from round one). The pushes execute in the
+// round's shared push phase; a lost push is retried next round because
+// the desired share is re-derived from the tree while the agent's
+// reported CapW carries the truth back.
+func (c *Controller) budgetPushesLocked(now time.Time) []pendingPush {
 	b := c.budget
 	if b == nil {
-		return
+		return nil
 	}
 	leaves := b.tree.Hosts()
 	byName := make(map[string]*agentState, len(c.agents))
@@ -102,7 +103,7 @@ func (c *Controller) rebalanceBudgetLocked(ctx context.Context, now time.Time) {
 	for i, name := range leaves {
 		a, ok := byName[name]
 		if !ok {
-			return // discovery incomplete; retry next round
+			return nil // discovery incomplete; retry next round
 		}
 		states[i] = a
 	}
@@ -122,55 +123,26 @@ func (c *Controller) rebalanceBudgetLocked(ctx context.Context, now time.Time) {
 			c.logf("budget rebalance suspended: %v", err)
 			b.floorsWarned = true
 		}
-		return
+		return nil
 	}
 	b.floorsWarned = false
 	shares, err := b.tree.Alloc(demand, caps, floors)
 	if err != nil {
 		c.logf("budget division failed: %v", err)
-		return
+		return nil
 	}
 	b.rebalances++
-	type push struct {
-		url, name string
-		capW      float64
-	}
-	var pushes []push
+	var pushes []pendingPush
 	for i, name := range leaves {
 		if prev, ok := b.shares[name]; !ok || math.Abs(shares[i]-prev) > shareTolerance {
 			c.tracer.BudgetShift(now, trace.BudgetChange{Node: name, FromW: b.shares[name], ToW: shares[i], Reason: "rebalance"})
 		}
 		b.shares[name] = shares[i]
 		if a := states[i]; a.alive && math.Abs(a.last.CapW-shares[i]) > shareTolerance {
-			pushes = append(pushes, push{url: a.url, name: name, capW: shares[i]})
+			pushes = append(pushes, pendingPush{kind: pushCap, url: a.url, name: name, capW: shares[i]})
 		}
 	}
-	if len(pushes) == 0 {
-		return
-	}
-	// Drop the lock for the network round-trips.
-	c.mu.Unlock()
-	acked := make([]bool, len(pushes))
-	for i, p := range pushes {
-		if err := c.postCap(ctx, p.url, p.capW); err != nil {
-			c.logf("cap %.1fW to %s (%s) failed: %v", p.capW, p.name, p.url, err)
-			continue
-		}
-		acked[i] = true
-	}
-	c.mu.Lock()
-	// Optimistically record the acks so the next round does not re-push
-	// before its probe refreshes the truth.
-	for i, p := range pushes {
-		if !acked[i] {
-			continue
-		}
-		for _, a := range c.agents {
-			if a.url == p.url && a.alive {
-				a.last.CapW = p.capW
-			}
-		}
-	}
+	return pushes
 }
 
 // postCap pushes a power cap to an agent.

@@ -3,6 +3,7 @@ package controlplane
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -53,6 +54,15 @@ const (
 	// never drawn by RandomFaults — they only run when scheduled
 	// explicitly.
 	FaultBrownout
+	// FaultPartition cuts the agent→controller telemetry path only: the
+	// agent keeps running and the controller can still push assignments
+	// and caps to it, but its stats stop arriving (poll probes of
+	// /v1/stats are refused; streamed heartbeats are lost in flight, so
+	// the sender resyncs on heal). The asymmetry is what distinguishes it
+	// from FaultDropHeartbeats, which severs both directions. Partitions
+	// are never drawn by RandomFaults — they only run when scheduled
+	// explicitly.
+	FaultPartition
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +78,8 @@ func (k FaultKind) String() string {
 		return "load-spike"
 	case FaultBrownout:
 		return "brownout"
+	case FaultPartition:
+		return "partition"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -152,6 +164,25 @@ type CampaignConfig struct {
 	DeadAfter int
 	Solver    string
 	Seed      int64
+	// Transport selects the control-plane transport (TransportPoll or
+	// TransportStream; default poll). Under TransportStream each round
+	// the campaign has every running agent encode a delta heartbeat and
+	// push it over the loopback fabric before the controller's round
+	// runs; frames from crashed, dropped, partitioned, or
+	// beyond-timeout-delayed agents are deterministically lost, and the
+	// sender resyncs with a full frame when connectivity heals.
+	Transport string
+	// PodSize configures the controller's shard/pod size (default 64).
+	PodSize int
+	// MaxBackoff caps the controller's dead-agent probe backoff (default
+	// 4×Heartbeat, keeping crashed agents' rejoin within a short
+	// recovery window). Transport-parity suites set it to Heartbeat so
+	// the polling controller probes dead agents every round, exactly as
+	// the streaming controller notices their first healed frame.
+	MaxBackoff time.Duration
+	// OnRound, when set, observes the controller's status after every
+	// round — the decision capture hook transport-parity suites diff.
+	OnRound func(round int, st Status)
 	// Harness receives every invariant violation (default: a fresh
 	// harness with DefaultCheckers).
 	Harness *invariant.Harness
@@ -207,6 +238,8 @@ type Campaign struct {
 	transport *loopbackTransport
 	ctl       *Controller
 	harness   *invariant.Harness
+	// encoders is the per-agent streaming sender state (nil under poll).
+	encoders []*HeartbeatEncoder
 
 	// Per-fault brownout edge state: the original budget of the cut node
 	// and whether the cut is currently applied.
@@ -278,17 +311,23 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 	// The controller measures probe backoff and re-solve periods on the
 	// campaign's synthetic clock, which advances exactly one heartbeat per
 	// round: backoff windows become round counts, independent of how fast
-	// the rounds execute in wall time. MaxBackoff is capped at four
+	// the rounds execute in wall time. MaxBackoff defaults to four
 	// heartbeats so crashed agents rejoin within a short recovery window.
 	c.clock = time.Unix(1_700_000_000, 0)
+	maxBackoff := cfg.MaxBackoff
+	if maxBackoff == 0 {
+		maxBackoff = 4 * cfg.Heartbeat
+	}
 	ctl, err := NewController(ControllerConfig{
 		AgentURLs:  urls,
 		BE:         cfg.BE,
 		Heartbeat:  cfg.Heartbeat,
 		Timeout:    cfg.Timeout,
 		DeadAfter:  cfg.DeadAfter,
-		MaxBackoff: 4 * cfg.Heartbeat,
+		MaxBackoff: maxBackoff,
 		Solver:     cfg.Solver,
+		Transport:  cfg.Transport,
+		PodSize:    cfg.PodSize,
 		BudgetTree: cfg.BudgetTree,
 		Seed:       cfg.Seed,
 		Logf:       cfg.Logf,
@@ -304,6 +343,17 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		return nil, err
 	}
 	c.ctl = ctl
+	if ctl.cfg.Transport == TransportStream {
+		// The controller joins the loopback fabric so streamed frames ride
+		// the same HTTP codec path a live deployment uses.
+		mux := http.NewServeMux()
+		mux.HandleFunc(RouteHeartbeat, ctl.HeartbeatHandler)
+		c.transport.add(campaignControllerHost, mux)
+		c.encoders = make([]*HeartbeatEncoder, len(c.agents))
+		for i, a := range c.agents {
+			c.encoders[i] = NewHeartbeatEncoder(a.Name(), urls[i])
+		}
+	}
 	if cfg.BudgetTree != "" {
 		// The budget-tree conservation invariant rides every agent tick;
 		// the controller is the budget authority (caps it installed, grace
@@ -345,6 +395,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 
 		crashed := make([]bool, len(c.agents))
 		down := make([]bool, len(c.agents))
+		partitioned := make([]bool, len(c.agents))
 		delay := make([]time.Duration, len(c.agents))
 		level := make([]float64, len(c.agents))
 		spiked := make([]bool, len(c.agents))
@@ -358,6 +409,8 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 				down[ev.Agent] = true
 			case FaultDropHeartbeats:
 				down[ev.Agent] = true
+			case FaultPartition:
+				partitioned[ev.Agent] = true
 			case FaultDelayResponses:
 				if ev.Delay > delay[ev.Agent] {
 					delay[ev.Agent] = ev.Delay
@@ -369,6 +422,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 		}
 		for i := range c.agents {
 			c.transport.set(fmt.Sprintf("campaign-agent-%d", i), down[i], delay[i])
+			c.transport.setPartition(fmt.Sprintf("campaign-agent-%d", i), partitioned[i])
 			c.spikes[i].set(spiked[i], level[i])
 		}
 
@@ -381,8 +435,17 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 			}
 		}
 
+		if c.encoders != nil {
+			if err := c.emitHeartbeats(ctx, crashed, down, partitioned, delay); err != nil {
+				return report, err
+			}
+		}
+
 		c.ctl.Round(ctx)
 		report.Rounds++
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(report.Rounds, c.ctl.Status())
+		}
 		if err := c.checkPlacement(); err != nil {
 			report.PlacementErrors = append(report.PlacementErrors, fmt.Errorf("round %d (t=%v): %w", report.Rounds, now, err))
 		}
@@ -392,6 +455,67 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignReport, error) {
 	report.Deaths = report.Status.Deaths
 	report.Rejoins = report.Status.Rejoins
 	return report, nil
+}
+
+// campaignControllerHost is the controller's address on the loopback
+// fabric (the streaming transport's heartbeat sink).
+const campaignControllerHost = "campaign-controller"
+
+// emitHeartbeats runs the streaming transport's send step for one round:
+// every running agent encodes one heartbeat against its encoder state
+// and pushes it to the controller over the loopback fabric. Loss is
+// deterministic — a frame from a dropped, partitioned, or
+// beyond-timeout-delayed agent is encoded (the agent process doesn't
+// know it is cut off) and then discarded, and the sender resyncs so its
+// next delivered frame is a full snapshot. Crashed agents encode
+// nothing: the process is dead, and its encoder state survives to
+// resume delta encoding on restart, exactly like a paused container.
+func (c *Campaign) emitHeartbeats(ctx context.Context, crashed, down, partitioned []bool, delay []time.Duration) error {
+	client := &http.Client{Transport: c.transport}
+	for i, a := range c.agents {
+		if crashed[i] {
+			continue
+		}
+		stats, epoch := a.StatsEpoch()
+		frame, err := c.encoders[i].Encode(stats, epoch)
+		if err != nil {
+			return fmt.Errorf("controlplane: encoding heartbeat for agent %d: %w", i, err)
+		}
+		if down[i] || partitioned[i] || delay[i] >= c.cfg.Timeout {
+			// Lost in flight: no ack ever comes back, so the sender cannot
+			// know whether the controller applied it — resync.
+			c.encoders[i].Resync()
+			continue
+		}
+		ack, err := postHeartbeat(ctx, client, "http://"+campaignControllerHost, frame)
+		if err != nil {
+			c.encoders[i].Resync()
+			continue
+		}
+		c.encoders[i].Ack(ack)
+	}
+	return nil
+}
+
+// postHeartbeat pushes one binary frame and decodes the ack. A non-2xx
+// reply still carries an ack body (the reject case); transport errors
+// return err with a zero ack.
+func postHeartbeat(ctx context.Context, client *http.Client, baseURL string, frame []byte) (HeartbeatAck, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+RouteHeartbeat, bytes.NewReader(frame))
+	if err != nil {
+		return HeartbeatAck{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		return HeartbeatAck{}, err
+	}
+	defer resp.Body.Close()
+	var ack HeartbeatAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return HeartbeatAck{}, fmt.Errorf("decoding heartbeat ack: %w", err)
+	}
+	return ack, nil
 }
 
 // applyBrownouts edge-triggers scheduled budget cuts: when a
@@ -492,6 +616,7 @@ type loopbackTransport struct {
 	mu       sync.Mutex
 	handlers map[string]http.Handler
 	down     map[string]bool
+	partit   map[string]bool
 	delay    map[string]time.Duration
 }
 
@@ -499,6 +624,7 @@ func newLoopbackTransport() *loopbackTransport {
 	return &loopbackTransport{
 		handlers: make(map[string]http.Handler),
 		down:     make(map[string]bool),
+		partit:   make(map[string]bool),
 		delay:    make(map[string]time.Duration),
 	}
 }
@@ -516,12 +642,22 @@ func (t *loopbackTransport) set(host string, down bool, delay time.Duration) {
 	t.mu.Unlock()
 }
 
+// setPartition cuts only the host's telemetry path: GET /v1/stats and
+// /v1/trace are refused while pushes (/v1/assign, /v1/cap) still flow —
+// the asymmetric half of FaultPartition that the polling transport sees.
+func (t *loopbackTransport) setPartition(host string, partitioned bool) {
+	t.mu.Lock()
+	t.partit[host] = partitioned
+	t.mu.Unlock()
+}
+
 // RoundTrip implements http.RoundTripper.
 func (t *loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	host := req.URL.Host
 	t.mu.Lock()
 	h := t.handlers[host]
 	down := t.down[host]
+	partitioned := t.partit[host]
 	delay := t.delay[host]
 	t.mu.Unlock()
 	if h == nil {
@@ -529,6 +665,9 @@ func (t *loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error)
 	}
 	if down {
 		return nil, fmt.Errorf("loopback: connect %s: connection refused", host)
+	}
+	if partitioned && (req.URL.Path == RouteStats || req.URL.Path == RouteTrace) {
+		return nil, fmt.Errorf("loopback: connect %s: no route to host (partitioned)", host)
 	}
 	if delay > 0 {
 		select {

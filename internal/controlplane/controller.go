@@ -10,14 +10,31 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"pocolo/internal/cluster"
+	"pocolo/internal/parallel"
 	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
+
+// Transport values for ControllerConfig.Transport.
+const (
+	// TransportPoll is the original pull model: the controller GETs every
+	// agent's /v1/stats each round.
+	TransportPoll = "poll"
+	// TransportStream is the push model: agents send binary delta
+	// heartbeats (POST /v1/heartbeat) that ingest into per-pod shards;
+	// the round loop reads immutable pod snapshots without locking.
+	TransportStream = "stream"
+)
+
+// SolverSharded selects the pod-sharded incremental assignment solver
+// (cluster.NewSharded) instead of one cluster-wide matrix.
+const SolverSharded = "sharded"
 
 // ControllerConfig assembles the cluster controller.
 type ControllerConfig struct {
@@ -43,8 +60,15 @@ type ControllerConfig struct {
 	// Jitter is the relative heartbeat jitter in [0, 1) (default 0.2).
 	Jitter float64
 	// Solver selects the assignment solver: "lp" (default), "hungarian",
-	// or "exhaustive".
+	// "exhaustive", or "sharded" (pod-decomposed incremental solves; see
+	// PodSize).
 	Solver string
+	// Transport selects how agent state reaches the controller:
+	// TransportPoll (default) or TransportStream.
+	Transport string
+	// PodSize is the number of agents per state shard under the streaming
+	// transport, and the pod size of the "sharded" solver (default 64).
+	PodSize int
 	// BudgetTree, when non-empty, is a hierarchical budget-tree spec (see
 	// tree.Parse) whose leaves name the agents. Each round the controller
 	// re-divides every node's budget over the fleet's reported power draw
@@ -88,6 +112,10 @@ type agentState struct {
 	nextDue  time.Time
 	lastErr  string
 	last     StatsResponse
+	// streamSeq is the heartbeat seq last folded into this state by the
+	// streaming transport; a round that sees no higher published seq
+	// counts a miss, mirroring a failed poll probe.
+	streamSeq uint64
 }
 
 // AgentStatus is the exported per-agent view.
@@ -125,6 +153,7 @@ type Controller struct {
 	logf   func(string, ...any)
 	now    func() time.Time
 	tracer *trace.Tracer
+	stream *streamState // nil under the polling transport
 
 	mu        sync.Mutex
 	agents    []*agentState
@@ -187,6 +216,18 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if cfg.Solver == "" {
 		cfg.Solver = "lp"
 	}
+	if cfg.Transport == "" {
+		cfg.Transport = TransportPoll
+	}
+	if cfg.Transport != TransportPoll && cfg.Transport != TransportStream {
+		return nil, fmt.Errorf("controlplane: unknown transport %q (want %q or %q)", cfg.Transport, TransportPoll, TransportStream)
+	}
+	if cfg.PodSize == 0 {
+		cfg.PodSize = cluster.DefaultPodSize
+	}
+	if cfg.PodSize < 1 {
+		return nil, errors.New("controlplane: pod size must be at least 1")
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -210,6 +251,9 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	}
 	for _, u := range cfg.AgentURLs {
 		c.agents = append(c.agents, &agentState{url: u, name: u})
+	}
+	if cfg.Transport == TransportStream {
+		c.stream = newStreamState(cfg.AgentURLs, cfg.PodSize)
 	}
 	if cfg.BudgetTree != "" {
 		b, err := newBudgetState(cfg.BudgetTree)
@@ -241,14 +285,58 @@ func (c *Controller) jitteredHeartbeat() time.Duration {
 	return time.Duration(float64(c.cfg.Heartbeat) * j)
 }
 
-// Round performs one heartbeat cycle: probe due agents, update liveness,
-// re-solve placement if membership changed, and reconcile live agents
-// toward the desired assignment. Exposed for deterministic tests; Run
-// calls it on the jittered interval.
+// Round performs one heartbeat cycle: observe the fleet (poll probes or
+// streamed snapshots), update liveness, re-solve placement if membership
+// changed, compute the assignment and budget pushes under the lock, then
+// execute every push through the bounded worker pool with the lock
+// released. Only acknowledged pushes are recorded as agent state — a
+// failed push is re-derived and retried next round — and no push can
+// stall the round for longer than one request timeout, however many
+// agents are slow. Exposed for deterministic tests; Run calls it on the
+// jittered interval.
 func (c *Controller) Round(ctx context.Context) {
 	now := c.now()
 
-	// Snapshot who is due without holding the lock across network calls.
+	var membershipChanged bool
+	if c.stream != nil {
+		c.mu.Lock()
+		membershipChanged = c.streamObserveLocked(now)
+	} else {
+		results := c.pollProbe(ctx, now)
+		c.mu.Lock()
+		membershipChanged = c.applyProbesLocked(results, now)
+	}
+	c.rounds++
+
+	needResolve := membershipChanged ||
+		(c.placement == nil && c.liveCountLocked() > 0) ||
+		(c.cfg.ResolveEvery > 0 && now.Sub(c.lastSolve) >= c.cfg.ResolveEvery)
+	if needResolve {
+		c.resolveLocked(now)
+	}
+	pushes := append(c.assignPushesLocked(), c.budgetPushesLocked(now)...)
+	c.mu.Unlock()
+
+	if len(pushes) == 0 {
+		return
+	}
+	acked := c.pushAll(ctx, pushes)
+
+	c.mu.Lock()
+	c.recordPushesLocked(pushes, acked)
+	c.mu.Unlock()
+}
+
+// probeResult is one poll probe's outcome.
+type probeResult struct {
+	agent *agentState
+	stats StatsResponse
+	err   error
+}
+
+// pollProbe fans stats probes out to every due agent. Runs lock-free:
+// the due set is snapshotted under the lock, the probes are not.
+func (c *Controller) pollProbe(ctx context.Context, now time.Time) []probeResult {
 	c.mu.Lock()
 	due := make([]*agentState, 0, len(c.agents))
 	for _, a := range c.agents {
@@ -258,11 +346,6 @@ func (c *Controller) Round(ctx context.Context) {
 	}
 	c.mu.Unlock()
 
-	type probeResult struct {
-		agent *agentState
-		stats StatsResponse
-		err   error
-	}
 	results := make([]probeResult, len(due))
 	var wg sync.WaitGroup
 	for i, a := range due {
@@ -274,11 +357,11 @@ func (c *Controller) Round(ctx context.Context) {
 		}(i, a)
 	}
 	wg.Wait()
+	return results
+}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rounds++
-	membershipChanged := false
+// applyProbesLocked folds poll probe results into the liveness state.
+func (c *Controller) applyProbesLocked(results []probeResult, now time.Time) (membershipChanged bool) {
 	for _, r := range results {
 		a := r.agent
 		if r.err != nil {
@@ -323,15 +406,7 @@ func (c *Controller) Round(ctx context.Context) {
 		a.lc = r.stats.LC
 		a.last = r.stats
 	}
-
-	needResolve := membershipChanged ||
-		(c.placement == nil && c.liveCountLocked() > 0) ||
-		(c.cfg.ResolveEvery > 0 && now.Sub(c.lastSolve) >= c.cfg.ResolveEvery)
-	if needResolve {
-		c.resolveLocked(now)
-	}
-	c.reconcileLocked(ctx)
-	c.rebalanceBudgetLocked(ctx, now)
+	return membershipChanged
 }
 
 // probe fetches an agent's stats with the per-request timeout, retrying up
@@ -532,7 +607,12 @@ func (c *Controller) solve(live []*agentState, now time.Time) (map[string]string
 	for _, be := range c.cfg.BE {
 		var model *utility.Model
 		for _, a := range live {
+			// Replica instances ("graph#3") share the base app's model.
 			if m, ok := a.last.BEModels[be]; ok && m != nil {
+				model = m
+				break
+			}
+			if m, ok := a.last.BEModels[baseBE(be)]; ok && m != nil {
 				model = m
 				break
 			}
@@ -545,6 +625,33 @@ func (c *Controller) solve(live []*agentState, now time.Time) (map[string]string
 	}
 
 	machine := live[0].last.Machine
+	// The sharded solver decomposes the assignment into independent
+	// PodSize-host pods with warm incremental solvers — the path that
+	// keeps thousand-agent fleets solvable per round. It requires jobs to
+	// fit the hosts; an overloaded fleet falls back to the whole-matrix
+	// path, which trims the overflow.
+	if c.cfg.Solver == SolverSharded && len(beSpecs) <= len(lcSpecs) {
+		sh, err := cluster.NewSharded(cluster.MatrixConfig{
+			Machine: machine,
+			LC:      lcSpecs,
+			BE:      beSpecs,
+			Models:  models,
+			Trace:   c.tracer,
+			Now:     now,
+		}, cluster.ShardSettings{PodSize: c.cfg.PodSize})
+		if err != nil {
+			return nil, nil, err
+		}
+		byBE, _, err := sh.Solve(c.tracer, now)
+		if err != nil {
+			return nil, nil, err
+		}
+		placement := make(map[string]string, len(byBE))
+		for be, agentName := range byBE {
+			placement[be] = byName[agentName].url
+		}
+		return placement, nil, nil
+	}
 	mx, err := cluster.BuildMatrix(cluster.MatrixConfig{
 		Machine: machine,
 		LC:      lcSpecs,
@@ -590,7 +697,11 @@ func (c *Controller) solve(live []*agentState, now time.Time) (map[string]string
 		mx = trimmed
 	}
 
-	byBE, _, err := mx.SolveTraced(c.cfg.Solver, c.tracer, now)
+	solver := c.cfg.Solver
+	if solver == SolverSharded {
+		solver = "lp" // whole-matrix fallback when jobs exceed hosts
+	}
+	byBE, _, err := mx.SolveTraced(solver, c.tracer, now)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -601,13 +712,30 @@ func (c *Controller) solve(live []*agentState, now time.Time) (map[string]string
 	return placement, unplaced, nil
 }
 
-// reconcileLocked drives each live agent toward its desired assignment.
-// Pushes happen outside the lock; failures are logged and retried on the
-// next round (the desired state is re-derived every cycle, so a lost push
-// self-heals).
-func (c *Controller) reconcileLocked(ctx context.Context) {
+// pushKind discriminates the per-round agent RPCs.
+type pushKind int
+
+const (
+	pushAssign pushKind = iota
+	pushCap
+)
+
+// pendingPush is one agent RPC computed under the lock and executed
+// outside it.
+type pendingPush struct {
+	kind      pushKind
+	url, name string
+	be        string  // pushAssign
+	capW      float64 // pushCap
+}
+
+// assignPushesLocked derives the assignment pushes that drive each live
+// agent toward the desired placement. Failures are retried on the next
+// round: the desired state is re-derived every cycle, so a lost push
+// self-heals.
+func (c *Controller) assignPushesLocked() []pendingPush {
 	if c.placement == nil {
-		return
+		return nil
 	}
 	desired := make(map[string]string, len(c.agents)) // url → BE ("" = park)
 	for _, a := range c.agents {
@@ -620,38 +748,86 @@ func (c *Controller) reconcileLocked(ctx context.Context) {
 			desired[url] = be
 		}
 	}
-	type push struct {
-		url, name, be string
-	}
-	var pushes []push
+	var pushes []pendingPush
 	for _, a := range c.agents {
 		if !a.alive {
 			continue
 		}
 		want := desired[a.url]
 		if a.last.AssignedBE != want {
-			pushes = append(pushes, push{url: a.url, name: a.name, be: want})
+			pushes = append(pushes, pendingPush{kind: pushAssign, url: a.url, name: a.name, be: want})
 		}
 	}
-	if len(pushes) == 0 {
-		return
+	return pushes
+}
+
+// maxPushWorkers caps the push pool. The floor of one worker per push
+// (up to the cap) is deliberate: the pool must not degenerate to a
+// single lane on GOMAXPROCS=1, where one slow agent would serialize
+// every other agent's push behind its timeout.
+const maxPushWorkers = 32
+
+// pushAll executes the round's pushes through a bounded worker pool and
+// reports which were acknowledged. Each RPC is bounded by the request
+// timeout, so a stalled agent delays the round by at most one timeout —
+// not one timeout per slow agent, as a serial push loop would. Log lines
+// are emitted after the joins, in push order, so interleaving stays
+// deterministic for log-capturing tests.
+func (c *Controller) pushAll(ctx context.Context, pushes []pendingPush) []bool {
+	acked := make([]bool, len(pushes))
+	errs := make([]error, len(pushes))
+	workers := len(pushes)
+	if workers > maxPushWorkers {
+		workers = maxPushWorkers
 	}
-	// Drop the lock for the network round-trips.
-	c.mu.Unlock()
-	for _, p := range pushes {
-		if err := c.postAssign(ctx, p.url, p.be); err != nil {
-			c.logf("assign %q to %s (%s) failed: %v", p.be, p.name, p.url, err)
+	_ = parallel.ForEach(len(pushes), workers, func(i int) error {
+		p := pushes[i]
+		switch p.kind {
+		case pushAssign:
+			errs[i] = c.postAssign(ctx, p.url, p.be)
+		case pushCap:
+			errs[i] = c.postCap(ctx, p.url, p.capW)
+		}
+		acked[i] = errs[i] == nil
+		return nil
+	})
+	for i, p := range pushes {
+		switch p.kind {
+		case pushAssign:
+			if errs[i] != nil {
+				c.logf("assign %q to %s (%s) failed: %v", p.be, p.name, p.url, errs[i])
+			} else {
+				c.logf("assigned %q to %s (%s)", p.be, p.name, p.url)
+			}
+		case pushCap:
+			if errs[i] != nil {
+				c.logf("cap %.1fW to %s (%s) failed: %v", p.capW, p.name, p.url, errs[i])
+			}
+		}
+	}
+	return acked
+}
+
+// recordPushesLocked folds acknowledged pushes back into the agents'
+// last-known state so the next round does not re-push before a fresh
+// report refreshes the truth. Only acknowledged pushes are recorded —
+// recording a failed push would mask the divergence until the agent
+// happened to report again, leaving the fleet out of step with the
+// controller's book.
+func (c *Controller) recordPushesLocked(pushes []pendingPush, acked []bool) {
+	for i, p := range pushes {
+		if !acked[i] {
 			continue
 		}
-		c.logf("assigned %q to %s (%s)", p.be, p.name, p.url)
-	}
-	c.mu.Lock()
-	// Optimistically record the acks so the next round does not re-push
-	// before its probe refreshes the truth.
-	for _, p := range pushes {
 		for _, a := range c.agents {
-			if a.url == p.url && a.alive {
+			if a.url != p.url || !a.alive {
+				continue
+			}
+			switch p.kind {
+			case pushAssign:
 				a.last.AssignedBE = p.be
+			case pushCap:
+				a.last.CapW = p.capW
 			}
 		}
 	}
@@ -711,6 +887,9 @@ func (c *Controller) MetricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	st := c.Status()
 	if err := writeControllerMetrics(w, st); err != nil {
+		return
+	}
+	if err := writeStreamMetrics(w, c.StreamStats()); err != nil {
 		return
 	}
 	if err := writeBudgetMetrics(w, st.Budget); err != nil {
@@ -799,6 +978,17 @@ func (c *Controller) TraceHandler(w http.ResponseWriter, r *http.Request) {
 		events = []trace.Event{}
 	}
 	writeJSON(w, http.StatusOK, TraceResponse{Agent: "controller", Events: events, Dropped: c.tracer.Dropped()})
+}
+
+// baseBE strips a replica suffix: "graph#3" → "graph". Replicated
+// best-effort lists (cluster.RunReplicated's naming) let a fleet place
+// one instance per agent while every instance shares the base app's
+// fitted model and binary.
+func baseBE(name string) string {
+	if i := strings.IndexByte(name, '#'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // clone copies a placement map.

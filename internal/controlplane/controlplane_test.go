@@ -20,7 +20,7 @@ var (
 	fitErr    error
 )
 
-func fixtureModels(t *testing.T) map[string]*utility.Model {
+func fixtureModels(t testing.TB) map[string]*utility.Model {
 	t.Helper()
 	fitOnce.Do(func() {
 		cat := workload.MustDefaults()
@@ -33,7 +33,7 @@ func fixtureModels(t *testing.T) map[string]*utility.Model {
 	return fitModels
 }
 
-func spec(t *testing.T, name string) *workload.Spec {
+func spec(t testing.TB, name string) *workload.Spec {
 	t.Helper()
 	s, err := workload.MustDefaults().ByName(name)
 	if err != nil {

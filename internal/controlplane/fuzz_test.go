@@ -1,0 +1,147 @@
+package controlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeedFrames are the fuzzer's starting population, mirrored into the
+// committed corpus under testdata/fuzz/FuzzDecodeHeartbeat: well-formed
+// full and delta frames plus one representative of each malformation
+// class (truncation, version skew, flag/mask lies, trailing garbage), so
+// even a short smoke run explores both sides of every validation branch.
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	full, err := EncodeHeartbeat(&Heartbeat{
+		Agent: "agent-a", URL: "http://agent-a:7001", Seq: 1, Epoch: 1,
+		Full: true, Stats: codecStats(),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	base := codecStats()
+	cur := base
+	cur.PowerW += 2.5
+	cur.AssignedBE = "lstm"
+	cur.ControlTicks += 3
+	delta, err := EncodeHeartbeat(&Heartbeat{
+		Agent: "agent-a", Seq: 2, Base: 1, Epoch: 1,
+		Mask: heartbeatMask(&base, &cur), Stats: cur,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	allMask, err := EncodeHeartbeat(&Heartbeat{
+		Agent: "agent-a", Seq: 3, Base: 2, Epoch: 2, Mask: hbMaskAll, Stats: cur,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	maskLie := []byte{hbMagic, hbVersion, 0, 1, 'a', 2, 1, 1}
+	maskLie = binary.AppendUvarint(maskLie, hbMaskAll) // claims every field...
+	maskLie = append(maskLie, 0x42)                    // ...delivers one byte
+	return [][]byte{
+		full,
+		delta,
+		allMask,
+		full[:len(full)/2],   // truncated mid-snapshot
+		delta[:len(delta)-1], // truncated mid-field
+		append([]byte{hbMagic, hbVersion + 1}, full[2:]...),   // version skew
+		append([]byte{hbMagic, hbVersion, 0xFF}, full[3:]...), // undefined flags
+		maskLie,
+		append(append([]byte{}, delta...), 0xDE, 0xAD), // trailing bytes
+		{hbMagic, hbVersion, 0, 1, 'a', 0},             // seq zero
+		{hbMagic, hbVersion, 0, 1, 'a', 1, 1, 5, 0},    // base ≥ seq
+	}
+}
+
+// TestFuzzCorpusCommitted keeps the committed corpus in lockstep with
+// fuzzSeedFrames: every seed must exist on disk in Go corpus format so
+// `go test -fuzz` and plain `go test` start from the same population.
+// Regenerate after changing the seeds with POCOLO_WRITE_CORPUS=1.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeHeartbeat")
+	write := os.Getenv("POCOLO_WRITE_CORPUS") != ""
+	if write {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, frame := range fuzzSeedFrames(t) {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", frame)
+		if write {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("corpus seed missing (regenerate with POCOLO_WRITE_CORPUS=1): %v", err)
+		}
+		if string(got) != want {
+			t.Errorf("%s is stale (regenerate with POCOLO_WRITE_CORPUS=1)", path)
+		}
+	}
+}
+
+// FuzzDecodeHeartbeat throws arbitrary bytes at the frame decoder. The
+// contract under fuzz: never panic, never accept a frame violating the
+// documented invariants, and canonical idempotence — anything that
+// decodes must re-encode and decode again to the identical frame.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	for _, frame := range fuzzSeedFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		hb, err := DecodeHeartbeat(frame)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if hb.Agent == "" || len(hb.Agent) > maxHeartbeatName {
+			t.Fatalf("decoded agent name length %d outside bounds", len(hb.Agent))
+		}
+		if hb.Seq == 0 {
+			t.Fatal("decoded seq 0")
+		}
+		if hb.Full {
+			if len(hb.URL) > maxHeartbeatURL {
+				t.Fatalf("decoded URL length %d exceeds %d", len(hb.URL), maxHeartbeatURL)
+			}
+			if hb.Stats.Agent != hb.Agent {
+				t.Fatalf("header %q vs snapshot %q survived decode", hb.Agent, hb.Stats.Agent)
+			}
+		} else {
+			if hb.Base >= hb.Seq {
+				t.Fatalf("decoded base %d not before seq %d", hb.Base, hb.Seq)
+			}
+			if hb.Mask&^hbMaskAll != 0 {
+				t.Fatalf("decoded mask %#x has undefined bits", hb.Mask)
+			}
+		}
+		re, err := EncodeHeartbeat(hb)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		hb2, err := DecodeHeartbeat(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		got, err := json.Marshal(hb2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("decode/encode/decode not idempotent:\n got %s\nwant %s", got, want)
+		}
+	})
+}

@@ -183,6 +183,34 @@ func writeControllerMetrics(w io.Writer, st Status) error {
 	return p.err
 }
 
+// writeStreamMetrics renders the streaming transport's heartbeat-ingest
+// counters. A polling controller writes nothing, so the poll exposition
+// is byte-identical to what it was before streaming existed.
+func writeStreamMetrics(w io.Writer, s StreamStats) error {
+	if s.Frames == 0 && s.Rejects == 0 {
+		return nil
+	}
+	p := &promWriter{w: w}
+
+	p.metric("pocolo_controller_heartbeat_frames_total", "counter", "Heartbeat frames ingested, by frame type.")
+	p.sample("pocolo_controller_heartbeat_frames_total", []string{label("type", "full")}, float64(s.Fulls))
+	p.sample("pocolo_controller_heartbeat_frames_total", []string{label("type", "delta")}, float64(s.Deltas))
+
+	p.metric("pocolo_controller_heartbeat_stale_total", "counter", "Duplicate or reordered frames ignored.")
+	p.sample("pocolo_controller_heartbeat_stale_total", nil, float64(s.Stale))
+
+	p.metric("pocolo_controller_heartbeat_resyncs_total", "counter", "Frames answered with a resync demand.")
+	p.sample("pocolo_controller_heartbeat_resyncs_total", nil, float64(s.Resyncs))
+
+	p.metric("pocolo_controller_heartbeat_rejects_total", "counter", "Malformed frames rejected.")
+	p.sample("pocolo_controller_heartbeat_rejects_total", nil, float64(s.Rejects))
+
+	p.metric("pocolo_controller_heartbeat_bytes_total", "counter", "Heartbeat wire bytes ingested.")
+	p.sample("pocolo_controller_heartbeat_bytes_total", nil, float64(s.Bytes))
+
+	return p.err
+}
+
 // writeBudgetMetrics renders the controller's budget-tree state. A nil
 // status (no budget tree configured) writes nothing, so unbudgeted
 // controllers expose no empty budget families.

@@ -49,6 +49,13 @@ const (
 	// KindBudgetCut is a runtime budget mutation on a tree node — a
 	// brownout cutting the DC budget, or its later restore.
 	KindBudgetCut
+	// KindHeartbeat summarizes one round of streamed delta-heartbeat
+	// ingest: how many frames arrived since the previous round, how they
+	// decoded (full resyncs vs deltas vs stale duplicates), and how many
+	// acks demanded a resync. Batched per round rather than per frame so
+	// a 10k-agent round costs one ring slot, and so seeded streaming
+	// campaigns stay byte-identical on replay.
+	KindHeartbeat
 )
 
 var kindNames = [...]string{
@@ -61,6 +68,7 @@ var kindNames = [...]string{
 	KindSpan:        "span",
 	KindBudgetShift: "budget-shift",
 	KindBudgetCut:   "budget-cut",
+	KindHeartbeat:   "heartbeat",
 }
 
 // String implements fmt.Stringer.
@@ -199,6 +207,23 @@ type BudgetChange struct {
 	Reason string
 }
 
+// HeartbeatSummary is the payload of one heartbeat-ingest round summary.
+// Frames counts every frame offered to the decoder since the previous
+// summary; Fulls, Deltas, and Stale partition the frames that decoded
+// (full resync applies, incremental delta applies, and ignored
+// duplicates); Resyncs counts acks that demanded a full-frame resync;
+// Rejects counts frames the codec refused outright. Bytes is the total
+// encoded frame volume.
+type HeartbeatSummary struct {
+	Frames  int
+	Fulls   int
+	Deltas  int
+	Stale   int
+	Resyncs int
+	Rejects int
+	Bytes   int64
+}
+
 // SpanInfo is the payload of a timed phase.
 type SpanInfo struct {
 	// Name is the phase ("control_tick", "cap_tick", "build_matrix",
@@ -231,12 +256,13 @@ type Event struct {
 	// Host is the timeline the event belongs to (tracer identity).
 	Host string
 
-	Control ControlDecision
-	Cap     CapAction
-	Place   Placement
-	Solve   SolveSummary
-	Span    SpanInfo
-	Budget  BudgetChange
+	Control   ControlDecision
+	Cap       CapAction
+	Place     Placement
+	Solve     SolveSummary
+	Span      SpanInfo
+	Budget    BudgetChange
+	Heartbeat HeartbeatSummary
 }
 
 // appendJSON appends the event's JSON object. includeWall selects the
@@ -310,6 +336,15 @@ func (e *Event) appendJSON(b []byte, includeWall bool) []byte {
 		b = appendFloatField(b, "from_w", c.FromW)
 		b = appendFloatField(b, "to_w", c.ToW)
 		b = appendStringField(b, "reason", c.Reason)
+	case KindHeartbeat:
+		h := &e.Heartbeat
+		b = appendIntField(b, "frames", int64(h.Frames))
+		b = appendIntField(b, "fulls", int64(h.Fulls))
+		b = appendIntField(b, "deltas", int64(h.Deltas))
+		b = appendIntField(b, "stale", int64(h.Stale))
+		b = appendIntField(b, "resyncs", int64(h.Resyncs))
+		b = appendIntField(b, "rejects", int64(h.Rejects))
+		b = appendIntField(b, "bytes", h.Bytes)
 	}
 	return append(b, '}')
 }
@@ -384,6 +419,14 @@ type eventJSON struct {
 
 	FromW float64 `json:"from_w"`
 	ToW   float64 `json:"to_w"`
+
+	Frames  int   `json:"frames"`
+	Fulls   int   `json:"fulls"`
+	Deltas  int   `json:"deltas"`
+	Stale   int   `json:"stale"`
+	Resyncs int   `json:"resyncs"`
+	Rejects int   `json:"rejects"`
+	Bytes   int64 `json:"bytes"`
 }
 
 // event converts the flat decode form back to a typed Event.
@@ -416,6 +459,11 @@ func (j *eventJSON) event() (Event, error) {
 		ev.Span = SpanInfo{Name: j.Name, DurNS: j.DurNS}
 	case KindBudgetShift, KindBudgetCut:
 		ev.Budget = BudgetChange{Node: j.Node, FromW: j.FromW, ToW: j.ToW, Reason: j.Reason}
+	case KindHeartbeat:
+		ev.Heartbeat = HeartbeatSummary{
+			Frames: j.Frames, Fulls: j.Fulls, Deltas: j.Deltas, Stale: j.Stale,
+			Resyncs: j.Resyncs, Rejects: j.Rejects, Bytes: j.Bytes,
+		}
 	}
 	return ev, nil
 }

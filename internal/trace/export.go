@@ -184,6 +184,25 @@ func validatePayload(ev *Event) error {
 		if c.ToW <= 0 {
 			return fmt.Errorf("budget: to_w %g not positive", c.ToW)
 		}
+	case KindHeartbeat:
+		h := &ev.Heartbeat
+		for _, v := range []struct {
+			name string
+			val  int64
+		}{
+			{"frames", int64(h.Frames)}, {"fulls", int64(h.Fulls)},
+			{"deltas", int64(h.Deltas)}, {"stale", int64(h.Stale)},
+			{"resyncs", int64(h.Resyncs)}, {"rejects", int64(h.Rejects)},
+			{"bytes", h.Bytes},
+		} {
+			if v.val < 0 {
+				return fmt.Errorf("heartbeat: negative %s %d", v.name, v.val)
+			}
+		}
+		if h.Fulls+h.Deltas+h.Stale > h.Frames {
+			return fmt.Errorf("heartbeat: %d fulls + %d deltas + %d stale exceed %d frames",
+				h.Fulls, h.Deltas, h.Stale, h.Frames)
+		}
 	default:
 		return fmt.Errorf("unknown kind %d", ev.Kind)
 	}
@@ -292,6 +311,8 @@ func chromeEventName(ev *Event) string {
 		return "budget-shift " + ev.Budget.Node
 	case KindBudgetCut:
 		return "budget-cut " + ev.Budget.Node
+	case KindHeartbeat:
+		return "heartbeat ingest"
 	}
 	return ev.Kind.String()
 }
@@ -329,6 +350,13 @@ func chromeArgs(ev *Event) map[string]any {
 	case KindBudgetShift, KindBudgetCut:
 		c := &ev.Budget
 		return map[string]any{"node": c.Node, "from_w": c.FromW, "to_w": c.ToW, "reason": c.Reason}
+	case KindHeartbeat:
+		h := &ev.Heartbeat
+		return map[string]any{
+			"frames": h.Frames, "fulls": h.Fulls, "deltas": h.Deltas,
+			"stale": h.Stale, "resyncs": h.Resyncs, "rejects": h.Rejects,
+			"bytes": h.Bytes,
+		}
 	}
 	return nil
 }

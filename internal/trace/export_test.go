@@ -27,6 +27,7 @@ func fullTrace() []Event {
 	})
 	tr.BudgetShift(at(8), BudgetChange{Node: "host-a", FromW: 0, ToW: 118.4, Reason: "rebalance"})
 	tr.BudgetCut(at(9), BudgetChange{Node: "dc", FromW: 540, ToW: 378, Reason: "brownout"})
+	tr.Heartbeat(at(10), HeartbeatSummary{Frames: 12, Fulls: 2, Deltas: 9, Stale: 1, Resyncs: 2, Rejects: 1, Bytes: 640})
 	return tr.Events()
 }
 
@@ -199,6 +200,18 @@ func TestValidateRejectsViolations(t *testing.T) {
 			ev := base()
 			ev.Kind = KindBudgetCut
 			ev.Budget = BudgetChange{Node: "dc", FromW: 540, ToW: 0, Reason: "brownout"}
+			return []Event{ev}
+		},
+		"negative heartbeat counter": func() []Event {
+			ev := base()
+			ev.Kind = KindHeartbeat
+			ev.Heartbeat = HeartbeatSummary{Frames: 3, Deltas: -1}
+			return []Event{ev}
+		},
+		"heartbeat applies exceed frames": func() []Event {
+			ev := base()
+			ev.Kind = KindHeartbeat
+			ev.Heartbeat = HeartbeatSummary{Frames: 2, Fulls: 1, Deltas: 2}
 			return []Event{ev}
 		},
 		"unknown kind": func() []Event {

@@ -178,6 +178,14 @@ func (t *Tracer) BudgetCut(now time.Time, c BudgetChange) {
 	t.record(now, Event{Kind: KindBudgetCut, Budget: c})
 }
 
+// Heartbeat records one round's batched heartbeat-ingest summary.
+func (t *Tracer) Heartbeat(now time.Time, h HeartbeatSummary) {
+	if t == nil {
+		return
+	}
+	t.record(now, Event{Kind: KindHeartbeat, Heartbeat: h})
+}
+
 // ObserveSlack feeds the LC slack distribution histogram.
 func (t *Tracer) ObserveSlack(v float64) {
 	if t == nil {
