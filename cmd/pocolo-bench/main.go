@@ -13,7 +13,9 @@
 // one entry per benchmark with ns/op, B/op, and allocs/op. B/op and
 // allocs/op are always emitted (zero is a meaningful measurement, not an
 // absence), and the per-benchmark GOMAXPROCS suffix (`-8`) is stripped so
-// names are stable across machines.
+// names are stable across machines — the stripped value is preserved per
+// result as procs, and the harness records its own gomaxprocs, so a
+// snapshot says how many workers a parallel benchmark actually had.
 //
 // With -baseline, the run is additionally compared against a committed
 // snapshot: any benchmark whose best ns/op regresses by more than
@@ -29,6 +31,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -44,19 +47,25 @@ type Result struct {
 	// HasMem records whether the line carried -benchmem columns at all;
 	// without it a genuine 0 B/op is indistinguishable from "not measured".
 	HasMem bool `json:"has_mem,omitempty"`
+	// Procs is the GOMAXPROCS suffix go test stamped on the name (0 when
+	// the name carried none) — the worker count the benchmark ran with.
+	Procs int `json:"procs,omitempty"`
 }
 
 // Snapshot is the full BENCH_<date>.json payload.
 type Snapshot struct {
-	Date      string   `json:"date"`
-	Note      string   `json:"note,omitempty"`
-	GoOS      string   `json:"goos,omitempty"`
-	GoArch    string   `json:"goarch,omitempty"`
-	CPU       string   `json:"cpu,omitempty"`
-	Package   string   `json:"pkg,omitempty"`
-	Command   []string `json:"command"`
-	Results   []Result `json:"results"`
-	RawOutput string   `json:"raw_output,omitempty"`
+	Date   string `json:"date"`
+	Note   string `json:"note,omitempty"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GoMaxProcs is runtime.GOMAXPROCS of the harness process — the
+	// parallelism available to the benchmarks it launched.
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	Command    []string `json:"command"`
+	Results    []Result `json:"results"`
+	RawOutput  string   `json:"raw_output,omitempty"`
 }
 
 func main() {
@@ -94,6 +103,7 @@ func main() {
 
 	snap := Parse(text)
 	snap.Date = date
+	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
 	snap.Note = *note
 	snap.Command = append([]string{"go"}, args...)
 	if *raw {
@@ -227,6 +237,13 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: procSuffix.ReplaceAllString(fields[0], "")}
+	if suf := procSuffix.FindString(fields[0]); suf != "" {
+		// Benchmark names cannot end in -N themselves (gofmt'd Go
+		// identifiers have no dashes), so the suffix is unambiguous.
+		if n, err := strconv.Atoi(suf[1:]); err == nil {
+			r.Procs = n
+		}
+	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false

@@ -78,6 +78,18 @@ func TestParse(t *testing.T) {
 	if nm.HasMem || nm.NsPerOp != 5000 {
 		t.Fatalf("NoMem: %+v", nm)
 	}
+
+	// The stripped GOMAXPROCS suffix survives as the per-result worker
+	// count, including the -16 sub-benchmark.
+	if fig.Procs != 8 {
+		t.Fatalf("Fig12 procs: %+v", fig)
+	}
+	if got := byName["BenchmarkSub/case=small"].Procs; got != 16 {
+		t.Fatalf("sub-benchmark procs %d, want 16", got)
+	}
+	if b, err := json.Marshal(fig); err != nil || !strings.Contains(string(b), `"procs":8`) {
+		t.Fatalf("marshalled result %s missing procs", b)
+	}
 }
 
 func TestParseRejectsMalformed(t *testing.T) {

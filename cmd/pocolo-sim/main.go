@@ -70,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	hyperJobs := fs.Int("hyperscale-jobs", 0, "BE job instances in the hyperscale fleet (default: 3/4 of the hosts)")
 	podSize := fs.Int("pod-size", 0, "hosts per assignment pod in the hyperscale scenario (default 64)")
 	hyperRounds := fs.Int("hyperscale-rounds", 3, "churn rounds after the initial hyperscale solve")
+	batchThreshold := fs.Int("batch-threshold", 0, "dirty-line count at which a pod refresh switches to the parallel auction batch re-solve (0 = solver default, 1 forces sequential per-line repair); the placement is identical either way")
 	churn := fs.Float64("churn", 0.1, "per-round fraction of hosts whose caps drift (and per-class model re-fit probability)")
 	rebalanceGap := fs.Float64("rebalance-gap", 0, "minimum estimated gain before a job migrates across pods")
 	hyperBudget := fs.Float64("hyperscale-budget", 0, "size a per-pod power-budget tree at this fraction of provisioned capacity (0 = none)")
@@ -129,8 +130,9 @@ func run(args []string, out io.Writer) error {
 				Hosts: *hyper,
 				Jobs:  jobs,
 				Shard: pocolo.ShardSettings{
-					PodSize:      *podSize,
-					RebalanceGap: *rebalanceGap,
+					PodSize:        *podSize,
+					RebalanceGap:   *rebalanceGap,
+					BatchThreshold: *batchThreshold,
 				},
 				BudgetFrac: *hyperBudget,
 			},

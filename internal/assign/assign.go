@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // validateMatrix checks a value matrix: n workers (rows) assigned to m ≥ n
@@ -31,11 +32,30 @@ func validateMatrix(value [][]float64) (n, m int, err error) {
 	return n, m, nil
 }
 
-// total sums the value of an assignment.
+// total sums the value of an assignment canonically: the selected cells
+// are copied out and summed in ascending sorted order. Equal-value
+// optima that differ only by permuting identical rows or columns (a
+// fleet full of class-shared job models and quantized host caps makes
+// such ties routine) then produce bit-identical totals no matter which
+// permutation a solver landed on — the property every "value equals
+// Hungarian exactly" test and the sequential-vs-auction trace diff rely
+// on.
 func total(value [][]float64, assignment []int) float64 {
-	t := 0.0
+	vals := make([]float64, len(assignment))
 	for i, j := range assignment {
-		t += value[i][j]
+		vals[i] = value[i][j]
+	}
+	return canonicalSum(vals)
+}
+
+// canonicalSum sorts vals in place and returns their sum. Sorting first
+// fixes the float addition order for any permutation of the same value
+// multiset; the inputs are validated finite, so NaN ordering is moot.
+func canonicalSum(vals []float64) float64 {
+	sort.Float64s(vals)
+	t := 0.0
+	for _, v := range vals {
+		t += v
 	}
 	return t
 }
@@ -160,7 +180,7 @@ func Exhaustive(value [][]float64) ([]int, float64, error) {
 		}
 	}
 	walk(0, 0)
-	return best, bestVal, nil
+	return best, total(value, best), nil
 }
 
 // LP solves the assignment problem by formulating it as a linear program

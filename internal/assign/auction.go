@@ -1,0 +1,545 @@
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pocolo/internal/parallel"
+)
+
+// DefaultBatchThreshold is the dirty-line count at or above which
+// ResolveBatch switches from the sequential per-line repair to the
+// parallel auction re-solve. Below it, a handful of warm augmenting
+// passes beats the auction's bidding rounds; above it, the per-line
+// passes dominate a pod refresh and the auction wins by a widening
+// margin. The crossover sits near a dozen lines on a 1k-column pod.
+const DefaultBatchThreshold = 16
+
+// RowUpdate replaces one row of the value matrix (one value per
+// column), exactly like SetRow.
+type RowUpdate struct {
+	Index  int
+	Values []float64
+}
+
+// ColUpdate replaces one column of the value matrix (one value per real
+// row), exactly like SetCol.
+type ColUpdate struct {
+	Index  int
+	Values []float64
+}
+
+// BatchOptions tunes ResolveBatch.
+type BatchOptions struct {
+	// Threshold is the dirty-line count at or above which the auction
+	// path engages: 0 means DefaultBatchThreshold, 1 forces the
+	// sequential per-line path (the old behavior), anything else is the
+	// literal cutover count.
+	Threshold int
+	// Workers bounds the parallel bid phase (<= 0 selects GOMAXPROCS,
+	// 1 keeps the bidding on the calling goroutine). The result is
+	// identical for every setting; only wall-clock changes.
+	Workers int
+}
+
+// BatchStats reports what one ResolveBatch call did.
+type BatchStats struct {
+	// DirtyRows and DirtyCols count the lines whose values actually
+	// changed (no-op updates are dropped, matching SetRow/SetCol).
+	DirtyRows int
+	DirtyCols int
+	// AuctionRounds counts synchronous bidding rounds across all
+	// ε-scaling phases; zero on the sequential path.
+	AuctionRounds int
+	// CleanupAugments counts the sequential augmenting passes that
+	// finished the job after the auction: rows whose auction match was
+	// not exactly tight plus any rows left free by the round cap.
+	CleanupAugments int
+	// Sequential is true when the call took the per-line path.
+	Sequential bool
+}
+
+// batchState is ResolveBatch scratch, reused across calls.
+type batchState struct {
+	rowDirty     []bool    // internal row i's values changed
+	colDirty     []bool    // column j's values changed
+	participated []bool    // row was detached by this batch
+	free         []int     // current free (unmatched) rows, ascending
+	spill        []int     // next round's free rows under construction
+	cols         []int     // released columns (the auction's market), ascending
+	lpv          []float64 // per column: local auction price (as a v value)
+	mn           []float64 // per row: min reduced cost under the live duals
+	hintRM       []int     // per row: auction-hinted column, -1 if none
+	hintCM       []int     // per column: auction-hinted row, -1 if none
+	bidCol       []int     // per free-list slot: column bid on
+	bidPrice     []float64 // per free-list slot: offered price
+	winBid       []float64 // per column: best bid this round
+	winRow       []int     // per column: bidder holding winBid
+	bidRound     []int     // per column: stamp marking winBid's round
+	touched      []int     // columns with at least one bid this round
+	stamp        int       // monotone round stamp, never reset
+}
+
+func newBatchState(m int) *batchState {
+	return &batchState{
+		rowDirty:     make([]bool, m),
+		colDirty:     make([]bool, m),
+		participated: make([]bool, m),
+		free:         make([]int, 0, m),
+		spill:        make([]int, 0, m),
+		cols:         make([]int, 0, m),
+		lpv:          make([]float64, m),
+		mn:           make([]float64, m),
+		hintRM:       make([]int, m),
+		hintCM:       make([]int, m),
+		bidCol:       make([]int, m),
+		bidPrice:     make([]float64, m),
+		winBid:       make([]float64, m),
+		winRow:       make([]int, m),
+		bidRound:     make([]int, m),
+		touched:      make([]int, 0, m),
+	}
+}
+
+// ResolveBatch applies a whole refresh's worth of row and column
+// updates in one call and restores optimality. Updates are applied in
+// order (rows first, then columns, like the per-line path), no-op lines
+// are dropped, and an invalid update returns an error before anything
+// is mutated.
+//
+// Below the dirty-line threshold the call is exactly the sequential
+// per-line repair: SetRow per dirty row, SetCol per dirty column. At or
+// above it, every dirty line is detached at once and re-solved by a
+// parallel ε-scaling auction (see auctionRepair) warm-started from the
+// live duals, then finished with sequential Jonker–Volgenant augmenting
+// passes — so the final assignment value is bit-identical to what the
+// sequential path reports (the permutation may differ only among
+// equal-value optima, which the canonical Total sum makes invisible).
+func (inc *Incremental) ResolveBatch(rows []RowUpdate, cols []ColUpdate, opts BatchOptions) (BatchStats, error) {
+	var st BatchStats
+	// Validate every update first so an error never leaves the solver
+	// partially mutated.
+	for _, r := range rows {
+		if r.Index < 0 || r.Index >= inc.n {
+			return st, fmt.Errorf("assign: batch row %d outside %d rows", r.Index, inc.n)
+		}
+		if len(r.Values) != inc.m {
+			return st, fmt.Errorf("assign: batch row %d has %d values, want %d", r.Index, len(r.Values), inc.m)
+		}
+		for j, val := range r.Values {
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				return st, fmt.Errorf("assign: non-finite value at (%d, %d)", r.Index, j)
+			}
+		}
+	}
+	for _, c := range cols {
+		if c.Index < 0 || c.Index >= inc.m {
+			return st, fmt.Errorf("assign: batch column %d outside %d columns", c.Index, inc.m)
+		}
+		if len(c.Values) != inc.n {
+			return st, fmt.Errorf("assign: batch column %d has %d values, want %d", c.Index, len(c.Values), inc.n)
+		}
+		for i, val := range c.Values {
+			if math.IsNaN(val) || math.IsInf(val, 0) {
+				return st, fmt.Errorf("assign: non-finite value at (%d, %d)", i, c.Index)
+			}
+		}
+	}
+
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = DefaultBatchThreshold
+	}
+	if threshold < 0 {
+		threshold = 1
+	}
+
+	// Count the lines that would actually change. Duplicate indices are
+	// legal (later updates win, as on the per-line path); each index
+	// counts once toward the threshold decision.
+	dirtyLines := 0
+	if threshold > 1 && inc.m >= 2 {
+		seenRow := make(map[int]bool, len(rows))
+		for _, r := range rows {
+			if seenRow[r.Index] {
+				continue
+			}
+			if !equalRow(inc.value[r.Index], r.Values) {
+				seenRow[r.Index] = true
+				dirtyLines++
+			}
+		}
+		seenCol := make(map[int]bool, len(cols))
+		for _, c := range cols {
+			if seenCol[c.Index] {
+				continue
+			}
+			for i, val := range c.Values {
+				if inc.value[i][c.Index] != val {
+					seenCol[c.Index] = true
+					dirtyLines++
+					break
+				}
+			}
+		}
+	}
+
+	if threshold == 1 || inc.m < 2 || dirtyLines < threshold {
+		// Sequential per-line path: the old refresh loop, line by line.
+		st.Sequential = true
+		for _, r := range rows {
+			changed := !equalRow(inc.value[r.Index], r.Values)
+			if err := inc.SetRow(r.Index, r.Values); err != nil {
+				return st, err
+			}
+			if changed {
+				st.DirtyRows++
+			}
+		}
+		for _, c := range cols {
+			changed := false
+			for i, val := range c.Values {
+				if inc.value[i][c.Index] != val {
+					changed = true
+					break
+				}
+			}
+			if err := inc.SetCol(c.Index, c.Values); err != nil {
+				return st, err
+			}
+			if changed {
+				st.DirtyCols++
+			}
+		}
+		return st, nil
+	}
+
+	return inc.auctionRepair(rows, cols, opts.Workers)
+}
+
+func equalRow(a, b []float64) bool {
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// auctionRepair is the batch path: write every update, detach every
+// dirty line at once, run the parallel ε-scaling auction over the
+// released columns, commit the auction matches that are exactly tight
+// under the live duals, and finish with multi-source JV augmenting
+// passes for the rest.
+//
+// Correctness rests on four facts. First, detaching rows and repairing
+// released-column potentials never breaks dual feasibility or the
+// tightness of the remaining matched edges: each released column's
+// potential becomes the min reduced cost over the still-matched rows
+// (the same repair SetCol performs, minus the detached rows, whose
+// stale potentials are garbage), which is the largest feasible value.
+// Second, the auction trades on its own local price board — the live
+// duals never move during bidding — so however the bidding goes, the
+// solver state it started from is intact. Third, a hinted match (i, j)
+// is committed only when its edge achieves min_jj(c(i,jj) − v[jj])
+// exactly; then u[i] is that min, the edge is certifiably tight, the
+// row is feasible everywhere, and distinct hints target distinct
+// columns, so the commits extend the partial matching validly. Fourth,
+// the multi-source augmenting passes preserve the invariants per pass
+// (see augmentBatch) and tolerate stale source potentials. The final
+// state is a perfect matching of tight edges under feasible duals: the
+// exact optimum, same as the sequential path.
+func (inc *Incremental) auctionRepair(rows []RowUpdate, cols []ColUpdate, workers int) (BatchStats, error) {
+	var st BatchStats
+	m := inc.m
+	if inc.batch == nil || len(inc.batch.rowDirty) != m {
+		inc.batch = newBatchState(m)
+	}
+	bs := inc.batch
+	for i := 0; i < m; i++ {
+		bs.rowDirty[i] = false
+		bs.colDirty[i] = false
+		bs.participated[i] = false
+	}
+
+	// Write every update in order, recording which lines changed.
+	for _, r := range rows {
+		for j, val := range r.Values {
+			if inc.value[r.Index][j] != val {
+				inc.value[r.Index][j] = val
+				bs.rowDirty[r.Index] = true
+			}
+		}
+	}
+	for _, c := range cols {
+		for i, val := range c.Values {
+			if inc.value[i][c.Index] != val {
+				inc.value[i][c.Index] = val
+				bs.colDirty[c.Index] = true
+			}
+		}
+	}
+
+	// Detach every dirty row and every dirty column's matched row.
+	for i := 0; i < m; i++ {
+		if bs.rowDirty[i] {
+			st.DirtyRows++
+			bs.participated[i] = true
+		}
+	}
+	for j := 0; j < m; j++ {
+		if bs.colDirty[j] {
+			st.DirtyCols++
+			bs.participated[inc.colMatch[j]] = true
+		}
+	}
+	bs.free = bs.free[:0]
+	for i := 0; i < m; i++ {
+		if !bs.participated[i] {
+			continue
+		}
+		bs.free = append(bs.free, i)
+		if j := inc.rowMatch[i]; j >= 0 {
+			inc.colMatch[j] = -1
+			inc.rowMatch[i] = -1
+		}
+	}
+	if len(bs.free) == 0 {
+		return st, nil
+	}
+
+	// Repair the potential of every released column — dirty columns and
+	// the columns freed by detaching dirty rows — to the tightest
+	// feasible value: the min reduced cost over the rows that are still
+	// matched. Dirty columns need the repair for feasibility under
+	// their new values; freed columns need it so stale-high potentials
+	// don't leave them looking expensive, which would make every
+	// augmenting pass wade through the owned columns before reaching a
+	// free one.
+	bs.cols = bs.cols[:0]
+	for j := 0; j < m; j++ {
+		if !bs.colDirty[j] && inc.colMatch[j] != -1 {
+			continue
+		}
+		if inc.colMatch[j] == -1 {
+			bs.cols = append(bs.cols, j)
+		}
+		minRed := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if bs.participated[i] {
+				continue
+			}
+			if red := inc.cost(i, j) - inc.u[i]; red < minRed {
+				minRed = red
+			}
+		}
+		if math.IsInf(minRed, 1) {
+			// Every row is detached: no matched row constrains v, and
+			// the augmenting passes will set whatever they need.
+			continue
+		}
+		inc.v[j] = minRed
+	}
+
+	// Each free row's min reduced cost under the live duals, computed
+	// once, in parallel: the commit test below needs it, and it is the
+	// row's exact-tightness bar for any column. Reads are against fixed
+	// state; writes land in index-disjoint slots.
+	nf := len(bs.free)
+	_ = parallel.ForEach(nf, workers, func(k int) error {
+		i := bs.free[k]
+		row := inc.value[i]
+		mn := math.Inf(1)
+		for j := 0; j < m; j++ {
+			if red := -row[j] - inc.v[j]; red < mn {
+				mn = red
+			}
+		}
+		bs.mn[i] = mn
+		return nil
+	})
+
+	// Value span over the released columns sets the ε scale. A zero
+	// span (e.g. only dummy rows detached) makes bidding pointless.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range bs.free {
+		row := inc.value[i]
+		for _, j := range bs.cols {
+			if row[j] < lo {
+				lo = row[j]
+			}
+			if row[j] > hi {
+				hi = row[j]
+			}
+		}
+	}
+	if span := hi - lo; span > 0 && len(bs.free) >= 2 {
+		st.AuctionRounds = inc.runAuction(bs, span, workers)
+		// Commit every hinted match that is exactly tight under the
+		// live duals; everything else goes to the augmenting passes.
+		for _, j := range bs.cols {
+			i := bs.hintCM[j]
+			if i == -1 {
+				continue
+			}
+			if -inc.value[i][j]-inc.v[j] == bs.mn[i] {
+				inc.u[i] = bs.mn[i]
+				inc.rowMatch[i] = j
+				inc.colMatch[j] = i
+			}
+		}
+	}
+
+	// Multi-source augmenting passes for whatever was not committed.
+	bs.spill = bs.spill[:0]
+	for _, i := range bs.free {
+		if inc.rowMatch[i] == -1 {
+			bs.spill = append(bs.spill, i)
+		}
+	}
+	passes, err := inc.augmentBatch(bs.spill)
+	st.CleanupAugments = passes
+	return st, err
+}
+
+// runAuction runs the synchronous parallel ε-scaling auction: the free
+// rows bid for the released columns on a local price board seeded from
+// the live duals, and the hinted matching lands in bs.hintRM/hintCM.
+// It returns the number of bidding rounds.
+//
+// Local prices are p[j] = −lpv[j]; a row's profit for column j is
+// value[i][j] + lpv[j]. Each round every free row computes its best
+// and second-best profit over the released columns and bids
+// p[best] + (best − second) + ε. The bid phase fans over the worker
+// pool — reads go against the round-start prices, writes land in
+// index-disjoint slots — then bids resolve sequentially: per column
+// the highest bid wins, ties to the lowest row index, so the outcome
+// is deterministic and independent of the worker count. Winners
+// displace previous hint-holders into the free pool; prices only rise.
+// Phases shrink ε from span/8 by 5× down to span/(2·columns),
+// detaching ε-CS violators between phases; a round cap bounds
+// pathological price wars, leaving leftovers to the augmenting passes.
+//
+// Confining the market to the released columns keeps rounds at
+// O(bidders × released) and, more importantly, keeps the bidding from
+// displacing rows outside the batch: an unconfined auction on a warm
+// solver cascades — each displaced clean row displaces another — and
+// measures slower than not running it at all.
+func (inc *Incremental) runAuction(bs *batchState, span float64, workers int) int {
+	nc := len(bs.cols)
+	for _, i := range bs.free {
+		bs.hintRM[i] = -1
+	}
+	for _, j := range bs.cols {
+		bs.hintCM[j] = -1
+		bs.lpv[j] = inc.v[j]
+	}
+	eps := span / 8
+	epsMin := span / float64(2*nc)
+	maxRounds := 16*nc + 64
+	rounds := 0
+	pool := append(bs.spill[:0], bs.free...)
+	for phase := 0; ; phase++ {
+		if phase > 0 {
+			if eps <= epsMin || rounds >= maxRounds {
+				break
+			}
+			eps /= 5
+			if eps < epsMin {
+				eps = epsMin
+			}
+			// Detach hinted matches violating the tighter ε-CS.
+			for _, j := range bs.cols {
+				i := bs.hintCM[j]
+				if i == -1 {
+					continue
+				}
+				row := inc.value[i]
+				best := math.Inf(-1)
+				for _, jj := range bs.cols {
+					if p := row[jj] + bs.lpv[jj]; p > best {
+						best = p
+					}
+				}
+				if row[j]+bs.lpv[j] < best-eps {
+					bs.hintRM[i] = -1
+					bs.hintCM[j] = -1
+					pool = append(pool, i)
+				}
+			}
+			if len(pool) == 0 {
+				continue
+			}
+			sort.Ints(pool)
+		}
+		for len(pool) > 0 && rounds < maxRounds {
+			rounds++
+			bs.stamp++
+			stamp := bs.stamp
+			np := len(pool)
+			_ = parallel.ForEach(np, workers, func(k int) error {
+				row := inc.value[pool[k]]
+				bestK := 0
+				bestP := row[bs.cols[0]] + bs.lpv[bs.cols[0]]
+				secondP := math.Inf(-1)
+				for kk := 1; kk < nc; kk++ {
+					j := bs.cols[kk]
+					if p := row[j] + bs.lpv[j]; p > bestP {
+						secondP = bestP
+						bestP, bestK = p, kk
+					} else if p > secondP {
+						secondP = p
+					}
+				}
+				j := bs.cols[bestK]
+				bs.bidCol[k] = j
+				bs.bidPrice[k] = -bs.lpv[j] + (bestP - secondP) + eps
+				return nil
+			})
+			// Resolve in ascending free-row order: strict improvement
+			// keeps the lowest-index bidder on ties.
+			bs.touched = bs.touched[:0]
+			for k := 0; k < np; k++ {
+				j := bs.bidCol[k]
+				if bs.bidRound[j] == stamp {
+					if bs.bidPrice[k] > bs.winBid[j] {
+						bs.winBid[j] = bs.bidPrice[k]
+						bs.winRow[j] = pool[k]
+					}
+					continue
+				}
+				bs.bidRound[j] = stamp
+				bs.winBid[j] = bs.bidPrice[k]
+				bs.winRow[j] = pool[k]
+				bs.touched = append(bs.touched, j)
+			}
+			sort.Ints(bs.touched)
+			for _, j := range bs.touched {
+				r := bs.winRow[j]
+				if prev := bs.hintCM[j]; prev != -1 {
+					bs.hintRM[prev] = -1
+				}
+				bs.hintCM[j] = r
+				bs.hintRM[r] = j
+				bs.lpv[j] = -bs.winBid[j]
+			}
+			// Next pool: every participant without a hint — displaced
+			// holders plus this round's losers. bs.free is ascending, so
+			// the filtered pool is too.
+			pool = pool[:0]
+			for _, i := range bs.free {
+				if bs.hintRM[i] == -1 {
+					pool = append(pool, i)
+				}
+			}
+		}
+		if rounds >= maxRounds {
+			break
+		}
+		if eps <= epsMin && len(pool) == 0 {
+			break
+		}
+	}
+	return rounds
+}

@@ -1,0 +1,384 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randBatch builds a random churn batch over an n×m matrix: some rows
+// fully rewritten, some columns fully rewritten, values drawn from gen.
+func randBatch(rng *rand.Rand, n, m, nRows, nCols int, gen func() float64) ([]RowUpdate, []ColUpdate) {
+	rows := make([]RowUpdate, 0, nRows)
+	for _, i := range rng.Perm(n)[:nRows] {
+		vals := make([]float64, m)
+		for j := range vals {
+			vals[j] = gen()
+		}
+		rows = append(rows, RowUpdate{Index: i, Values: vals})
+	}
+	cols := make([]ColUpdate, 0, nCols)
+	for _, j := range rng.Perm(m)[:nCols] {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = gen()
+		}
+		cols = append(cols, ColUpdate{Index: j, Values: vals})
+	}
+	return rows, cols
+}
+
+// TestResolveBatchMatchesHungarian is the tentpole property test:
+// random churn batches forced down the auction path must land on a
+// state that passes SelfCheck and whose total value is bit-identical
+// to a from-scratch Hungarian solve — rectangular and degenerate
+// (integer, tie-rich) shapes included.
+func TestResolveBatchMatchesHungarian(t *testing.T) {
+	shapes := [][2]int{{2, 2}, {3, 7}, {8, 8}, {12, 20}, {24, 24}, {16, 40}}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, dims := range shapes {
+			n, m := dims[0], dims[1]
+			inc, err := NewIncremental(randMatrix(rng, n, m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 4; step++ {
+				nr := rng.Intn(n + 1)
+				nc := rng.Intn(m + 1)
+				rows, cols := randBatch(rng, n, m, nr, nc, func() float64 { return rng.Float64() * 100 })
+				st, err := inc.ResolveBatch(rows, cols, BatchOptions{Threshold: 2})
+				if err != nil {
+					t.Fatalf("seed %d %dx%d step %d: %v", seed, n, m, step, err)
+				}
+				if nr+nc >= 2 && st.Sequential {
+					t.Fatalf("seed %d %dx%d step %d: expected auction path for %d dirty lines", seed, n, m, step, nr+nc)
+				}
+				checkAgainstHungarian(t, inc)
+			}
+		}
+	}
+}
+
+// TestResolveBatchDegenerateTies drives the auction through matrices
+// made almost entirely of ties: small integer values, duplicated rows
+// and columns. Equal-value optima abound, so this exercises both the
+// deterministic tie-breaking and the canonical total.
+func TestResolveBatchDegenerateTies(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n, m := 6+rng.Intn(6), 12
+		value := make([][]float64, n)
+		for i := range value {
+			value[i] = make([]float64, m)
+			for j := range value[i] {
+				value[i][j] = float64(rng.Intn(4))
+			}
+		}
+		// Duplicate a row and a column to force ties.
+		if n >= 2 {
+			copy(value[1], value[0])
+		}
+		for i := range value {
+			value[i][1] = value[i][0]
+		}
+		inc, err := NewIncremental(value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := func() float64 { return float64(rng.Intn(4)) }
+		rows, cols := randBatch(rng, n, m, 1+rng.Intn(n), 1+rng.Intn(m), gen)
+		if _, err := inc.ResolveBatch(rows, cols, BatchOptions{Threshold: 2}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkAgainstHungarian(t, inc)
+	}
+}
+
+// TestResolveBatchValueMatchesSequential runs the same batch through
+// the auction path and through a sequential-twin solver and asserts the
+// reported totals are bit-identical — the contract the hyperscale smoke
+// relies on.
+func TestResolveBatchValueMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		n, m := 10, 16
+		base := randMatrix(rng, n, m)
+		auc, err := NewIncremental(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := NewIncremental(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			rows, cols := randBatch(rng, n, m, rng.Intn(n+1), rng.Intn(m+1), func() float64 { return rng.Float64() * 50 })
+			if _, err := auc.ResolveBatch(rows, cols, BatchOptions{Threshold: 2}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := seq.ResolveBatch(rows, cols, BatchOptions{Threshold: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if ga, gs := auc.Total(), seq.Total(); ga != gs {
+				t.Fatalf("seed %d step %d: auction total %v != sequential total %v", seed, step, ga, gs)
+			}
+		}
+		if err := auc.SelfCheck(); err != nil {
+			t.Fatal(err)
+		}
+		if err := seq.SelfCheck(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestResolveBatchSequentialPathIsPerLine checks that below the
+// threshold ResolveBatch is exactly the old per-line repair: same
+// assignment, same duals, same total as hand-applied SetRow/SetCol.
+func TestResolveBatchSequentialPathIsPerLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 8, 12
+	base := randMatrix(rng, n, m)
+	batch, err := NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := randBatch(rng, n, m, 3, 2, func() float64 { return rng.Float64() * 100 })
+	st, err := batch.ResolveBatch(rows, cols, BatchOptions{Threshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sequential || st.AuctionRounds != 0 {
+		t.Fatalf("expected sequential path, got %+v", st)
+	}
+	if st.DirtyRows != 3 || st.DirtyCols != 2 {
+		t.Fatalf("dirty counts: %+v", st)
+	}
+	for _, r := range rows {
+		if err := manual.SetRow(r.Index, r.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range cols {
+		if err := manual.SetCol(c.Index, c.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(batch.Assignment(), manual.Assignment()) {
+		t.Fatalf("assignments diverged: %v vs %v", batch.Assignment(), manual.Assignment())
+	}
+	if batch.Total() != manual.Total() {
+		t.Fatalf("totals diverged: %v vs %v", batch.Total(), manual.Total())
+	}
+}
+
+// TestResolveBatchNoOpAndStats: value-identical updates are dropped on
+// both paths, and the threshold semantics hold (1 forces sequential, 0
+// means the default).
+func TestResolveBatchNoOpAndStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, m := 6, 8
+	base := randMatrix(rng, n, m)
+	inc, err := NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Total()
+	// A no-op batch: rewrite rows and columns with their current values.
+	rows := []RowUpdate{{Index: 2, Values: append([]float64(nil), base[2]...)}}
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = base[i][4]
+	}
+	st, err := inc.ResolveBatch(rows, []ColUpdate{{Index: 4, Values: col}}, BatchOptions{Threshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtyRows != 0 || st.DirtyCols != 0 || st.AuctionRounds != 0 || st.CleanupAugments != 0 {
+		t.Fatalf("no-op batch did work: %+v", st)
+	}
+	if got := inc.Total(); got != before {
+		t.Fatalf("no-op batch moved total %v -> %v", before, got)
+	}
+
+	// Threshold 1 forces the sequential path no matter the batch size.
+	rows, cols := randBatch(rng, n, m, n, m, func() float64 { return rng.Float64() * 100 })
+	st, err = inc.ResolveBatch(rows, cols, BatchOptions{Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sequential {
+		t.Fatalf("threshold 1 took the auction path: %+v", st)
+	}
+	checkAgainstHungarian(t, inc)
+
+	// Threshold 0 means the default: a full rewrite of a 6×8 matrix is
+	// 14 dirty lines, below DefaultBatchThreshold, so still sequential.
+	rows, cols = randBatch(rng, n, m, n, m, func() float64 { return rng.Float64() * 100 })
+	st, err = inc.ResolveBatch(rows, cols, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Sequential {
+		t.Fatalf("default threshold engaged auction below %d lines: %+v", DefaultBatchThreshold, st)
+	}
+	checkAgainstHungarian(t, inc)
+}
+
+// TestResolveBatchErrors: invalid updates error out before any
+// mutation, on both paths.
+func TestResolveBatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n, m := 4, 6
+	base := randMatrix(rng, n, m)
+	inc, err := NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.Total()
+	nanRow := make([]float64, m)
+	nanRow[3] = math.NaN()
+	infCol := make([]float64, n)
+	infCol[1] = math.Inf(1)
+	cases := []struct {
+		rows []RowUpdate
+		cols []ColUpdate
+	}{
+		{rows: []RowUpdate{{Index: -1, Values: make([]float64, m)}}},
+		{rows: []RowUpdate{{Index: n, Values: make([]float64, m)}}},
+		{rows: []RowUpdate{{Index: 0, Values: make([]float64, m-1)}}},
+		{cols: []ColUpdate{{Index: m, Values: make([]float64, n)}}},
+		{cols: []ColUpdate{{Index: 0, Values: make([]float64, n+1)}}},
+		{rows: []RowUpdate{{Index: 1, Values: nanRow}}},
+		{cols: []ColUpdate{{Index: 2, Values: infCol}}},
+	}
+	for k, c := range cases {
+		if _, err := inc.ResolveBatch(c.rows, c.cols, BatchOptions{Threshold: 2}); err == nil {
+			t.Fatalf("case %d: no error", k)
+		}
+	}
+	if got := inc.Total(); got != before {
+		t.Fatalf("failed batch mutated solver: %v -> %v", before, got)
+	}
+	if err := inc.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchChurnLifecycleProperty is the satellite property test:
+// random interleavings of AddRow/RemoveRow/SetCol followed by a
+// ResolveBatch must keep SelfCheck green and the total bit-identical to
+// a from-scratch Hungarian solve of the mirrored matrix.
+func TestBatchChurnLifecycleProperty(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		m := 10 + rng.Intn(8)
+		inc, err := NewIncrementalCols(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mirror [][]float64 // mirror[i] aliases nothing in the solver
+		newRow := func() []float64 {
+			r := make([]float64, m)
+			for j := range r {
+				r[j] = rng.Float64() * 100
+			}
+			return r
+		}
+		for step := 0; step < 40; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 && len(mirror) < m:
+				row := newRow()
+				idx, err := inc.AddRow(row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if idx != len(mirror) {
+					t.Fatalf("AddRow index %d, want %d", idx, len(mirror))
+				}
+				mirror = append(mirror, row)
+			case op == 1 && len(mirror) > 0:
+				i := rng.Intn(len(mirror))
+				if err := inc.RemoveRow(i); err != nil {
+					t.Fatal(err)
+				}
+				last := len(mirror) - 1
+				mirror[i] = mirror[last]
+				mirror = mirror[:last]
+			case op == 2 && len(mirror) > 0:
+				j := rng.Intn(m)
+				col := make([]float64, len(mirror))
+				for i := range col {
+					col[i] = rng.Float64() * 100
+					mirror[i][j] = col[i]
+				}
+				if err := inc.SetCol(j, col); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if len(mirror) == 0 {
+			continue
+		}
+		n := len(mirror)
+		rows, cols := randBatch(rng, n, m, rng.Intn(n+1), rng.Intn(m+1), func() float64 { return rng.Float64() * 100 })
+		for _, r := range rows {
+			copy(mirror[r.Index], r.Values)
+		}
+		for _, c := range cols {
+			for i, v := range c.Values {
+				mirror[i][c.Index] = v
+			}
+		}
+		if _, err := inc.ResolveBatch(rows, cols, BatchOptions{Threshold: 2, Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.SelfCheck(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		_, want, err := Hungarian(mirror)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := inc.Total(); got != want {
+			t.Fatalf("seed %d: total %v != Hungarian %v", seed, got, want)
+		}
+	}
+}
+
+// TestResolveBatchWorkerCountInvariant: the batch result is identical
+// for every worker setting — the bid phase writes to index-disjoint
+// slots and resolution is sequential.
+func TestResolveBatchWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n, m := 16, 24
+	base := randMatrix(rng, n, m)
+	rows, cols := randBatch(rng, n, m, 10, 8, func() float64 { return rng.Float64() * 100 })
+	var ref []int
+	var refTotal float64
+	for _, workers := range []int{1, 2, 7, 0} {
+		inc, err := NewIncremental(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inc.ResolveBatch(rows, cols, BatchOptions{Threshold: 2, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refTotal = inc.Assignment(), inc.Total()
+			continue
+		}
+		if !reflect.DeepEqual(inc.Assignment(), ref) {
+			t.Fatalf("workers=%d: assignment diverged", workers)
+		}
+		if inc.Total() != refTotal {
+			t.Fatalf("workers=%d: total diverged", workers)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPodRepair measures a steady-state pod refresh: a 1024-host pod
+// (square 1024×1024 value matrix, solver warm) with `dirty` job rows
+// rewritten per round. Two precomputed value sets alternate so every
+// iteration does the same shape of work without the solver converging
+// to a fixed point. threshold 1 is the sequential per-line repair;
+// threshold 2 forces the auction batch path.
+func benchPodRepair(b *testing.B, dirty, threshold int) {
+	const m = 1024
+	rng := rand.New(rand.NewSource(42))
+	base := randBenchMatrix(rng, m, m)
+	inc, err := NewIncremental(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	makeSet := func() []RowUpdate {
+		rows := make([]RowUpdate, dirty)
+		for k := 0; k < dirty; k++ {
+			vals := make([]float64, m)
+			for j := range vals {
+				vals[j] = rng.Float64() * 100
+			}
+			// Spread dirty rows across the pod.
+			rows[k] = RowUpdate{Index: k * (m / dirty), Values: vals}
+		}
+		return rows
+	}
+	setA, setB := makeSet(), makeSet()
+	opts := BatchOptions{Threshold: threshold}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		upd := setA
+		if it%2 == 1 {
+			upd = setB
+		}
+		if _, err := inc.ResolveBatch(upd, nil, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randBenchMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, m)
+		for j := range v[i] {
+			v[i][j] = rng.Float64() * 100
+		}
+	}
+	return v
+}
+
+func BenchmarkPodRepair8Sequential(b *testing.B)   { benchPodRepair(b, 8, 1) }
+func BenchmarkPodRepair8Auction(b *testing.B)      { benchPodRepair(b, 8, 2) }
+func BenchmarkPodRepair64Sequential(b *testing.B)  { benchPodRepair(b, 64, 1) }
+func BenchmarkPodRepair64Auction(b *testing.B)     { benchPodRepair(b, 64, 2) }
+func BenchmarkPodRepair256Sequential(b *testing.B) { benchPodRepair(b, 256, 1) }
+func BenchmarkPodRepair256Auction(b *testing.B)    { benchPodRepair(b, 256, 2) }

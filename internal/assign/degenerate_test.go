@@ -131,8 +131,8 @@ func TestRandomSolvedDegenerates(t *testing.T) {
 	}
 	state := uint64(0x9E3779B97F4A7C15)
 	for trial := 0; trial < 60; trial++ {
-		n := 1 + int(trial%5)      // 1..5 workers
-		m := n + int(trial/20)     // up to 2 extra tasks
+		n := 1 + int(trial%5)  // 1..5 workers
+		m := n + int(trial/20) // up to 2 extra tasks
 		value := make([][]float64, n)
 		for i := range value {
 			value[i] = make([]float64, m)

@@ -56,9 +56,21 @@ type Incremental struct {
 	colMatch []int     // colMatch[j] = internal row of column j
 
 	// Scratch for the augmenting pass, reused across calls.
-	minv []float64
+	minv []float64 // tentative shortest distances per column
 	used []bool
 	way  []int
+	uns  []int     // compacted list of not-yet-settled columns
+	src  []int     // augmentBatch: seeding source row per column
+	stl  []int     // augmentBatch: settled columns, in settle order
+	stlD []float64 // augmentBatch: settle-time distance per stl entry
+	ci   []int32   // augmentBatch: compacted live column indices
+	cv   []float64 // augmentBatch: column potentials, parallel to ci
+	sd   []float64 // augmentBatch: best seed candidate per column
+	ss   []int     // augmentBatch: source providing sd
+
+	// Scratch for Total's canonical sum and for ResolveBatch.
+	totScratch []float64
+	batch      *batchState
 }
 
 // NewIncremental validates and copies the value matrix and computes an
@@ -104,6 +116,14 @@ func newIncrementalCols(m int) *Incremental {
 		minv:     make([]float64, m),
 		used:     make([]bool, m),
 		way:      make([]int, m),
+		uns:      make([]int, m),
+		src:      make([]int, m),
+		stl:      make([]int, 0, m),
+		stlD:     make([]float64, 0, m),
+		ci:       make([]int32, m),
+		cv:       make([]float64, m),
+		sd:       make([]float64, m),
+		ss:       make([]int, m),
 	}
 	for i := range inc.value {
 		inc.value[i] = make([]float64, m)
@@ -157,15 +177,19 @@ func (inc *Incremental) ColAssignment() []int {
 	return out
 }
 
-// Total returns the value of the current optimal assignment, summed in
-// row order — the same summation order Hungarian uses, so identical
-// assignments produce bit-identical totals.
+// Total returns the value of the current optimal assignment as the
+// canonical sorted-order sum (see canonicalSum) — the same summation
+// Hungarian uses, so any two solvers holding equal-value optima report
+// bit-identical totals even when their permutations differ among ties.
 func (inc *Incremental) Total() float64 {
-	t := 0.0
-	for i := 0; i < inc.n; i++ {
-		t += inc.value[i][inc.rowMatch[i]]
+	if cap(inc.totScratch) < inc.n {
+		inc.totScratch = make([]float64, inc.n)
 	}
-	return t
+	vals := inc.totScratch[:inc.n]
+	for i := 0; i < inc.n; i++ {
+		vals[i] = inc.value[i][inc.rowMatch[i]]
+	}
+	return canonicalSum(vals)
 }
 
 // SetCell updates one cell and restores optimality. If the cell is
@@ -328,51 +352,73 @@ func (inc *Incremental) resolveRow(i int) error {
 // row's potential may be arbitrarily stale: the pass is a Dijkstra with
 // the row as source, and a constant shift of all source out-edges
 // leaves the shortest-path tree unchanged.
+//
+// The pass is the classical JV iteration rewritten against duals frozen
+// at entry: the textbook version shifts u, v, and every tentative
+// distance by delta each round (two O(m) sweeps per settled column),
+// but those shifts are uniform, so absolute distances
+//
+//	dist[j] = dist[settled column of i0] + cost(i0,j) − u[i0] − v[j]
+//
+// settle in the same order with a single sweep, over a compacted list
+// of unsettled columns that shrinks as the path grows. The per-round
+// dual shifts telescope: a column settled at distance d ends up shifted
+// by exactly (final distance − d), applied once at the end.
 func (inc *Incremental) augment(start int) error {
 	m := inc.m
-	minv, used, way := inc.minv, inc.used, inc.way
+	dist, used, way, uns := inc.minv, inc.used, inc.way, inc.uns
 	for j := 0; j < m; j++ {
-		minv[j] = math.Inf(1)
+		dist[j] = math.Inf(1)
 		used[j] = false
 		way[j] = -1
+		uns[j] = j
 	}
+	nu := m // live prefix of uns: columns not yet settled
 	i0 := start
 	j0 := -1
+	base := 0.0 // distance at which i0's column settled (0 for the source)
 	for {
+		row := inc.value[i0]
+		off := base - inc.u[i0]
+		v := inc.v
 		delta := math.Inf(1)
-		j1 := -1
-		for j := 0; j < m; j++ {
-			if used[j] {
-				continue
-			}
-			cur := inc.cost(i0, j) - inc.u[i0] - inc.v[j]
-			if cur < minv[j] {
-				minv[j] = cur
+		pick := -1
+		for k := 0; k < nu; k++ {
+			j := uns[k]
+			if cand := off - row[j] - v[j]; cand < dist[j] {
+				dist[j] = cand
 				way[j] = j0
 			}
-			if minv[j] < delta {
-				delta = minv[j]
-				j1 = j
+			if dist[j] < delta {
+				delta = dist[j]
+				pick = k
 			}
 		}
-		if j1 == -1 || math.IsInf(delta, 1) {
+		if pick == -1 || math.IsInf(delta, 1) {
 			return errors.New("assign: augment failed to reach a free column")
 		}
-		inc.u[start] += delta
-		for j := 0; j < m; j++ {
-			if used[j] {
-				inc.u[inc.colMatch[j]] += delta
-				inc.v[j] -= delta
-			} else {
-				minv[j] -= delta
-			}
-		}
+		j1 := uns[pick]
+		nu--
+		uns[pick] = uns[nu]
 		used[j1] = true
 		j0 = j1
+		base = delta
 		if inc.colMatch[j1] == -1 {
 			break
 		}
 		i0 = inc.colMatch[j1]
+	}
+	// Apply the telescoped dual shifts before flipping the path, while
+	// colMatch still names each settled column's pre-augment row. The
+	// final (free) column settled at distance base, so its shift is zero.
+	inc.u[start] += base
+	for j := 0; j < m; j++ {
+		if !used[j] || inc.colMatch[j] == -1 {
+			continue
+		}
+		shift := base - dist[j]
+		inc.u[inc.colMatch[j]] += shift
+		inc.v[j] -= shift
 	}
 	for j0 != -1 {
 		j1 := way[j0]
@@ -387,6 +433,245 @@ func (inc *Incremental) augment(start int) error {
 		j0 = j1
 	}
 	return nil
+}
+
+// augmentBatch restores a perfect matching when several rows are free
+// at once: repeated multi-source shortest-augmenting-path passes, each
+// seeded from every remaining free row, that settle columns until the
+// nearest free column is reached. With f sources and f free columns
+// the frontier meets a free column far sooner than any single-source
+// pass would, so the passes early in a batch settle only a small slice
+// of the matrix; the count returned is the number of passes (one per
+// initially free row).
+//
+// Exactness is per-pass, by the same algebra as augment. Every source
+// seeds its candidates with its own (possibly stale) potential offset;
+// mixing offsets can only change which source wins the pass, never the
+// validity of the result: the flipped path follows the actual relax
+// parents, so its tightness equalities all hold with the winning
+// source's own offset folded in, and dual feasibility for the newly
+// matched source follows from its seed candidates bounding every
+// settled distance below and the final distance above. Losing sources
+// stay free and stale, exactly as they started.
+func (inc *Incremental) augmentBatch(sources []int) (int, error) {
+	passes := 0
+	if len(sources) == 0 {
+		return 0, nil
+	}
+	m := inc.m
+	sd, ss, v := inc.sd, inc.ss, inc.v
+	// Seed board: per column, the best direct candidate over all
+	// sources, maintained across passes. Ascending source order with
+	// strict improvement keeps the lowest row on ties. A pass
+	// invalidates a column's entry only if the pass settled it (its v
+	// shifted) or its providing source won (and is gone), so the repair
+	// after each pass touches a small slice of the board instead of
+	// reseeding sources x columns from scratch.
+	for j := 0; j < m; j++ {
+		sd[j] = math.Inf(1)
+		ss[j] = -1
+	}
+	for _, s := range sources {
+		row := inc.value[s]
+		off := -inc.u[s]
+		for j := 0; j < m; j++ {
+			if cand := off - row[j] - v[j]; cand < sd[j] {
+				sd[j] = cand
+				ss[j] = s
+			}
+		}
+	}
+	for {
+		winner, err := inc.augmentMulti()
+		if err != nil {
+			return passes, err
+		}
+		passes++
+		for k, s := range sources {
+			if s == winner {
+				sources = append(sources[:k], sources[k+1:]...)
+				break
+			}
+		}
+		if len(sources) == 0 {
+			return passes, nil
+		}
+		// Board repair. A seed entry is off - row[j] - v[j]; the pass
+		// changed only v (on settled columns) and u of rows that are
+		// matched or departed, so a settled column's offers from every
+		// remaining source moved by the same dual shift: the entry
+		// shifts in place and keeps its providing source. Only columns
+		// whose provider was the departed winner need a fresh scan over
+		// the remaining sources (row-major, so each source streams its
+		// own row).
+		stl, stlD := inc.stl, inc.stlD
+		base := stlD[len(stlD)-1]
+		for k, j := range stl {
+			if ss[j] != winner {
+				sd[j] += base - stlD[k]
+			}
+		}
+		inval := inc.uns[:0]
+		for j := 0; j < m; j++ {
+			if ss[j] == winner {
+				sd[j] = math.Inf(1)
+				ss[j] = -1
+				inval = append(inval, j)
+			}
+		}
+		for _, str := range sources {
+			row := inc.value[str]
+			off := -inc.u[str]
+			for _, j := range inval {
+				if cand := off - row[j] - v[j]; cand < sd[j] {
+					sd[j] = cand
+					ss[j] = str
+				}
+			}
+		}
+	}
+}
+
+// augmentMulti runs one multi-source pass over the current seed board
+// and returns the source row that got matched. The pass is augment's
+// frozen-dual Dijkstra restructured for the batch hot loop: the
+// unsettled columns live in compacted parallel arrays (index, tentative
+// distance, and frozen column potential), so the relax sweep reads
+// three sequential streams plus one gather into the relaxing row, and
+// the next-minimum reduction is split across two accumulators to break
+// the loop-carried compare chain. The index stream is int32 — the
+// sweep is memory-bound, so halving that stream's width is a measured
+// win, and pod matrices stay far below 2^31 columns. Settling swaps
+// the last live entry into the settled slot; settle-time distances are
+// recorded on a side list for the telescoped dual shifts. Ties in the
+// minimum reduction break deterministically (even slots win over odd
+// at equal distance); any minimum is a valid Dijkstra pick, so this
+// affects only which of several equal-value optima is reached.
+func (inc *Incremental) augmentMulti() (int, error) {
+	m := inc.m
+	cidx, cdist, cv := inc.ci[:m], inc.minv[:m], inc.cv[:m]
+	way, src := inc.way, inc.src
+	copy(cdist, inc.sd)
+	copy(cv, inc.v)
+	copy(src, inc.ss)
+	for j := 0; j < m; j++ {
+		cidx[j] = int32(j)
+		way[j] = -1
+	}
+	stl, stlD := inc.stl[:0], inc.stlD[:0]
+	nu := m // live prefix of the compacted arrays
+	// First settle: pure min scan over the seeded distances.
+	delta := math.Inf(1)
+	pick := -1
+	for k, d := range cdist {
+		if d < delta {
+			delta = d
+			pick = k
+		}
+	}
+	base := 0.0
+	j0 := -1
+	for {
+		if pick == -1 || math.IsInf(delta, 1) {
+			return -1, errors.New("assign: batch augment failed to reach a free column")
+		}
+		j1 := int(cidx[pick])
+		nu--
+		cidx[pick] = cidx[nu]
+		cdist[pick] = cdist[nu]
+		cv[pick] = cv[nu]
+		stl = append(stl, j1)
+		stlD = append(stlD, delta)
+		base = delta
+		if inc.colMatch[j1] == -1 {
+			j0 = j1
+			break
+		}
+		// Relax from the settled column's matched row, tracking the next
+		// minimum in the same sweep.
+		i0 := inc.colMatch[j1]
+		row := inc.value[i0]
+		off := base - inc.u[i0]
+		ci, cd, vv := cidx[:nu], cdist[:nu], cv[:nu]
+		d0, p0 := math.Inf(1), -1
+		d1, p1 := math.Inf(1), -1
+		k := 0
+		for ; k+1 < nu; k += 2 {
+			jA := ci[k]
+			dA := cd[k]
+			if cA := off - row[jA] - vv[k]; cA < dA {
+				dA = cA
+				cd[k] = cA
+				way[jA] = j1
+			}
+			if dA < d0 {
+				d0 = dA
+				p0 = k
+			}
+			jB := ci[k+1]
+			dB := cd[k+1]
+			if cB := off - row[jB] - vv[k+1]; cB < dB {
+				dB = cB
+				cd[k+1] = cB
+				way[jB] = j1
+			}
+			if dB < d1 {
+				d1 = dB
+				p1 = k + 1
+			}
+		}
+		if k < nu {
+			j := ci[k]
+			d := cd[k]
+			if c := off - row[j] - vv[k]; c < d {
+				d = c
+				cd[k] = c
+				way[j] = j1
+			}
+			if d < d0 {
+				d0 = d
+				p0 = k
+			}
+		}
+		if d1 < d0 {
+			delta, pick = d1, p1
+		} else {
+			delta, pick = d0, p0
+		}
+	}
+	inc.stl, inc.stlD = stl, stlD
+	// Telescoped dual shifts for the settled columns, while colMatch
+	// still names their pre-augment rows. The terminal free column
+	// settled at distance base, so its shift is zero.
+	for k, j := range stl {
+		if inc.colMatch[j] == -1 {
+			continue
+		}
+		shift := base - stlD[k]
+		inc.u[inc.colMatch[j]] += shift
+		inc.v[j] -= shift
+	}
+	// Find the winning source (the seed provider at the head of the
+	// path), credit it the full distance, then flip the path.
+	head := j0
+	for way[head] != -1 {
+		head = way[head]
+	}
+	winner := src[head]
+	inc.u[winner] += base
+	for j0 != -1 {
+		j1 := way[j0]
+		var r int
+		if j1 == -1 {
+			r = winner
+		} else {
+			r = inc.colMatch[j1]
+		}
+		inc.colMatch[j0] = r
+		inc.rowMatch[r] = j0
+		j0 = j1
+	}
+	return winner, nil
 }
 
 // SelfCheck verifies the solver's internal invariants — dual

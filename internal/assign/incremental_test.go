@@ -149,13 +149,13 @@ func TestIncrementalAddRemoveRows(t *testing.T) {
 // sums, so equality with Hungarian is still bit-for-bit.
 func TestIncrementalDegenerate(t *testing.T) {
 	cases := [][][]float64{
-		{{5}},                         // 1x1
-		{{1, 1, 1}},                   // all-tie single row
-		{{0, 0}, {0, 0}},              // all-zero square
-		{{1, 2}, {2, 1}},              // symmetric swap
-		{{3, 3, 3}, {3, 3, 3}},        // constant rectangular
-		{{-1, -2, -3}, {-3, -2, -1}},  // all-negative values
-		{{10, 0, 0}, {10, 0, 0}},      // duplicate rows forcing a tie split
+		{{5}},                             // 1x1
+		{{1, 1, 1}},                       // all-tie single row
+		{{0, 0}, {0, 0}},                  // all-zero square
+		{{1, 2}, {2, 1}},                  // symmetric swap
+		{{3, 3, 3}, {3, 3, 3}},            // constant rectangular
+		{{-1, -2, -3}, {-3, -2, -1}},      // all-negative values
+		{{10, 0, 0}, {10, 0, 0}},          // duplicate rows forcing a tie split
 		{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, // identity
 	}
 	for ci, v := range cases {

@@ -41,6 +41,13 @@ type ShardSettings struct {
 	// RebalanceRounds bounds migration passes per Rebalance call
 	// (0 = DefaultRebalanceRounds).
 	RebalanceRounds int
+	// BatchThreshold is the dirty-line count at or above which a pod's
+	// Refresh hands the whole dirty set to the parallel auction batch
+	// re-solve instead of repairing line by line
+	// (0 = assign.DefaultBatchThreshold, 1 forces the sequential path).
+	// The resulting assignment value is identical either way; only
+	// wall-clock changes.
+	BatchThreshold int
 }
 
 func (s ShardSettings) podSize() int {
@@ -64,7 +71,8 @@ type sPod struct {
 	name    string
 	builder *MatrixBuilder
 	solver  *assign.Incremental
-	pending DeltaStats // matrix work since the last Solve emit
+	pending DeltaStats        // matrix work since the last Solve emit
+	batch   assign.BatchStats // batch re-solve work since the last Solve emit
 	// touched marks that the matrix or matching changed since the last
 	// validated Solve; untouched pods skip re-validation, which is what
 	// keeps a steady-state single-host re-solve sublinear in pod count.
@@ -252,8 +260,10 @@ func (s *Sharded) Placement() map[string]string {
 
 // Refresh picks up host-cap and job-model drift: each pod's builder
 // re-fingerprints its inputs and recomputes only dirty cells, then each
-// pod's solver repairs exactly the changed rows and columns — one
-// augmenting pass per dirty line instead of a from-scratch solve.
+// pod's solver repairs the changed rows and columns in one ResolveBatch
+// call — the sequential per-line repair below the configured batch
+// threshold, the parallel auction re-solve at or above it. The repaired
+// assignment value is identical either way.
 func (s *Sharded) Refresh() (DeltaStats, error) {
 	var agg DeltaStats
 	results := make([]RefreshResult, len(s.pods))
@@ -269,23 +279,41 @@ func (s *Sharded) Refresh() (DeltaStats, error) {
 			pod.touched = true
 		}
 	}
+	// Pods fan out across the pool; the auction's inner bid phase only
+	// gets the pool when there is a single pod, so the two levels never
+	// oversubscribe.
+	innerWorkers := 1
+	if len(s.pods) == 1 {
+		innerWorkers = s.workers
+	}
+	opts := assign.BatchOptions{Threshold: s.set.BatchThreshold, Workers: innerWorkers}
 	err := parallel.ForEach(len(s.pods), s.workers, func(p int) error {
 		pod := s.pods[p]
-		mx := pod.builder.Matrix()
-		for _, i := range results[p].ChangedRows {
-			if err := pod.solver.SetRow(i, mx.Value[i]); err != nil {
-				return fmt.Errorf("cluster: pod %d row %d: %w", p, i, err)
-			}
+		res := &results[p]
+		if len(res.ChangedRows) == 0 && len(res.ChangedCols) == 0 {
+			return nil
 		}
-		col := make([]float64, pod.builder.Rows())
-		for _, j := range results[p].ChangedCols {
+		mx := pod.builder.Matrix()
+		rows := make([]assign.RowUpdate, len(res.ChangedRows))
+		for k, i := range res.ChangedRows {
+			rows[k] = assign.RowUpdate{Index: i, Values: mx.Value[i]}
+		}
+		cols := make([]assign.ColUpdate, len(res.ChangedCols))
+		for k, j := range res.ChangedCols {
+			col := make([]float64, pod.builder.Rows())
 			for i := range col {
 				col[i] = mx.Value[i][j]
 			}
-			if err := pod.solver.SetCol(j, col); err != nil {
-				return fmt.Errorf("cluster: pod %d col %d: %w", p, j, err)
-			}
+			cols[k] = assign.ColUpdate{Index: j, Values: col}
 		}
+		st, err := pod.solver.ResolveBatch(rows, cols, opts)
+		if err != nil {
+			return fmt.Errorf("cluster: pod %d batch repair: %w", p, err)
+		}
+		pod.batch.DirtyRows += st.DirtyRows
+		pod.batch.DirtyCols += st.DirtyCols
+		pod.batch.AuctionRounds += st.AuctionRounds
+		pod.batch.CleanupAugments += st.CleanupAugments
 		return nil
 	})
 	return agg, err
@@ -415,6 +443,7 @@ func (s *Sharded) Solve(tr *trace.Tracer, now time.Time) (map[string]string, flo
 	total := 0.0
 	rows, cols := 0, 0
 	var agg DeltaStats
+	var aggBatch assign.BatchStats
 	for p, pod := range s.pods {
 		mx := pod.builder.Matrix()
 		idx := pod.solver.Assignment()
@@ -432,10 +461,18 @@ func (s *Sharded) Solve(tr *trace.Tracer, now time.Time) (map[string]string, flo
 				Method: "incremental", Rows: pod.builder.Rows(), Cols: pod.builder.Cols(),
 				Total: val, Pod: pod.name,
 				CellsComputed: pod.pending.CellsComputed, CellsReused: pod.pending.CellsReused,
+				BatchDirty:    pod.batch.DirtyRows + pod.batch.DirtyCols,
+				BatchRounds:   pod.batch.AuctionRounds,
+				BatchAugments: pod.batch.CleanupAugments,
 			})
 		}
 		agg.add(pod.pending)
+		aggBatch.DirtyRows += pod.batch.DirtyRows
+		aggBatch.DirtyCols += pod.batch.DirtyCols
+		aggBatch.AuctionRounds += pod.batch.AuctionRounds
+		aggBatch.CleanupAugments += pod.batch.CleanupAugments
 		pod.pending = DeltaStats{}
+		pod.batch = assign.BatchStats{}
 		pod.touched = false
 		for i, j := range idx {
 			placement[mx.BENames[i]] = mx.LCNames[j]
@@ -448,6 +485,9 @@ func (s *Sharded) Solve(tr *trace.Tracer, now time.Time) (map[string]string, flo
 		tr.SolveSummary(now, trace.SolveSummary{
 			Method: "sharded", Rows: rows, Cols: cols, Total: total,
 			CellsComputed: agg.CellsComputed, CellsReused: agg.CellsReused,
+			BatchDirty:    aggBatch.DirtyRows + aggBatch.DirtyCols,
+			BatchRounds:   aggBatch.AuctionRounds,
+			BatchAugments: aggBatch.CleanupAugments,
 		})
 	}
 	return placement, total, nil

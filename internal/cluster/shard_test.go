@@ -437,3 +437,93 @@ func TestShardedDegenerate(t *testing.T) {
 		t.Error("accepted more jobs than hosts")
 	}
 }
+
+// The auction batch path and the sequential per-line path must repair a
+// drifting fleet to the identical assignment value — the batch re-solve
+// is an optimization, never a policy change. Drift every host cap and
+// every job model at once so each pod's dirty-line count clears the
+// forced threshold.
+func TestShardedRefreshBatchMatchesSequential(t *testing.T) {
+	mkPair := func() (*Sharded, *Sharded, MatrixConfig) {
+		cfg := shardFixture(t, 16, 12)
+		seq, err := NewSharded(cfg, ShardSettings{PodSize: 8, BatchThreshold: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc, err := NewSharded(cfg, ShardSettings{PodSize: 8, BatchThreshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq, auc, cfg
+	}
+	seq, auc, cfg := mkPair()
+	for round := 0; round < 3; round++ {
+		for i, lc := range cfg.LC {
+			lc.ProvisionedPowerW -= float64(3 + (i+round)%5)
+		}
+		for _, be := range cfg.BE {
+			nudged := *cfg.Models[be.Name]
+			nudged.Alpha0 *= 1.01 + 0.002*float64(round)
+			cfg.Models[be.Name] = &nudged
+		}
+		if _, err := seq.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := auc.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := auc.Total(), seq.Total(); got != want {
+			t.Fatalf("round %d: auction total %v != sequential total %v", round, got, want)
+		}
+		if err := auc.SelfCheck(); err != nil {
+			t.Fatalf("round %d: auction path: %v", round, err)
+		}
+		if err := seq.SelfCheck(); err != nil {
+			t.Fatalf("round %d: sequential path: %v", round, err)
+		}
+	}
+	// The forced-auction instance reports its batch work in the traced
+	// solve summaries; the sequential instance reports dirty lines but no
+	// auction rounds.
+	trA := trace.New("cluster", 0)
+	if _, _, err := auc.Solve(trA, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	var sharded *trace.SolveSummary
+	for _, ev := range trA.Events() {
+		if ev.Kind == trace.KindSolve && ev.Solve.Method == "sharded" {
+			s := ev.Solve
+			sharded = &s
+		}
+	}
+	if sharded == nil {
+		t.Fatal("no sharded solve summary traced")
+	}
+	if sharded.BatchDirty == 0 || sharded.BatchAugments == 0 {
+		t.Errorf("forced-auction summary missing batch counters: %+v", *sharded)
+	}
+	trS := trace.New("cluster", 0)
+	if _, _, err := seq.Solve(trS, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range trS.Events() {
+		if ev.Kind == trace.KindSolve && ev.Solve.Method == "sharded" {
+			if ev.Solve.BatchRounds != 0 {
+				t.Errorf("sequential summary reports auction rounds: %+v", ev.Solve)
+			}
+			if ev.Solve.BatchDirty == 0 {
+				t.Errorf("sequential summary dropped dirty-line count: %+v", ev.Solve)
+			}
+		}
+	}
+	// Counters reset once reported.
+	trA2 := trace.New("cluster", 0)
+	if _, _, err := auc.Solve(trA2, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range trA2.Events() {
+		if ev.Kind == trace.KindSolve && ev.Solve.BatchDirty != 0 {
+			t.Errorf("batch counters not reset after Solve: %+v", ev.Solve)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package controlplane
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -32,9 +35,16 @@ import (
 // a field-mask lie or reordered frame can corrupt nothing.
 
 const (
-	hbMagic    = 0xB8
-	hbVersion  = 1
-	hbFlagFull = 0x01
+	hbMagic = 0xB8
+	// hbVersion is the version the encoder writes. v2 DEFLATE-compresses
+	// a full frame's snapshot blob (raw length, then compressed length
+	// and bytes) — at fleet scale the resync storm after a controller
+	// restart is full frames from every agent at once, and the JSON
+	// snapshot is the frame. The decoder still accepts v1 (raw blob)
+	// so an upgraded controller drains not-yet-upgraded agents.
+	hbVersion   = 2
+	hbVersionV1 = 1
+	hbFlagFull  = 0x01
 
 	maxHeartbeatName = 256
 	maxHeartbeatURL  = 512
@@ -222,8 +232,20 @@ func EncodeHeartbeat(hb *Heartbeat) ([]byte, error) {
 		}
 		b = binary.AppendUvarint(b, uint64(len(hb.URL)))
 		b = append(b, hb.URL...)
+		var comp bytes.Buffer
+		zw, err := flate.NewWriter(&comp, flate.BestSpeed)
+		if err != nil {
+			return nil, fmt.Errorf("controlplane: compressing heartbeat snapshot: %w", err)
+		}
+		if _, err := zw.Write(blob); err != nil {
+			return nil, fmt.Errorf("controlplane: compressing heartbeat snapshot: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return nil, fmt.Errorf("controlplane: compressing heartbeat snapshot: %w", err)
+		}
 		b = binary.AppendUvarint(b, uint64(len(blob)))
-		b = append(b, blob...)
+		b = binary.AppendUvarint(b, uint64(comp.Len()))
+		b = append(b, comp.Bytes()...)
 		return b, nil
 	}
 	if hb.Mask&^hbMaskAll != 0 {
@@ -256,8 +278,8 @@ func DecodeHeartbeat(frame []byte) (*Heartbeat, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != hbVersion {
-		return nil, fmt.Errorf("controlplane: heartbeat version %d, want %d", version, hbVersion)
+	if version != hbVersion && version != hbVersionV1 {
+		return nil, fmt.Errorf("controlplane: heartbeat version %d, want %d or %d", version, hbVersionV1, hbVersion)
 	}
 	flags, err := r.byte("flags")
 	if err != nil {
@@ -293,9 +315,41 @@ func DecodeHeartbeat(frame []byte) (*Heartbeat, error) {
 		if n > maxHeartbeatBlob {
 			return nil, fmt.Errorf("controlplane: heartbeat snapshot %d bytes exceeds %d", n, maxHeartbeatBlob)
 		}
-		blob, err := r.bytes(int(n), "snapshot")
-		if err != nil {
-			return nil, err
+		var blob []byte
+		if version == hbVersionV1 {
+			if blob, err = r.bytes(int(n), "snapshot"); err != nil {
+				return nil, err
+			}
+		} else {
+			cn, err := r.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("controlplane: heartbeat compressed length: %w", err)
+			}
+			if cn > maxHeartbeatBlob {
+				return nil, fmt.Errorf("controlplane: heartbeat compressed snapshot %d bytes exceeds %d", cn, maxHeartbeatBlob)
+			}
+			comp, err := r.bytes(int(cn), "compressed snapshot")
+			if err != nil {
+				return nil, err
+			}
+			// Strict inflate: the stream must produce exactly the declared
+			// raw length and consume exactly the declared compressed bytes —
+			// a frame lying about either is rejected, not truncated.
+			br := bytes.NewReader(comp)
+			zr := flate.NewReader(br)
+			blob, err = io.ReadAll(io.LimitReader(zr, int64(n)+1))
+			if cerr := zr.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, fmt.Errorf("controlplane: heartbeat snapshot inflate: %w", err)
+			}
+			if uint64(len(blob)) != n {
+				return nil, fmt.Errorf("controlplane: heartbeat snapshot inflates to %d bytes, header says %d", len(blob), n)
+			}
+			if br.Len() != 0 {
+				return nil, fmt.Errorf("controlplane: heartbeat compressed snapshot has %d trailing bytes", br.Len())
+			}
 		}
 		if err := json.Unmarshal(blob, &hb.Stats); err != nil {
 			return nil, fmt.Errorf("controlplane: heartbeat snapshot: %w", err)

@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"encoding/json"
 	"math"
@@ -482,10 +483,145 @@ func TestHeartbeatDeltaSize(t *testing.T) {
 	if len(delta) >= 100 {
 		t.Fatalf("steady-state delta is %d bytes, want < 100", len(delta))
 	}
-	if len(full) < 10*len(delta) {
-		t.Fatalf("full frame %dB not ≥10x delta %dB; delta encoding buys too little", len(full), len(delta))
+	// Compression narrows the full/delta gap (the v1 raw frame was
+	// >10x), but a delta must still be several times cheaper than even a
+	// compressed resync.
+	if len(full) < 5*len(delta) {
+		t.Fatalf("full frame %dB not ≥5x delta %dB; delta encoding buys too little", len(full), len(delta))
 	}
 	if bytes.Equal(full[:3], delta[:3]) {
 		t.Fatalf("full and delta share flag bytes: % x vs % x", full[:3], delta[:3])
+	}
+}
+
+// encodeHeartbeatV1Full hand-builds a version-1 full frame (raw JSON
+// snapshot, no compression) — the shape a not-yet-upgraded agent still
+// sends and the v2 decoder must keep accepting.
+func encodeHeartbeatV1Full(tb testing.TB, hb *Heartbeat) []byte {
+	tb.Helper()
+	blob, err := json.Marshal(&hb.Stats)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b := []byte{hbMagic, hbVersionV1, hbFlagFull}
+	b = binary.AppendUvarint(b, uint64(len(hb.Agent)))
+	b = append(b, hb.Agent...)
+	b = binary.AppendUvarint(b, hb.Seq)
+	b = binary.AppendUvarint(b, hb.Epoch)
+	b = binary.AppendUvarint(b, uint64(len(hb.URL)))
+	b = append(b, hb.URL...)
+	b = binary.AppendUvarint(b, uint64(len(blob)))
+	return append(b, blob...)
+}
+
+func TestHeartbeatCompressedFullRoundTrip(t *testing.T) {
+	hb := &Heartbeat{
+		Agent: "agent-a", URL: "http://agent-a:7001", Seq: 9, Epoch: 3,
+		Full: true, Stats: codecStats(),
+	}
+	frame, err := EncodeHeartbeat(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[1] != hbVersion {
+		t.Fatalf("encoder wrote version %d, want %d", frame[1], hbVersion)
+	}
+	raw := encodeHeartbeatV1Full(t, hb)
+	if len(frame) >= len(raw) {
+		t.Errorf("compressed full frame %dB not smaller than raw v1 frame %dB", len(frame), len(raw))
+	}
+	got, err := DecodeHeartbeat(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Agent != hb.Agent || got.URL != hb.URL || got.Seq != hb.Seq || got.Epoch != hb.Epoch || !got.Full {
+		t.Fatalf("header fields mangled: %+v", got)
+	}
+	if statsJSON(t, &got.Stats) != statsJSON(t, &hb.Stats) {
+		t.Fatal("snapshot not bit-identical through compressed round-trip")
+	}
+}
+
+func TestHeartbeatV1FullDowngrade(t *testing.T) {
+	hb := &Heartbeat{
+		Agent: "agent-a", URL: "http://agent-a:7001", Seq: 2, Epoch: 1,
+		Full: true, Stats: codecStats(),
+	}
+	got, err := DecodeHeartbeat(encodeHeartbeatV1Full(t, hb))
+	if err != nil {
+		t.Fatalf("v1 full frame rejected: %v", err)
+	}
+	if !got.Full || got.Agent != hb.Agent || got.URL != hb.URL {
+		t.Fatalf("v1 decode mangled header: %+v", got)
+	}
+	if statsJSON(t, &got.Stats) != statsJSON(t, &hb.Stats) {
+		t.Fatal("v1 snapshot not bit-identical")
+	}
+}
+
+func TestHeartbeatCompressedRejects(t *testing.T) {
+	hb := &Heartbeat{
+		Agent: "agent-a", URL: "http://agent-a:7001", Seq: 5, Epoch: 2,
+		Full: true, Stats: codecStats(),
+	}
+	frame, err := EncodeHeartbeat(hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), frame...))
+	}
+	cases := map[string][]byte{
+		"unknown version 3": mutate(func(b []byte) []byte { b[1] = 3; return b }),
+		"corrupt compressed stream": mutate(func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}),
+		"truncated compressed stream": mutate(func(b []byte) []byte { return b[:len(b)-4] }),
+	}
+	for name, f := range cases {
+		if _, err := DecodeHeartbeat(f); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// A raw-length lie: re-point the declared inflated size one byte
+	// short. The frame layout past the URL is rawLen, compLen, comp;
+	// rebuild with rawLen-1.
+	blob, err := json.Marshal(&hb.Stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comp bytes.Buffer
+	zw, _ := flate.NewWriter(&comp, flate.BestSpeed)
+	zw.Write(blob)
+	zw.Close()
+	lie := []byte{hbMagic, hbVersion, hbFlagFull}
+	lie = binary.AppendUvarint(lie, uint64(len(hb.Agent)))
+	lie = append(lie, hb.Agent...)
+	lie = binary.AppendUvarint(lie, hb.Seq)
+	lie = binary.AppendUvarint(lie, hb.Epoch)
+	lie = binary.AppendUvarint(lie, uint64(len(hb.URL)))
+	lie = append(lie, hb.URL...)
+	lie = binary.AppendUvarint(lie, uint64(len(blob)-1))
+	lie = binary.AppendUvarint(lie, uint64(comp.Len()))
+	lie = append(lie, comp.Bytes()...)
+	if _, err := DecodeHeartbeat(lie); err == nil {
+		t.Error("raw-length lie decoded without error")
+	}
+	// Trailing garbage inside the compressed region (after the DEFLATE
+	// final block) must be rejected even though the stream inflates.
+	pad := []byte{hbMagic, hbVersion, hbFlagFull}
+	pad = binary.AppendUvarint(pad, uint64(len(hb.Agent)))
+	pad = append(pad, hb.Agent...)
+	pad = binary.AppendUvarint(pad, hb.Seq)
+	pad = binary.AppendUvarint(pad, hb.Epoch)
+	pad = binary.AppendUvarint(pad, uint64(len(hb.URL)))
+	pad = append(pad, hb.URL...)
+	pad = binary.AppendUvarint(pad, uint64(len(blob)))
+	pad = binary.AppendUvarint(pad, uint64(comp.Len()+2))
+	pad = append(pad, comp.Bytes()...)
+	pad = append(pad, 0xDE, 0xAD)
+	if _, err := DecodeHeartbeat(pad); err == nil {
+		t.Error("compressed trailing garbage decoded without error")
 	}
 }

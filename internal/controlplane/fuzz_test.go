@@ -44,12 +44,20 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	maskLie := []byte{hbMagic, hbVersion, 0, 1, 'a', 2, 1, 1}
 	maskLie = binary.AppendUvarint(maskLie, hbMaskAll) // claims every field...
 	maskLie = append(maskLie, 0x42)                    // ...delivers one byte
+	fullV1 := encodeHeartbeatV1Full(tb, &Heartbeat{
+		Agent: "agent-a", URL: "http://agent-a:7001", Seq: 1, Epoch: 1,
+		Full: true, Stats: codecStats(),
+	})
+	corruptComp := append([]byte{}, full...)
+	corruptComp[len(corruptComp)-1] ^= 0xFF // damage the DEFLATE final block
 	return [][]byte{
-		full,
+		full, // v2: snapshot blob compressed
 		delta,
 		allMask,
+		fullV1,               // v1 downgrade: raw snapshot blob
 		full[:len(full)/2],   // truncated mid-snapshot
 		delta[:len(delta)-1], // truncated mid-field
+		corruptComp,
 		append([]byte{hbMagic, hbVersion + 1}, full[2:]...),   // version skew
 		append([]byte{hbMagic, hbVersion, 0xFF}, full[3:]...), // undefined flags
 		maskLie,

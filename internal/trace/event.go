@@ -190,6 +190,14 @@ type SolveSummary struct {
 	// delta-driven.
 	CellsComputed int
 	CellsReused   int
+	// BatchDirty, BatchRounds, and BatchAugments count batch re-solve
+	// work since the previous summary: dirty lines handed to
+	// ResolveBatch, auction bidding rounds, and multi-source augmenting
+	// passes. All zero when every repair took the sequential per-line
+	// path.
+	BatchDirty    int
+	BatchRounds   int
+	BatchAugments int
 }
 
 // BudgetChange is the payload of budget-shift and budget-cut events: one
@@ -325,6 +333,11 @@ func (e *Event) appendJSON(b []byte, includeWall bool) []byte {
 			b = appendIntField(b, "cells_computed", int64(s.CellsComputed))
 			b = appendIntField(b, "cells_reused", int64(s.CellsReused))
 		}
+		if s.BatchDirty != 0 || s.BatchRounds != 0 || s.BatchAugments != 0 {
+			b = appendIntField(b, "batch_dirty", int64(s.BatchDirty))
+			b = appendIntField(b, "batch_rounds", int64(s.BatchRounds))
+			b = appendIntField(b, "batch_augments", int64(s.BatchAugments))
+		}
 	case KindSpan:
 		b = appendStringField(b, "name", e.Span.Name)
 		if includeWall {
@@ -413,6 +426,9 @@ type eventJSON struct {
 	Pod           string  `json:"pod"`
 	CellsComputed int     `json:"cells_computed"`
 	CellsReused   int     `json:"cells_reused"`
+	BatchDirty    int     `json:"batch_dirty"`
+	BatchRounds   int     `json:"batch_rounds"`
+	BatchAugments int     `json:"batch_augments"`
 
 	Name  string `json:"name"`
 	DurNS int64  `json:"dur_ns"`
@@ -454,6 +470,7 @@ func (j *eventJSON) event() (Event, error) {
 		ev.Solve = SolveSummary{
 			Method: j.Method, Rows: j.Rows, Cols: j.Cols, Total: j.Total,
 			Pod: j.Pod, CellsComputed: j.CellsComputed, CellsReused: j.CellsReused,
+			BatchDirty: j.BatchDirty, BatchRounds: j.BatchRounds, BatchAugments: j.BatchAugments,
 		}
 	case KindSpan:
 		ev.Span = SpanInfo{Name: j.Name, DurNS: j.DurNS}

@@ -161,6 +161,10 @@ func validatePayload(ev *Event) error {
 		if s.CellsComputed < 0 || s.CellsReused < 0 {
 			return fmt.Errorf("solve: negative cell counters %d/%d", s.CellsComputed, s.CellsReused)
 		}
+		if s.BatchDirty < 0 || s.BatchRounds < 0 || s.BatchAugments < 0 {
+			return fmt.Errorf("solve: negative batch counters %d/%d/%d",
+				s.BatchDirty, s.BatchRounds, s.BatchAugments)
+		}
 	case KindSpan:
 		if ev.Span.Name == "" {
 			return fmt.Errorf("span: empty name")
@@ -345,6 +349,11 @@ func chromeArgs(ev *Event) map[string]any {
 		if s.CellsComputed != 0 || s.CellsReused != 0 {
 			args["cells_computed"] = s.CellsComputed
 			args["cells_reused"] = s.CellsReused
+		}
+		if s.BatchDirty != 0 || s.BatchRounds != 0 || s.BatchAugments != 0 {
+			args["batch_dirty"] = s.BatchDirty
+			args["batch_rounds"] = s.BatchRounds
+			args["batch_augments"] = s.BatchAugments
 		}
 		return args
 	case KindBudgetShift, KindBudgetCut:

@@ -262,12 +262,12 @@ func TestChromeExportValidates(t *testing.T) {
 
 func TestValidateChromeTraceRejects(t *testing.T) {
 	cases := map[string]string{
-		"not array":      `{"name":"x"}`,
-		"empty name":     `[{"ph":"i","ts":1,"pid":1,"tid":1}]`,
-		"unknown phase":  `[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":1}]`,
-		"missing ts":     `[{"name":"x","ph":"i","pid":1,"tid":1}]`,
-		"negative ts":    `[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]`,
-		"ts regression":  `[{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},{"name":"b","ph":"i","ts":4,"pid":1,"tid":1}]`,
+		"not array":     `{"name":"x"}`,
+		"empty name":    `[{"ph":"i","ts":1,"pid":1,"tid":1}]`,
+		"unknown phase": `[{"name":"x","ph":"Z","ts":1,"pid":1,"tid":1}]`,
+		"missing ts":    `[{"name":"x","ph":"i","pid":1,"tid":1}]`,
+		"negative ts":   `[{"name":"x","ph":"i","ts":-1,"pid":1,"tid":1}]`,
+		"ts regression": `[{"name":"a","ph":"i","ts":5,"pid":1,"tid":1},{"name":"b","ph":"i","ts":4,"pid":1,"tid":1}]`,
 	}
 	for name, payload := range cases {
 		if err := ValidateChromeTrace(strings.NewReader(payload)); err == nil {
