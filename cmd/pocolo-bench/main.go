@@ -20,7 +20,9 @@
 // With -baseline, the run is additionally compared against a committed
 // snapshot: any benchmark whose best ns/op regresses by more than
 // -max-regress (a fraction, default 0.25) fails the command, which makes
-// it usable as a CI regression gate.
+// it usable as a CI regression gate. With -max-allocs N, any matched
+// benchmark reporting more than N allocs/op fails too — the zero-alloc
+// gate the observability hot path is held to.
 package main
 
 import (
@@ -34,6 +36,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -66,6 +69,16 @@ type Snapshot struct {
 	Command    []string `json:"command"`
 	Results    []Result `json:"results"`
 	RawOutput  string   `json:"raw_output,omitempty"`
+	// PeakRSSKB is the benchmark child process's peak resident set in
+	// kilobytes (ru_maxrss of the `go test` process tree's leader), so
+	// memory blow-ups are diffable alongside ns/op. Zero when the
+	// platform doesn't report rusage.
+	PeakRSSKB int64 `json:"peak_rss_kb,omitempty"`
+	// HarnessHeapInuse is runtime.MemStats.HeapInuse of the harness
+	// process after the run — the harness's own footprint, recorded so a
+	// snapshot distinguishes benchmark memory (PeakRSSKB) from the
+	// parser's.
+	HarnessHeapInuse uint64 `json:"harness_heap_inuse_bytes,omitempty"`
 }
 
 func main() {
@@ -80,6 +93,7 @@ func main() {
 	raw := flag.Bool("raw", false, "also embed the raw go test output in the snapshot")
 	baseline := flag.String("baseline", "", "compare against this committed snapshot and fail on regression")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression vs -baseline (0.25 = +25%)")
+	maxAllocs := flag.Int64("max-allocs", -1, "fail if any matched benchmark exceeds this allocs/op (-1 = no gate)")
 	flag.Parse()
 
 	date := time.Now().Format("2006-01-02")
@@ -104,6 +118,10 @@ func main() {
 	snap := Parse(text)
 	snap.Date = date
 	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
+	snap.PeakRSSKB = peakRSSKB(cmd.ProcessState)
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	snap.HarnessHeapInuse = mem.HeapInuse
 	snap.Note = *note
 	snap.Command = append([]string{"go"}, args...)
 	if *raw {
@@ -128,6 +146,20 @@ func main() {
 	}
 	log.Printf("wrote %d benchmark results to %s", len(snap.Results), *out)
 
+	if *maxAllocs >= 0 {
+		over := 0
+		for _, r := range snap.Results {
+			if r.HasMem && r.AllocsPerOp > *maxAllocs {
+				log.Printf("ALLOCS %s: %d allocs/op (limit %d)", r.Name, r.AllocsPerOp, *maxAllocs)
+				over++
+			}
+		}
+		if over > 0 {
+			log.Fatalf("%d benchmark(s) allocate beyond the %d allocs/op budget", over, *maxAllocs)
+		}
+		log.Printf("all benchmarks within %d allocs/op", *maxAllocs)
+	}
+
 	if *baseline != "" {
 		base, err := LoadSnapshot(*baseline)
 		if err != nil {
@@ -144,6 +176,23 @@ func main() {
 		}
 		log.Printf("no regressions beyond %.0f%% vs %s", *maxRegress*100, *baseline)
 	}
+}
+
+// peakRSSKB extracts the child's peak resident set from its rusage, in
+// kilobytes. Linux reports ru_maxrss in KB already; other platforms (or
+// a nil state) yield zero rather than a wrong unit.
+func peakRSSKB(state *os.ProcessState) int64 {
+	if state == nil {
+		return 0
+	}
+	ru, ok := state.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return 0
+	}
+	if runtime.GOOS == "darwin" {
+		return ru.Maxrss / 1024 // darwin reports bytes
+	}
+	return ru.Maxrss
 }
 
 // LoadSnapshot reads a BENCH_<date>.json file written by this command.

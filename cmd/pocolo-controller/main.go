@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"pocolo/internal/controlplane"
+	"pocolo/internal/obs"
 	"pocolo/internal/trace"
 )
 
@@ -73,6 +74,9 @@ func main() {
 	podSize := flag.Int("pod-size", 0, "agents per state shard under -transport stream (0 = default)")
 	tracePath := flag.String("trace", "", "dump the aggregated cluster decision trace as JSONL to this file on shutdown")
 	traceEvents := flag.Int("trace-events", 0, "controller decision-trace ring capacity in events (0 = default, negative disables tracing)")
+	noObs := flag.Bool("no-obs", false, "disable the observability plane (round/solve/ingest histograms, SLO burn, /v1/top rollup)")
+	roundDeadline := flag.Duration("round-deadline", 0, "round-latency SLO target (default heartbeat)")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder: rounds past -round-deadline capture a bundle directory here")
 	flag.Parse()
 
 	var tracer *trace.Tracer
@@ -93,21 +97,33 @@ func main() {
 		spec = strings.TrimSpace(string(raw))
 	}
 
+	var reg *obs.Registry
+	if !*noObs {
+		reg = obs.NewRegistry()
+	}
+	var recorder *obs.FlightRecorder
+	if *flightDir != "" {
+		recorder = obs.NewRecorder(obs.RecorderConfig{Dir: *flightDir})
+	}
+
 	if err := run(*agents, *be, *listen, *tracePath, controlplane.ControllerConfig{
-		Trace:        tracer,
-		BudgetTree:   spec,
-		Heartbeat:    *heartbeat,
-		Timeout:      *timeout,
-		DeadAfter:    *deadAfter,
-		Retries:      *retries,
-		MaxBackoff:   *maxBackoff,
-		Jitter:       *jitter,
-		Solver:       *solver,
-		ResolveEvery: *resolveEvery,
-		Seed:         *seed,
-		Transport:    *transport,
-		PodSize:      *podSize,
-		Logf:         log.Printf,
+		Trace:         tracer,
+		Obs:           reg,
+		RoundDeadline: *roundDeadline,
+		Recorder:      recorder,
+		BudgetTree:    spec,
+		Heartbeat:     *heartbeat,
+		Timeout:       *timeout,
+		DeadAfter:     *deadAfter,
+		Retries:       *retries,
+		MaxBackoff:    *maxBackoff,
+		Jitter:        *jitter,
+		Solver:        *solver,
+		ResolveEvery:  *resolveEvery,
+		Seed:          *seed,
+		Transport:     *transport,
+		PodSize:       *podSize,
+		Logf:          log.Printf,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -143,6 +159,7 @@ func run(agents, be, listen, tracePath string, cfg controlplane.ControllerConfig
 		mux.HandleFunc("/v1/status", ctl.StatusHandler)
 		mux.HandleFunc("/metrics", ctl.MetricsHandler)
 		mux.HandleFunc(controlplane.RouteTrace, ctl.TraceHandler)
+		mux.HandleFunc(controlplane.RouteTop, ctl.TopHandler)
 		if cfg.Transport == controlplane.TransportStream {
 			mux.HandleFunc(controlplane.RouteHeartbeat, ctl.HeartbeatHandler)
 		}

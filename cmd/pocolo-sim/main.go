@@ -77,12 +77,24 @@ func run(args []string, out io.Writer) error {
 	streamDemo := fs.Int("stream-demo", 0, "run the in-process control-plane demo over this many agents instead of the simulation: catalog LC apps round-robin, one BE replica per two agents, a per-pod budget tree, and the sharded solver, all driven through live controller rounds")
 	transport := fs.String("transport", "stream", "control-plane transport for -stream-demo: stream (delta heartbeats) or poll (per-round HTTP stats)")
 	streamRounds := fs.Int("stream-rounds", 12, "controller rounds to run in -stream-demo")
+	slowRound := fs.Int("slow-round", 0, "inject synthetic latency past the round deadline into this -stream-demo round (0 = none); with -flight-dir the breach captures exactly one flight bundle")
+	flightDir := fs.String("flight-dir", "", "arm the -stream-demo flight recorder: rounds past -round-deadline capture a bundle directory here (inspect with pocolo-trace -bundle)")
+	roundDeadline := fs.Duration("round-deadline", 0, "round-latency SLO target for -stream-demo (default 100ms when -flight-dir or -slow-round is set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *streamDemo > 0 {
-		return runStreamDemo(out, *streamDemo, *transport, *podSize, *streamRounds, *seed)
+		return runStreamDemo(out, demoOptions{
+			agents:        *streamDemo,
+			transport:     *transport,
+			podSize:       *podSize,
+			rounds:        *streamRounds,
+			seed:          *seed,
+			slowRound:     *slowRound,
+			flightDir:     *flightDir,
+			roundDeadline: *roundDeadline,
+		})
 	}
 
 	plannerOff, err := parsePlannerFlag(*planner)
@@ -224,24 +236,37 @@ func run(args []string, out io.Writer) error {
 	return writeTraces(sys, out, *tracePath, *traceChrome)
 }
 
+// demoOptions carries the -stream-demo flag set into runStreamDemo.
+type demoOptions struct {
+	agents, podSize, rounds, slowRound int
+	transport, flightDir               string
+	seed                               int64
+	roundDeadline                      time.Duration
+}
+
 // runStreamDemo drives the in-process control-plane demo and prints each
 // round's decisions followed by a summary. The decision lines are
 // transport-neutral: a stream run and a poll run with the same seed print
-// identical decisions, which CI verifies by diffing the two outputs.
-func runStreamDemo(out io.Writer, agents int, transport string, podSize, rounds int, seed int64) error {
+// identical decisions, which CI verifies by diffing the two outputs. With
+// -slow-round and -flight-dir, the injected breach of the round deadline
+// captures a flight bundle under the given directory.
+func runStreamDemo(out io.Writer, opts demoOptions) error {
 	report, err := controlplane.RunStreamDemo(context.Background(), controlplane.StreamDemoConfig{
-		Agents:    agents,
-		Transport: transport,
-		PodSize:   podSize,
-		Rounds:    rounds,
-		Seed:      seed,
-		Out:       out,
+		Agents:        opts.agents,
+		Transport:     opts.transport,
+		PodSize:       opts.podSize,
+		Rounds:        opts.rounds,
+		Seed:          opts.seed,
+		Out:           out,
+		SlowRound:     opts.slowRound,
+		FlightDir:     opts.flightDir,
+		RoundDeadline: opts.roundDeadline,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "demo: %d agents, %d rounds, %d placed, %d deaths, %d rejoins\n",
-		agents, report.Rounds, len(report.Status.Placement), report.Deaths, report.Rejoins)
+		opts.agents, report.Rounds, len(report.Status.Placement), report.Deaths, report.Rejoins)
 	return report.Err()
 }
 

@@ -1,0 +1,173 @@
+// Command pocolo-top renders a live terminal view of a pocolo fleet: one
+// row per pod with solve-latency quantiles, heartbeat staleness
+// watermarks, budget headroom, and cap violations, plus the controller's
+// round-latency and SLO-burn summary. It reads the controller's
+// GET /v1/top rollup, so it works identically against either transport.
+//
+// Usage:
+//
+//	pocolo-top -addr http://127.0.0.1:7100           # watch a live controller
+//	pocolo-top -demo 256                             # in-process demo fleet
+//	pocolo-top -demo 1000 -once -json                # headless snapshot (CI)
+//
+// With -addr the view polls a running pocolo-controller every -interval.
+// With -demo N it builds the in-process stream-demo cluster (see
+// pocolo-sim -stream-demo) with an observability registry wired, drives
+// the campaign in the background, and renders the controller's rollup as
+// the rounds execute. -once renders a single snapshot and exits — under
+// -demo it waits for the campaign to finish first, so the snapshot
+// covers every round; -json emits the raw TopSnapshot instead of the
+// table, for scripting and CI smoke tests.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"pocolo/internal/controlplane"
+	"pocolo/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pocolo-top: ")
+	addr := flag.String("addr", "", "controller base URL to poll (GET /v1/top)")
+	interval := flag.Duration("interval", time.Second, "refresh period")
+	once := flag.Bool("once", false, "render one snapshot and exit (with -demo: after the campaign finishes)")
+	asJSON := flag.Bool("json", false, "emit the raw TopSnapshot JSON instead of the table")
+	demo := flag.Int("demo", 0, "run the in-process stream demo over this many agents instead of polling -addr")
+	transport := flag.String("transport", controlplane.TransportStream, "demo transport: stream or poll")
+	podSize := flag.Int("pod-size", 0, "demo shard/pod size (0 = default)")
+	rounds := flag.Int("rounds", 0, "demo controller rounds (0 = default)")
+	seed := flag.Int64("seed", 1, "demo seed")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *demo > 0:
+		err = runDemo(*demo, *transport, *podSize, *rounds, *seed, *interval, *once, *asJSON)
+	case *addr != "":
+		err = runPoll(*addr, *interval, *once, *asJSON)
+	default:
+		err = fmt.Errorf("need -addr or -demo (see -help)")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runDemo builds the demo campaign with an observability registry, runs
+// it in the background, and renders the live controller's rollup.
+func runDemo(agents int, transport string, podSize, rounds int, seed int64, interval time.Duration, once, asJSON bool) error {
+	camp, err := controlplane.NewStreamDemo(controlplane.StreamDemoConfig{
+		Agents:    agents,
+		Transport: transport,
+		PodSize:   podSize,
+		Rounds:    rounds,
+		Seed:      seed,
+		Obs:       obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	ctl := camp.Controller()
+
+	done := make(chan error, 1)
+	go func() {
+		report, err := camp.Run(context.Background())
+		if err == nil {
+			err = report.Err()
+		}
+		done <- err
+	}()
+
+	if once {
+		// Headless mode: one snapshot covering the whole campaign.
+		if err := <-done; err != nil {
+			return err
+		}
+		return render(os.Stdout, ctl.Top(), asJSON, false)
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case err := <-done:
+			if rerr := render(os.Stdout, ctl.Top(), asJSON, false); rerr != nil {
+				return rerr
+			}
+			return err
+		case <-tick.C:
+			if err := render(os.Stdout, ctl.Top(), asJSON, !asJSON); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runPoll watches a running controller over HTTP.
+func runPoll(addr string, interval time.Duration, once, asJSON bool) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		top, err := fetchTop(client, addr)
+		if err != nil {
+			return err
+		}
+		if err := render(os.Stdout, top, asJSON, !once && !asJSON); err != nil {
+			return err
+		}
+		if once {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func fetchTop(client *http.Client, addr string) (controlplane.TopSnapshot, error) {
+	var top controlplane.TopSnapshot
+	resp, err := client.Get(addr + controlplane.RouteTop)
+	if err != nil {
+		return top, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return top, fmt.Errorf("GET %s%s: %s: %s", addr, controlplane.RouteTop, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		return top, fmt.Errorf("decoding top snapshot: %w", err)
+	}
+	return top, nil
+}
+
+// render writes one snapshot; clear prefixes the ANSI home-and-clear
+// sequence for the live full-screen refresh.
+func render(w io.Writer, top controlplane.TopSnapshot, asJSON, clear bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(top)
+	}
+	if clear {
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+	}
+	fmt.Fprintf(w, "pocolo-top  transport=%s  rounds=%d  solves=%d  deaths=%d  degraded=%t\n",
+		top.Transport, top.Rounds, top.Solves, top.Deaths, top.Degraded)
+	fmt.Fprintf(w, "round p50=%.2fms p99=%.2fms   slo-burn round=%.2f stale=%.2f\n\n",
+		top.RoundP50Ms, top.RoundP99Ms, top.RoundBurn, top.StaleBurn)
+	fmt.Fprintf(w, "%-8s %7s %6s %9s %9s %9s %8s %8s %12s %5s\n",
+		"POD", "AGENTS", "ALIVE", "STALE(s)", "P50(ms)", "P99(ms)", "DIRTY", "ROUNDS", "HEADROOM(W)", "VIOL")
+	for _, p := range top.Pods {
+		fmt.Fprintf(w, "%-8s %7d %6d %9.2f %9.2f %9.2f %8d %8d %12.1f %5d\n",
+			p.Pod, p.Agents, p.Alive, p.StalenessS, p.SolveP50Ms, p.SolveP99Ms,
+			p.BatchDirty, p.BatchRounds, p.HeadroomW, p.Violations)
+	}
+	return nil
+}

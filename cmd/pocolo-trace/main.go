@@ -8,19 +8,29 @@
 //	pocolo-trace -summary trace.jsonl             # per-kind / per-host counts
 //	pocolo-trace -chrome out.json trace.jsonl     # convert JSONL -> Chrome trace
 //	pocolo-trace -validate-chrome trace-chrome.json
+//	pocolo-trace -bundle flight/bundle-0001-t...  # validate + summarize a flight bundle
 //
 // Modes compose: -validate -summary trace.jsonl validates first, then
 // prints the summary. Exactly one positional trace file is required.
+//
+// -bundle takes a flight-recorder bundle directory (see pocolo-sim
+// -flight-dir and DESIGN.md §16): it validates the embedded event log
+// against the trace schema, cross-checks meta.json's event count,
+// decodes the obs snapshot, requires the goroutine and heap profiles to
+// be present and non-empty, and prints a one-screen summary.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 
+	"pocolo/internal/obs"
 	"pocolo/internal/trace"
 )
 
@@ -38,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	summary := fs.Bool("summary", false, "print per-kind and per-host event counts and the covered time range")
 	chromeOut := fs.String("chrome", "", "convert the JSONL trace to Chrome trace-event format at this path")
 	validateChrome := fs.Bool("validate-chrome", false, "treat the input as a Chrome trace-event file and validate it")
+	bundle := fs.Bool("bundle", false, "treat the argument as a flight-recorder bundle directory: validate its artifacts and print a summary")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,8 +56,15 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("want exactly one trace file argument, got %d", fs.NArg())
 	}
 	path := fs.Arg(0)
-	if !*validate && !*summary && *chromeOut == "" && !*validateChrome {
-		return fmt.Errorf("nothing to do: pass -validate, -summary, -chrome OUT, or -validate-chrome")
+	if !*validate && !*summary && *chromeOut == "" && !*validateChrome && !*bundle {
+		return fmt.Errorf("nothing to do: pass -validate, -summary, -chrome OUT, -validate-chrome, or -bundle")
+	}
+
+	if *bundle {
+		if *validate || *summary || *chromeOut != "" || *validateChrome {
+			return fmt.Errorf("-bundle reads a bundle directory and cannot combine with the trace-file modes")
+		}
+		return checkBundle(out, path)
 	}
 
 	if *validateChrome {
@@ -98,6 +116,73 @@ func run(args []string, out io.Writer) error {
 	if *summary {
 		printSummary(out, events)
 	}
+	return nil
+}
+
+// checkBundle validates one flight-recorder bundle directory and prints
+// its summary: the event log must parse and pass schema validation,
+// meta.json's event count must match, obs.json must decode as a metrics
+// snapshot, and both profiles must be present and non-empty.
+func checkBundle(out io.Writer, dir string) error {
+	metaRaw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	var meta obs.BundleMeta
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		return fmt.Errorf("bundle %s: meta.json: %w", dir, err)
+	}
+
+	ef, err := os.Open(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	events, err := trace.ParseJSONL(ef)
+	ef.Close()
+	if err != nil {
+		return fmt.Errorf("bundle %s: events.jsonl: %w", dir, err)
+	}
+	if err := trace.Validate(events); err != nil {
+		return fmt.Errorf("bundle %s: events.jsonl: %w", dir, err)
+	}
+	if len(events) != meta.Events {
+		return fmt.Errorf("bundle %s: meta.json says %d events, events.jsonl holds %d", dir, meta.Events, len(events))
+	}
+
+	obsRaw, err := os.ReadFile(filepath.Join(dir, "obs.json"))
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(obsRaw, &snap); err != nil {
+		return fmt.Errorf("bundle %s: obs.json: %w", dir, err)
+	}
+
+	for _, prof := range []string{"goroutine.txt", "heap.pprof"} {
+		st, err := os.Stat(filepath.Join(dir, prof))
+		if err != nil {
+			return fmt.Errorf("bundle %s: %w", dir, err)
+		}
+		if st.Size() == 0 {
+			return fmt.Errorf("bundle %s: %s is empty", dir, prof)
+		}
+	}
+
+	fmt.Fprintf(out, "%s: valid bundle\n", dir)
+	fmt.Fprintf(out, "reason: %s (seq %d, t=%.3fs)\n", meta.Reason, meta.Seq, float64(meta.TNS)/1e9)
+	if len(meta.Detail) > 0 {
+		keys := make([]string, 0, len(meta.Detail))
+		for k := range meta.Detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(out, "  %s: %v\n", k, meta.Detail[k])
+		}
+	}
+	fmt.Fprintf(out, "obs: %d counters, %d gauges, %d histograms\n",
+		len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	printSummary(out, events)
 	return nil
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
+	"pocolo/internal/obs"
 	"pocolo/internal/parallel"
 )
 
@@ -41,6 +43,9 @@ type BatchOptions struct {
 	// 1 keeps the bidding on the calling goroutine). The result is
 	// identical for every setting; only wall-clock changes.
 	Workers int
+	// Obs, when non-nil, receives the call's latency and work counters.
+	// The nil default costs nothing on the hot path.
+	Obs *obs.SolveObs
 }
 
 // BatchStats reports what one ResolveBatch call did.
@@ -118,6 +123,14 @@ func newBatchState(m int) *batchState {
 // equal-value optima, which the canonical Total sum makes invisible).
 func (inc *Incremental) ResolveBatch(rows []RowUpdate, cols []ColUpdate, opts BatchOptions) (BatchStats, error) {
 	var st BatchStats
+	if opts.Obs != nil {
+		start := time.Now()
+		// The deferred closure reads st after the function body has filled
+		// it in, so the recorded counters are the final ones.
+		defer func() {
+			opts.Obs.Record(time.Since(start), st.DirtyRows+st.DirtyCols, st.AuctionRounds, st.CleanupAugments)
+		}()
+	}
 	// Validate every update first so an error never leaves the solver
 	// partially mutated.
 	for _, r := range rows {

@@ -3,6 +3,8 @@ package assign
 import (
 	"math/rand"
 	"testing"
+
+	"pocolo/internal/obs"
 )
 
 // benchPodRepair measures a steady-state pod refresh: a 1024-host pod
@@ -10,8 +12,14 @@ import (
 // rewritten per round. Two precomputed value sets alternate so every
 // iteration does the same shape of work without the solver converging
 // to a fixed point. threshold 1 is the sequential per-line repair;
-// threshold 2 forces the auction batch path.
+// threshold 2 forces the auction batch path. The Obs variants run the
+// same workload with a live metrics registry attached, so comparing
+// them against the plain variants prices the instrumentation itself.
 func benchPodRepair(b *testing.B, dirty, threshold int) {
+	benchPodRepairObs(b, dirty, threshold, nil)
+}
+
+func benchPodRepairObs(b *testing.B, dirty, threshold int, so *obs.SolveObs) {
 	const m = 1024
 	rng := rand.New(rand.NewSource(42))
 	base := randBenchMatrix(rng, m, m)
@@ -32,7 +40,7 @@ func benchPodRepair(b *testing.B, dirty, threshold int) {
 		return rows
 	}
 	setA, setB := makeSet(), makeSet()
-	opts := BatchOptions{Threshold: threshold}
+	opts := BatchOptions{Threshold: threshold, Obs: so}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for it := 0; it < b.N; it++ {
@@ -63,3 +71,7 @@ func BenchmarkPodRepair64Sequential(b *testing.B)  { benchPodRepair(b, 64, 1) }
 func BenchmarkPodRepair64Auction(b *testing.B)     { benchPodRepair(b, 64, 2) }
 func BenchmarkPodRepair256Sequential(b *testing.B) { benchPodRepair(b, 256, 1) }
 func BenchmarkPodRepair256Auction(b *testing.B)    { benchPodRepair(b, 256, 2) }
+
+func BenchmarkPodRepair64AuctionObs(b *testing.B) {
+	benchPodRepairObs(b, 64, 2, obs.NewSolveObs(obs.NewRegistry(), "pod-0"))
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	pbudget "pocolo/internal/budget"
+	"pocolo/internal/obs"
 	"pocolo/internal/servermgr"
 	"pocolo/internal/sim"
 	"pocolo/internal/trace"
@@ -39,6 +40,9 @@ type Config struct {
 	// Tracer, when non-nil, receives BudgetShift events for every host
 	// share change and BudgetCut events for every runtime mutation.
 	Tracer *trace.Tracer
+	// Obs, when non-nil, receives the rebalance-latency histogram and a
+	// per-host headroom gauge (installed share minus estimated demand).
+	Obs *obs.Registry
 }
 
 // Reallocator periodically re-divides a budget tree across its hosts and
@@ -51,6 +55,11 @@ type Reallocator struct {
 	managers []*servermgr.Manager
 	period   time.Duration
 	tracer   *trace.Tracer
+
+	// obsLatency times each Rebalance; obsHeadroom[i] is host i's
+	// share-minus-demand watts (nil = disabled).
+	obsLatency  *obs.Histogram
+	obsHeadroom []*obs.Gauge
 
 	mu           sync.Mutex
 	est          *pbudget.DemandEstimator
@@ -110,7 +119,7 @@ func New(cfg Config) (*Reallocator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reallocator{
+	r := &Reallocator{
 		tree:       cfg.Tree,
 		hosts:      hosts,
 		managers:   managers,
@@ -118,7 +127,18 @@ func New(cfg Config) (*Reallocator, error) {
 		tracer:     cfg.Tracer,
 		est:        pbudget.NewDemandEstimator(len(names), smoothing, marginW),
 		lastShares: make([]float64, len(names)),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		r.obsLatency = cfg.Obs.Histogram("pocolo_obs_budget_rebalance_seconds",
+			"Wall-clock duration of budget-tree rebalances.")
+		r.obsHeadroom = make([]*obs.Gauge, len(names))
+		for i, name := range names {
+			r.obsHeadroom[i] = cfg.Obs.Gauge("pocolo_obs_budget_headroom_watts",
+				"Installed budget share minus estimated demand per host.",
+				obs.Label{Key: "host", Value: name})
+		}
+	}
+	return r, nil
 }
 
 // Attach registers the reallocation loop on the engine and installs an
@@ -137,6 +157,10 @@ func (r *Reallocator) Attach(e *sim.Engine) error {
 func (r *Reallocator) Rebalance(now time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.obsLatency != nil {
+		start := time.Now()
+		defer func() { r.obsLatency.ObserveDuration(time.Since(start)) }()
+	}
 	n := len(r.hosts)
 	demand := make([]float64, n)
 	caps := make([]float64, n)
@@ -155,6 +179,9 @@ func (r *Reallocator) Rebalance(now time.Time) {
 	}
 	for i, mgr := range r.managers {
 		_ = mgr.SetCapW(shares[i])
+		if r.obsHeadroom != nil {
+			r.obsHeadroom[i].Set(shares[i] - demand[i])
+		}
 		if prev := r.lastShares[i]; abs(shares[i]-prev) > 1e-9 {
 			r.tracer.BudgetShift(now, trace.BudgetChange{
 				Node:   r.hosts[i].Name(),

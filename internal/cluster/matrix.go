@@ -16,6 +16,7 @@ import (
 	"pocolo/internal/assign"
 	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
+	"pocolo/internal/obs"
 	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
@@ -64,6 +65,11 @@ type MatrixConfig struct {
 	// epoch — in the simulation pipeline construction happens before
 	// simulated time starts; the live controller passes its clock).
 	Now time.Time
+	// Obs, when non-nil, receives per-pod solve latency and batch-repair
+	// counters from the sharded assignment path. Series are keyed by pod
+	// name, so the transient per-round Sharded reconstruction folds into
+	// stable series.
+	Obs *obs.Registry
 }
 
 // BuildMatrix estimates the performance matrix from the fitted models:

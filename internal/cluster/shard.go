@@ -8,6 +8,7 @@ import (
 	"pocolo/internal/assign"
 	"pocolo/internal/invariant"
 	"pocolo/internal/machine"
+	"pocolo/internal/obs"
 	"pocolo/internal/parallel"
 	"pocolo/internal/trace"
 	"pocolo/internal/utility"
@@ -77,6 +78,9 @@ type sPod struct {
 	// validated Solve; untouched pods skip re-validation, which is what
 	// keeps a steady-state single-host re-solve sublinear in pod count.
 	touched bool
+	// obs carries the pod's solve-latency and batch-work handles
+	// (nil when the cluster runs without a metrics registry).
+	obs *obs.SolveObs
 }
 
 // Sharded decomposes a cluster-wide assignment into independently
@@ -151,11 +155,21 @@ func NewSharded(cfg MatrixConfig, set ShardSettings) (*Sharded, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: pod %d: %w", p, err)
 		}
-		s.pods[p] = &sPod{name: fmt.Sprintf("pod-%d", p), builder: b, pending: b.Stats(), touched: true}
+		pod := &sPod{name: fmt.Sprintf("pod-%d", p), builder: b, pending: b.Stats(), touched: true}
+		// The registry get-or-creates by (name, labels), so pods of a
+		// transiently rebuilt Sharded land on the same stable series.
+		pod.obs = obs.NewSolveObs(cfg.Obs, pod.name)
+		s.pods[p] = pod
 	}
-	// Solver construction is per-pod pure work: fan it out.
+	// Solver construction is per-pod pure work: fan it out. The initial
+	// full solve is the pod's most expensive solve, so it lands in the
+	// same per-pod latency histogram the batch re-solves feed.
 	err := parallel.ForEach(nPods, s.workers, func(p int) error {
 		pod := s.pods[p]
+		var start time.Time
+		if pod.obs != nil {
+			start = time.Now()
+		}
 		var err error
 		if pod.builder.Rows() > 0 {
 			pod.solver, err = assign.NewIncremental(pod.builder.Matrix().Value)
@@ -164,6 +178,9 @@ func NewSharded(cfg MatrixConfig, set ShardSettings) (*Sharded, error) {
 		}
 		if err != nil {
 			return fmt.Errorf("cluster: pod %d solve: %w", p, err)
+		}
+		if pod.obs != nil {
+			pod.obs.Record(time.Since(start), 0, 0, 0)
 		}
 		return nil
 	})
@@ -286,13 +303,13 @@ func (s *Sharded) Refresh() (DeltaStats, error) {
 	if len(s.pods) == 1 {
 		innerWorkers = s.workers
 	}
-	opts := assign.BatchOptions{Threshold: s.set.BatchThreshold, Workers: innerWorkers}
 	err := parallel.ForEach(len(s.pods), s.workers, func(p int) error {
 		pod := s.pods[p]
 		res := &results[p]
 		if len(res.ChangedRows) == 0 && len(res.ChangedCols) == 0 {
 			return nil
 		}
+		opts := assign.BatchOptions{Threshold: s.set.BatchThreshold, Workers: innerWorkers, Obs: pod.obs}
 		mx := pod.builder.Matrix()
 		rows := make([]assign.RowUpdate, len(res.ChangedRows))
 		for k, i := range res.ChangedRows {

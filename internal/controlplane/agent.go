@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -479,7 +480,12 @@ func (a *Agent) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := writeAgentMetrics(w, stats); err != nil {
 		return
 	}
-	_ = writeTraceMetrics(w, stats.Agent, stats.LC, a.tracer)
+	if err := writeTraceMetrics(w, stats.Agent, stats.LC, a.tracer); err != nil {
+		return
+	}
+	// OpenMetrics terminator: scrapers use it to distinguish a complete
+	// exposition from a truncated one.
+	_, _ = io.WriteString(w, "# EOF\n")
 }
 
 // Tracer returns the agent's decision tracer (nil when tracing is

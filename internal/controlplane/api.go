@@ -43,6 +43,10 @@ const (
 	// streaming transport: agents push binary delta heartbeat frames
 	// (codec.go) and receive a JSON HeartbeatAck.
 	RouteHeartbeat = "/v1/heartbeat"
+	// RouteTop (GET, controller) is the per-pod fleet rollup pocolo-top
+	// renders: solve quantiles, staleness watermarks, budget headroom,
+	// and SLO burn.
+	RouteTop = "/v1/top"
 )
 
 // AssignRequest asks an agent to run a best-effort app (or, with an empty

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pocolo/internal/obs"
 )
 
 // benchTransport answers the controller's HTTP traffic from memory so
@@ -61,7 +63,8 @@ func benchFleet(b *testing.B, n int) ([]string, []StatsResponse) {
 
 // benchController stands up a controller over the fleet with a
 // deterministic clock. The returned tick advances it one heartbeat.
-func benchController(b *testing.B, urls []string, transport string, client *http.Client) (*Controller, func()) {
+// reg is the observability registry (nil = unobserved, the baseline).
+func benchController(b *testing.B, urls []string, transport string, client *http.Client, reg *obs.Registry) (*Controller, func()) {
 	b.Helper()
 	clock := time.Unix(1_700_000_000, 0)
 	var mu sync.Mutex
@@ -75,6 +78,7 @@ func benchController(b *testing.B, urls []string, transport string, client *http
 		Heartbeat: time.Second,
 		Retries:   0,
 		Client:    client,
+		Obs:       reg,
 		Now: func() time.Time {
 			mu.Lock()
 			defer mu.Unlock()
@@ -94,7 +98,7 @@ func benchController(b *testing.B, urls []string, transport string, client *http
 // benchmarkPollRound measures one polling round at steady state: every
 // agent answers GET /v1/stats with a full JSON snapshot, the controller
 // decodes all n of them, and liveness bookkeeping runs over the results.
-func benchmarkPollRound(b *testing.B, n int) {
+func benchmarkPollRound(b *testing.B, n int, reg *obs.Registry) {
 	urls, stats := benchFleet(b, n)
 	bt := &benchTransport{stats: make(map[string][]byte, n)}
 	for i, st := range stats {
@@ -104,7 +108,7 @@ func benchmarkPollRound(b *testing.B, n int) {
 		}
 		bt.stats[urls[i]] = blob
 	}
-	ctl, tick := benchController(b, urls, TransportPoll, &http.Client{Transport: bt})
+	ctl, tick := benchController(b, urls, TransportPoll, &http.Client{Transport: bt}, reg)
 	ctx := context.Background()
 	ctl.Round(ctx) // discovery + solve + initial pushes, outside the timer
 	b.ReportAllocs()
@@ -120,9 +124,9 @@ func benchmarkPollRound(b *testing.B, n int) {
 // controller ingests the batch into its shards, and the round loop reads
 // the swapped snapshots. Encoding is included — it is the agent-side
 // cost the transport actually charges per round.
-func benchmarkStreamRound(b *testing.B, n int) {
+func benchmarkStreamRound(b *testing.B, n int, reg *obs.Registry) {
 	urls, stats := benchFleet(b, n)
-	ctl, tick := benchController(b, urls, TransportStream, &http.Client{Transport: &benchTransport{}})
+	ctl, tick := benchController(b, urls, TransportStream, &http.Client{Transport: &benchTransport{}}, reg)
 	encs := make([]*HeartbeatEncoder, n)
 	frames := make([][]byte, n)
 	for i := range encs {
@@ -165,9 +169,19 @@ func benchmarkStreamRound(b *testing.B, n int) {
 	}
 }
 
-func BenchmarkControllerRoundPoll100(b *testing.B)   { benchmarkPollRound(b, 100) }
-func BenchmarkControllerRoundPoll1k(b *testing.B)    { benchmarkPollRound(b, 1000) }
-func BenchmarkControllerRoundPoll10k(b *testing.B)   { benchmarkPollRound(b, 10000) }
-func BenchmarkControllerRoundStream100(b *testing.B) { benchmarkStreamRound(b, 100) }
-func BenchmarkControllerRoundStream1k(b *testing.B)  { benchmarkStreamRound(b, 1000) }
-func BenchmarkControllerRoundStream10k(b *testing.B) { benchmarkStreamRound(b, 10000) }
+func BenchmarkControllerRoundPoll100(b *testing.B)   { benchmarkPollRound(b, 100, nil) }
+func BenchmarkControllerRoundPoll1k(b *testing.B)    { benchmarkPollRound(b, 1000, nil) }
+func BenchmarkControllerRoundPoll10k(b *testing.B)   { benchmarkPollRound(b, 10000, nil) }
+func BenchmarkControllerRoundStream100(b *testing.B) { benchmarkStreamRound(b, 100, nil) }
+func BenchmarkControllerRoundStream1k(b *testing.B)  { benchmarkStreamRound(b, 1000, nil) }
+func BenchmarkControllerRoundStream10k(b *testing.B) { benchmarkStreamRound(b, 10000, nil) }
+
+// The Obs variants run the identical round workload with the metrics
+// registry live — the delta against the plain variants is the total
+// observability tax on the hot path (CI holds it under 5%).
+func BenchmarkControllerRoundPoll1kObs(b *testing.B) {
+	benchmarkPollRound(b, 1000, obs.NewRegistry())
+}
+func BenchmarkControllerRoundStream1kObs(b *testing.B) {
+	benchmarkStreamRound(b, 1000, obs.NewRegistry())
+}

@@ -92,6 +92,10 @@ func (c *Controller) budgetPushesLocked(now time.Time) []pendingPush {
 	if b == nil {
 		return nil
 	}
+	if c.obs != nil {
+		start := time.Now()
+		defer func() { c.obs.budgetLat.ObserveDuration(time.Since(start)) }()
+	}
 	leaves := b.tree.Hosts()
 	byName := make(map[string]*agentState, len(c.agents))
 	for _, a := range c.agents {
@@ -138,6 +142,11 @@ func (c *Controller) budgetPushesLocked(now time.Time) []pendingPush {
 			c.tracer.BudgetShift(now, trace.BudgetChange{Node: name, FromW: b.shares[name], ToW: shares[i], Reason: "rebalance"})
 		}
 		b.shares[name] = shares[i]
+		if c.obs != nil {
+			// Headroom: installed share minus the agent's reported draw —
+			// negative means the host is drawing over its budget share.
+			c.obs.headroomGauge(name).Set(shares[i] - states[i].last.PowerW)
+		}
 		if a := states[i]; a.alive && math.Abs(a.last.CapW-shares[i]) > shareTolerance {
 			pushes = append(pushes, pendingPush{kind: pushCap, url: a.url, name: name, capW: shares[i]})
 		}

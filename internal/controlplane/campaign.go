@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pocolo/internal/invariant"
+	"pocolo/internal/obs"
 	"pocolo/internal/trace"
 	"pocolo/internal/workload"
 )
@@ -193,6 +194,17 @@ type CampaignConfig struct {
 	// stamped on the campaign's synthetic clock. Per-agent tracing is
 	// configured on the AgentConfigs (TraceEvents).
 	ControllerTrace *trace.Tracer
+	// Obs, when non-nil, wires the controller's observability plane: round
+	// latency histograms, SLO burn gauges, per-pod solve and staleness
+	// series (see ControllerConfig.Obs).
+	Obs *obs.Registry
+	// RoundDeadline, Recorder, and InjectRoundLatency configure the
+	// flight-recorder path as in ControllerConfig: rounds measured past
+	// the deadline trigger a bundle capture, and InjectRoundLatency lets a
+	// deterministic campaign fabricate a slow round without sleeping.
+	RoundDeadline      time.Duration
+	Recorder           *obs.FlightRecorder
+	InjectRoundLatency func(round int) time.Duration
 }
 
 // CampaignReport summarizes a finished campaign.
@@ -319,20 +331,24 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		maxBackoff = 4 * cfg.Heartbeat
 	}
 	ctl, err := NewController(ControllerConfig{
-		AgentURLs:  urls,
-		BE:         cfg.BE,
-		Heartbeat:  cfg.Heartbeat,
-		Timeout:    cfg.Timeout,
-		DeadAfter:  cfg.DeadAfter,
-		MaxBackoff: maxBackoff,
-		Solver:     cfg.Solver,
-		Transport:  cfg.Transport,
-		PodSize:    cfg.PodSize,
-		BudgetTree: cfg.BudgetTree,
-		Seed:       cfg.Seed,
-		Logf:       cfg.Logf,
-		Trace:      cfg.ControllerTrace,
-		Client:     &http.Client{Transport: c.transport},
+		AgentURLs:          urls,
+		BE:                 cfg.BE,
+		Heartbeat:          cfg.Heartbeat,
+		Timeout:            cfg.Timeout,
+		DeadAfter:          cfg.DeadAfter,
+		MaxBackoff:         maxBackoff,
+		Solver:             cfg.Solver,
+		Transport:          cfg.Transport,
+		PodSize:            cfg.PodSize,
+		BudgetTree:         cfg.BudgetTree,
+		Seed:               cfg.Seed,
+		Logf:               cfg.Logf,
+		Trace:              cfg.ControllerTrace,
+		Obs:                cfg.Obs,
+		RoundDeadline:      cfg.RoundDeadline,
+		Recorder:           cfg.Recorder,
+		InjectRoundLatency: cfg.InjectRoundLatency,
+		Client:             &http.Client{Transport: c.transport},
 		Now: func() time.Time {
 			c.clockMu.Lock()
 			defer c.clockMu.Unlock()

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pocolo/internal/cluster"
+	"pocolo/internal/obs"
 	"pocolo/internal/parallel"
 	"pocolo/internal/trace"
 	"pocolo/internal/utility"
@@ -97,6 +98,28 @@ type ControllerConfig struct {
 	// on the controller clock. CollectTrace merges it with the per-agent
 	// traces fetched over /v1/trace into one cluster timeline.
 	Trace *trace.Tracer
+	// Obs, when non-nil, is the controller's metrics registry: round
+	// latency, SLO burn, heartbeat ingest verdicts, per-pod solve latency
+	// and staleness watermarks all land here and are appended to the
+	// /metrics exposition. Nil disables the whole plane at one pointer
+	// check per site.
+	Obs *obs.Registry
+	// RoundDeadline is the round-latency SLO target and the flight
+	// recorder's trigger threshold (default Heartbeat).
+	RoundDeadline time.Duration
+	// StalenessLimit is the per-agent staleness SLO target under the
+	// streaming transport (default DeadAfter × Heartbeat).
+	StalenessLimit time.Duration
+	// SLOBudget is the tolerated breach fraction for both objectives
+	// (default 0.01 — see obs.Objective).
+	SLOBudget float64
+	// Recorder, when non-nil, captures a diagnostics bundle when a round
+	// blows RoundDeadline (rate-limited on the controller clock).
+	Recorder *obs.FlightRecorder
+	// InjectRoundLatency, when non-nil, adds synthetic latency to round
+	// r's measured duration before the deadline check — fault injection
+	// for deterministic flight-recorder tests. Nothing sleeps.
+	InjectRoundLatency func(round int) time.Duration
 }
 
 // agentState is the controller's view of one agent.
@@ -154,6 +177,10 @@ type Controller struct {
 	now    func() time.Time
 	tracer *trace.Tracer
 	stream *streamState // nil under the polling transport
+	obs    *ctlObs      // nil without a metrics registry
+	// roundDeadline is the resolved RoundDeadline (never zero when obs or
+	// the recorder is wired).
+	roundDeadline time.Duration
 
 	mu        sync.Mutex
 	agents    []*agentState
@@ -262,6 +289,16 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		}
 		c.budget = b
 	}
+	c.roundDeadline = cfg.RoundDeadline
+	if c.roundDeadline == 0 {
+		c.roundDeadline = cfg.Heartbeat
+	}
+	staleLimit := cfg.StalenessLimit
+	if staleLimit == 0 {
+		staleLimit = time.Duration(cfg.DeadAfter) * cfg.Heartbeat
+	}
+	nPods := (len(cfg.AgentURLs) + cfg.PodSize - 1) / cfg.PodSize
+	c.obs = newCtlObs(cfg.Obs, nPods, c.roundDeadline, staleLimit, cfg.SLOBudget)
 	return c, nil
 }
 
@@ -296,6 +333,13 @@ func (c *Controller) jitteredHeartbeat() time.Duration {
 // jittered interval.
 func (c *Controller) Round(ctx context.Context) {
 	now := c.now()
+	// Round timing is measured, not derived from the controller clock:
+	// deterministic campaigns advance that clock one heartbeat per round
+	// regardless of how long the round took.
+	var start time.Time
+	if c.obs != nil || c.cfg.Recorder != nil {
+		start = time.Now()
+	}
 
 	var membershipChanged bool
 	if c.stream != nil {
@@ -307,6 +351,7 @@ func (c *Controller) Round(ctx context.Context) {
 		membershipChanged = c.applyProbesLocked(results, now)
 	}
 	c.rounds++
+	round := c.rounds
 
 	needResolve := membershipChanged ||
 		(c.placement == nil && c.liveCountLocked() > 0) ||
@@ -317,14 +362,15 @@ func (c *Controller) Round(ctx context.Context) {
 	pushes := append(c.assignPushesLocked(), c.budgetPushesLocked(now)...)
 	c.mu.Unlock()
 
-	if len(pushes) == 0 {
-		return
+	if len(pushes) > 0 {
+		acked := c.pushAll(ctx, pushes)
+		c.mu.Lock()
+		c.recordPushesLocked(pushes, acked)
+		c.mu.Unlock()
 	}
-	acked := c.pushAll(ctx, pushes)
-
-	c.mu.Lock()
-	c.recordPushesLocked(pushes, acked)
-	c.mu.Unlock()
+	if !start.IsZero() {
+		c.observeRound(now, round, time.Since(start))
+	}
 }
 
 // probeResult is one poll probe's outcome.
@@ -638,6 +684,7 @@ func (c *Controller) solve(live []*agentState, now time.Time) (map[string]string
 			Models:  models,
 			Trace:   c.tracer,
 			Now:     now,
+			Obs:     c.cfg.Obs,
 		}, cluster.ShardSettings{PodSize: c.cfg.PodSize})
 		if err != nil {
 			return nil, nil, err
@@ -895,7 +942,15 @@ func (c *Controller) MetricsHandler(w http.ResponseWriter, r *http.Request) {
 	if err := writeBudgetMetrics(w, st.Budget); err != nil {
 		return
 	}
-	_ = writeTraceMetrics(w, "controller", "", c.tracer)
+	if err := writeTraceMetrics(w, "controller", "", c.tracer); err != nil {
+		return
+	}
+	if c.obs != nil {
+		if err := obs.WriteProm(w, c.obs.reg.Snapshot()); err != nil {
+			return
+		}
+	}
+	_, _ = io.WriteString(w, "# EOF\n")
 }
 
 // maxCollectedEvents bounds the controller's accumulated cluster

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"pocolo/internal/machine"
+	"pocolo/internal/obs"
 	"pocolo/internal/profiler"
+	"pocolo/internal/trace"
 	"pocolo/internal/utility"
 	"pocolo/internal/workload"
 )
@@ -37,6 +39,21 @@ type StreamDemoConfig struct {
 	Out io.Writer
 	// Logf, when set, receives controller event logs.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, wires the demo controller's observability plane.
+	// NewStreamDemo creates one implicitly when FlightDir is set, so
+	// bundle captures always carry a metrics snapshot.
+	Obs *obs.Registry
+	// SlowRound, when positive, injects RoundDeadline+50ms of synthetic
+	// latency into that round's measured duration (nothing sleeps — the
+	// duration is fabricated, so seeded runs reproduce the slow round
+	// byte-for-byte). Requires FlightDir to be observable.
+	SlowRound int
+	// RoundDeadline is the per-round latency SLO (default 100ms when
+	// FlightDir or SlowRound is set; otherwise the controller default).
+	RoundDeadline time.Duration
+	// FlightDir, when non-empty, arms the flight recorder: any round
+	// measured past RoundDeadline captures a bundle directory under it.
+	FlightDir string
 }
 
 // RunStreamDemo builds the demo cluster and drives it through a
@@ -46,6 +63,17 @@ type StreamDemoConfig struct {
 // 90%-of-provisioned power budget every round. It returns the campaign
 // report; report.Err() is nil on a fully converged run.
 func RunStreamDemo(ctx context.Context, cfg StreamDemoConfig) (*CampaignReport, error) {
+	camp, err := NewStreamDemo(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return camp.Run(ctx)
+}
+
+// NewStreamDemo builds the demo campaign without running it, so callers
+// (pocolo-top, tests) can reach the live controller via camp.Controller()
+// while driving rounds themselves.
+func NewStreamDemo(cfg StreamDemoConfig) (*Campaign, error) {
 	if cfg.Agents <= 0 {
 		cfg.Agents = 64
 	}
@@ -106,18 +134,53 @@ func RunStreamDemo(ctx context.Context, cfg StreamDemoConfig) (*CampaignReport, 
 		beNames[i] = fmt.Sprintf("%s#%d", bes[i%len(bes)].Name, i/len(bes))
 	}
 
+	// The flight-recorder path needs a metrics registry (bundles embed an
+	// obs snapshot), a round deadline to breach, and a controller tracer
+	// so the bundle's event log is non-empty.
+	reg := cfg.Obs
+	var recorder *obs.FlightRecorder
+	var ctlTrace *trace.Tracer
+	var inject func(round int) time.Duration
+	deadline := cfg.RoundDeadline
+	if cfg.FlightDir != "" || cfg.SlowRound > 0 {
+		if deadline <= 0 {
+			deadline = 100 * time.Millisecond
+		}
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+	}
+	if cfg.FlightDir != "" {
+		recorder = obs.NewRecorder(obs.RecorderConfig{Dir: cfg.FlightDir})
+		ctlTrace = trace.New("controller", 4096)
+	}
+	if cfg.SlowRound > 0 {
+		slow, extra := cfg.SlowRound, deadline+50*time.Millisecond
+		inject = func(round int) time.Duration {
+			if round == slow {
+				return extra
+			}
+			return 0
+		}
+	}
+
 	camp, err := NewCampaign(CampaignConfig{
-		Agents:     agents,
-		BE:         beNames,
-		BudgetTree: demoBudgetTree(agents, cfg.PodSize, provisioned),
-		Duration:   time.Duration(cfg.Rounds) * time.Second,
-		Heartbeat:  time.Second,
-		DeadAfter:  2,
-		Solver:     SolverSharded,
-		Transport:  cfg.Transport,
-		PodSize:    cfg.PodSize,
-		Seed:       cfg.Seed,
-		Logf:       cfg.Logf,
+		Agents:             agents,
+		BE:                 beNames,
+		BudgetTree:         demoBudgetTree(agents, cfg.PodSize, provisioned),
+		Duration:           time.Duration(cfg.Rounds) * time.Second,
+		Heartbeat:          time.Second,
+		DeadAfter:          2,
+		Solver:             SolverSharded,
+		Transport:          cfg.Transport,
+		PodSize:            cfg.PodSize,
+		Seed:               cfg.Seed,
+		Logf:               cfg.Logf,
+		ControllerTrace:    ctlTrace,
+		Obs:                reg,
+		RoundDeadline:      deadline,
+		Recorder:           recorder,
+		InjectRoundLatency: inject,
 		OnRound: func(round int, st Status) {
 			writeDemoRound(out, round, st)
 		},
@@ -125,7 +188,7 @@ func RunStreamDemo(ctx context.Context, cfg StreamDemoConfig) (*CampaignReport, 
 	if err != nil {
 		return nil, err
 	}
-	return camp.Run(ctx)
+	return camp, nil
 }
 
 // demoBudgetTree builds a per-pod budget tree spec over the demo agents:

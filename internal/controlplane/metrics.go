@@ -297,10 +297,13 @@ func sortedKeys[V any](m map[string]V) []string {
 // family, that declared types are known, that counter families end in
 // _total, that sample names match the declared family (histograms may
 // append _bucket/_sum/_count), that labels parse with promEscape-style
-// escaping, and that every histogram bucket series is cumulative,
-// non-decreasing, and closed by an le="+Inf" bucket equal to _count.
-// The metrics golden test runs it over the agent and controller
-// handlers' complete output, so any writer regression fails there.
+// escaping, that every histogram bucket series is cumulative,
+// non-decreasing, with strictly ascending le bounds, and closed by an
+// le="+Inf" bucket equal to _count, and that a "# EOF" terminator (the
+// OpenMetrics end marker, optional since writer-level lints see partial
+// output) is the final non-empty line when present. The metrics golden
+// test runs it over the agent and controller handlers' complete output,
+// so any writer regression fails there.
 func lintExposition(text string) error {
 	type family struct {
 		typ           string
@@ -308,6 +311,8 @@ func lintExposition(text string) error {
 		sampled       bool
 		count         map[string]float64 // _count value by non-le label signature
 		lastBucket    map[string]float64 // last cumulative bucket by signature
+		lastLE        map[string]float64 // last finite le bound by signature
+		hasLE         map[string]bool
 		sawInf        map[string]bool
 	}
 	families := make(map[string]*family)
@@ -317,6 +322,8 @@ func lintExposition(text string) error {
 			f = &family{
 				count:      make(map[string]float64),
 				lastBucket: make(map[string]float64),
+				lastLE:     make(map[string]float64),
+				hasLE:      make(map[string]bool),
 				sawInf:     make(map[string]bool),
 			}
 			families[name] = f
@@ -324,9 +331,17 @@ func lintExposition(text string) error {
 		return f
 	}
 	current := ""
+	sawEOF := false
 	for i, line := range strings.Split(text, "\n") {
 		ln := i + 1
 		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return fmt.Errorf("line %d: content after the # EOF terminator", ln)
+		}
+		if line == "# EOF" {
+			sawEOF = true
 			continue
 		}
 		if name, ok := strings.CutPrefix(line, "# HELP "); ok {
@@ -405,10 +420,15 @@ func lintExposition(text string) error {
 				f.lastBucket[sig] = value
 				if le == "+Inf" {
 					f.sawInf[sig] = true
-				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				} else if bound, err := strconv.ParseFloat(le, 64); err != nil {
 					return fmt.Errorf("line %d: unparsable le bound %q", ln, le)
 				} else if f.sawInf[sig] {
 					return fmt.Errorf("line %d: finite bucket after le=\"+Inf\" in %s{%s}", ln, base, sig)
+				} else if f.hasLE[sig] && bound <= f.lastLE[sig] {
+					return fmt.Errorf("line %d: le bound %q of %s{%s} not strictly ascending (previous %g)", ln, le, base, sig, f.lastLE[sig])
+				} else {
+					f.lastLE[sig] = bound
+					f.hasLE[sig] = true
 				}
 			case "_sum":
 			case "_count":

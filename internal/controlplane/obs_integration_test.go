@@ -1,0 +1,266 @@
+package controlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pocolo/internal/obs"
+	"pocolo/internal/trace"
+)
+
+// TestObsExpositionGolden pins the exact exposition bytes obs.WriteProm
+// produces for a synthetic registry with escaping-hostile label values,
+// multi-series histogram families, and an OpenMetrics terminator, and
+// requires the result to pass the control plane's linter. Regenerate
+// with go test ./internal/controlplane -run Golden -update.
+func TestObsExpositionGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("pocolo_obs_heartbeat_frames_total", "Heartbeat frames by ingest verdict.",
+		obs.Label{Key: "verdict", Value: "delta"}).Add(40)
+	reg.Counter("pocolo_obs_heartbeat_frames_total", "Heartbeat frames by ingest verdict.",
+		obs.Label{Key: "verdict", Value: "full"}).Add(2)
+	reg.Gauge("pocolo_obs_budget_headroom_watts", "Installed budget share minus reported power draw per agent.",
+		obs.Label{Key: "host", Value: "agent-\"0\"\\\ntail"}).Set(12.5)
+	reg.Gauge("pocolo_obs_stream_staleness_seconds", "Max staleness per pod.",
+		obs.Label{Key: "pod", Value: "pod-0"}).Set(1.25)
+	for pod, observes := range map[string][]float64{
+		"pod-0": {0.001, 0.002, 0.002, 0.008, 0.13},
+		"pod-1": {0.004},
+	} {
+		h := reg.Histogram("pocolo_obs_pod_solve_seconds", "Wall-clock duration of per-pod batch re-solves.",
+			obs.Label{Key: "pod", Value: pod})
+		for _, v := range observes {
+			h.Observe(v)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteProm(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("# EOF\n")
+	if err := lintExposition(buf.String()); err != nil {
+		t.Fatalf("obs exposition fails lint: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "obs_metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("obs exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestControllerObsMetricsAndTop runs an observed demo campaign end to
+// end, then requires (a) the controller's /metrics exposition to carry
+// the obs families, pass the linter, and end with the OpenMetrics
+// terminator, and (b) the /v1/top fleet view to be fully populated:
+// per-pod solve quantiles, round quantiles, and agent rollups.
+func TestControllerObsMetricsAndTop(t *testing.T) {
+	reg := obs.NewRegistry()
+	camp, err := NewStreamDemo(StreamDemoConfig{Agents: 32, PodSize: 16, Rounds: 6, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Fatalf("demo campaign did not converge: %v", err)
+	}
+	ctl := camp.Controller()
+
+	rr := httptest.NewRecorder()
+	ctl.MetricsHandler(rr, httptest.NewRequest(http.MethodGet, RouteMetrics, nil))
+	text := rr.Body.String()
+	if err := lintExposition(text); err != nil {
+		t.Fatalf("observed controller exposition fails lint: %v\n%s", err, text)
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition does not end with the OpenMetrics terminator:\n...%s", text[max(0, len(text)-120):])
+	}
+	for _, want := range []string{
+		"# TYPE pocolo_obs_round_seconds histogram",
+		"pocolo_obs_round_seconds_count",
+		`pocolo_obs_pod_solve_seconds_bucket{pod="pod-0",le=`,
+		`pocolo_obs_pod_solve_seconds_bucket{pod="pod-1",le=`,
+		`pocolo_obs_heartbeat_frames_total{verdict="delta"}`,
+		`pocolo_obs_heartbeat_frames_total{verdict="full"}`,
+		`pocolo_obs_slo_burn{slo="round"}`,
+		`pocolo_obs_slo_burn{slo="staleness"}`,
+		`pocolo_obs_stream_staleness_seconds{pod="pod-0"}`,
+		"pocolo_obs_budget_headroom_watts",
+		"pocolo_obs_budget_rebalance_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("observed exposition missing %q", want)
+		}
+	}
+
+	top := ctl.Top()
+	if top.Transport != TransportStream {
+		t.Fatalf("top.Transport = %q", top.Transport)
+	}
+	if top.Rounds < 6 {
+		t.Fatalf("top.Rounds = %d, want >= 6", top.Rounds)
+	}
+	if top.RoundP99Ms <= 0 || top.RoundP99Ms < top.RoundP50Ms {
+		t.Fatalf("round quantiles p50=%.3f p99=%.3f", top.RoundP50Ms, top.RoundP99Ms)
+	}
+	if len(top.Pods) != 2 {
+		t.Fatalf("top has %d pods, want 2", len(top.Pods))
+	}
+	for _, p := range top.Pods {
+		if p.Agents != 16 || p.Alive != 16 {
+			t.Errorf("pod %s: agents=%d alive=%d, want 16/16", p.Pod, p.Agents, p.Alive)
+		}
+		if p.SolveP50Ms <= 0 || p.SolveP99Ms < p.SolveP50Ms {
+			t.Errorf("pod %s: solve quantiles p50=%.3f p99=%.3f", p.Pod, p.SolveP50Ms, p.SolveP99Ms)
+		}
+	}
+
+	// The JSON handler serves the same snapshot.
+	rr = httptest.NewRecorder()
+	ctl.TopHandler(rr, httptest.NewRequest(http.MethodGet, RouteTop, nil))
+	var viaHTTP TopSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &viaHTTP); err != nil {
+		t.Fatalf("decoding /v1/top: %v", err)
+	}
+	if len(viaHTTP.Pods) != len(top.Pods) || viaHTTP.Transport != top.Transport {
+		t.Fatalf("/v1/top disagrees with Top(): %+v vs %+v", viaHTTP, top)
+	}
+}
+
+// TestStreamDemoFlightBundle breaches the round deadline once with
+// injected latency and requires exactly one flight bundle whose parts
+// all parse and cross-check, and whose event log is byte-identical
+// across two runs of the same seed — the recorder's determinism
+// contract (only meta.json's wall_ns field may differ).
+func TestStreamDemoFlightBundle(t *testing.T) {
+	run := func(dir string) {
+		report, err := RunStreamDemo(context.Background(), StreamDemoConfig{
+			Agents: 16, PodSize: 8, Rounds: 8, Seed: 7,
+			SlowRound: 5, FlightDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := report.Err(); err != nil {
+			t.Fatalf("campaign with injected latency did not converge: %v", err)
+		}
+	}
+	bundles := func(dir string) []string {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		return names
+	}
+
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	run(dir1)
+	run(dir2)
+	n1, n2 := bundles(dir1), bundles(dir2)
+	if len(n1) != 1 || len(n2) != 1 {
+		t.Fatalf("want exactly one bundle per run, got %v and %v", n1, n2)
+	}
+	if n1[0] != n2[0] {
+		t.Fatalf("bundle names differ across seeded runs: %q vs %q (name must be wall-clock free)", n1[0], n2[0])
+	}
+
+	b := filepath.Join(dir1, n1[0])
+	metaBytes, err := os.ReadFile(filepath.Join(b, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta obs.BundleMeta
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		t.Fatalf("meta.json: %v", err)
+	}
+	if meta.Reason != "round-deadline" {
+		t.Fatalf("meta.Reason = %q", meta.Reason)
+	}
+	if round, _ := meta.Detail["round"].(float64); int(round) != 5 {
+		t.Fatalf("meta.Detail[round] = %v, want 5", meta.Detail["round"])
+	}
+
+	evBytes, err := os.ReadFile(filepath.Join(b, "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ParseJSONL(bytes.NewReader(evBytes))
+	if err != nil {
+		t.Fatalf("events.jsonl: %v", err)
+	}
+	if err := trace.Validate(events); err != nil {
+		t.Fatalf("bundle events invalid: %v", err)
+	}
+	if len(events) == 0 || len(events) != meta.Events {
+		t.Fatalf("bundle has %d events, meta says %d", len(events), meta.Events)
+	}
+
+	obsBytes, err := os.ReadFile(filepath.Join(b, "obs.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(obsBytes, &snap); err != nil {
+		t.Fatalf("obs.json: %v", err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Histograms) == 0 {
+		t.Fatalf("obs.json snapshot empty: %d counters, %d histograms", len(snap.Counters), len(snap.Histograms))
+	}
+
+	podBytes, err := os.ReadFile(filepath.Join(b, "pods.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pods []struct {
+		Agent string `json:"agent"`
+		Pod   string `json:"pod"`
+		Alive bool   `json:"alive"`
+	}
+	if err := json.Unmarshal(podBytes, &pods); err != nil {
+		t.Fatalf("pods.json: %v", err)
+	}
+	if len(pods) != 16 {
+		t.Fatalf("pods.json has %d rows, want 16", len(pods))
+	}
+
+	for _, name := range []string{"goroutine.txt", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(b, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+
+	evBytes2, err := os.ReadFile(filepath.Join(dir2, n2[0], "events.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(evBytes, evBytes2) {
+		t.Fatalf("event logs differ across identical seeded runs (%d vs %d bytes)", len(evBytes), len(evBytes2))
+	}
+}

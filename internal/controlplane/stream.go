@@ -281,20 +281,22 @@ func (c *Controller) IngestHeartbeat(frame []byte) HeartbeatAck {
 	}
 	s.frames.Add(1)
 	s.bytes.Add(int64(len(frame)))
-	hb, err := DecodeHeartbeat(frame)
+	hb, err := c.decodeHeartbeatObs(frame)
 	if err != nil {
 		s.rejects.Add(1)
+		if c.obs != nil {
+			c.obs.vReject.Inc()
+		}
 		c.logf("heartbeat rejected: %v", err)
 		return HeartbeatAck{Reject: true}
 	}
-	if hb.Full {
-		s.fulls.Add(1)
-	} else {
-		s.deltas.Add(1)
-	}
+	c.countFrameObs(hb, s)
 	slot, verdict := s.route(hb)
 	if verdict != hbApplied {
 		s.resyncs.Add(1)
+		if c.obs != nil {
+			c.obs.vResync.Inc()
+		}
 		return HeartbeatAck{Agent: hb.Agent, Seq: hb.Seq, Resync: true}
 	}
 	sh, li := s.shardOf(slot)
@@ -309,12 +311,45 @@ func (c *Controller) IngestHeartbeat(frame []byte) HeartbeatAck {
 	switch verdict {
 	case hbStale:
 		s.stale.Add(1)
+		if c.obs != nil {
+			c.obs.vStale.Inc()
+		}
 		return HeartbeatAck{Agent: hb.Agent, Seq: hb.Seq}
 	case hbResync:
 		s.resyncs.Add(1)
+		if c.obs != nil {
+			c.obs.vResync.Inc()
+		}
 		return HeartbeatAck{Agent: hb.Agent, Seq: resyncSeq(hb.Seq, watermark), Resync: true}
 	}
 	return HeartbeatAck{Agent: hb.Agent, Seq: hb.Seq}
+}
+
+// decodeHeartbeatObs wraps DecodeHeartbeat with the decode-latency
+// histogram; the timing branch costs nothing when obs is off.
+func (c *Controller) decodeHeartbeatObs(frame []byte) (*Heartbeat, error) {
+	if c.obs == nil {
+		return DecodeHeartbeat(frame)
+	}
+	start := time.Now()
+	hb, err := DecodeHeartbeat(frame)
+	c.obs.decode.ObserveDuration(time.Since(start))
+	return hb, err
+}
+
+// countFrameObs mirrors the frame-kind counters into the obs registry.
+func (c *Controller) countFrameObs(hb *Heartbeat, s *streamState) {
+	if hb.Full {
+		s.fulls.Add(1)
+		if c.obs != nil {
+			c.obs.vFull.Inc()
+		}
+	} else {
+		s.deltas.Add(1)
+		if c.obs != nil {
+			c.obs.vDelta.Inc()
+		}
+	}
 }
 
 // IngestBatch decodes a batch of frames through the bounded worker pool,
@@ -341,9 +376,12 @@ func (c *Controller) IngestBatch(frames [][]byte) []HeartbeatAck {
 	_ = parallel.ForEach(len(frames), 0, func(i int) error {
 		s.frames.Add(1)
 		s.bytes.Add(int64(len(frames[i])))
-		hb, err := DecodeHeartbeat(frames[i])
+		hb, err := c.decodeHeartbeatObs(frames[i])
 		if err != nil {
 			s.rejects.Add(1)
+			if c.obs != nil {
+				c.obs.vReject.Inc()
+			}
 			acks[i] = HeartbeatAck{Reject: true}
 			return nil
 		}
@@ -361,14 +399,13 @@ func (c *Controller) IngestBatch(frames [][]byte) []HeartbeatAck {
 		if hb == nil {
 			continue
 		}
-		if hb.Full {
-			s.fulls.Add(1)
-		} else {
-			s.deltas.Add(1)
-		}
+		c.countFrameObs(hb, s)
 		slot, verdict := s.route(hb)
 		if verdict != hbApplied {
 			s.resyncs.Add(1)
+			if c.obs != nil {
+				c.obs.vResync.Inc()
+			}
 			acks[i] = HeartbeatAck{Agent: hb.Agent, Seq: hb.Seq, Resync: true}
 			decoded[i] = nil
 			continue
@@ -406,9 +443,15 @@ func (c *Controller) IngestBatch(frames [][]byte) []HeartbeatAck {
 				acks[i] = HeartbeatAck{Agent: hb.Agent, Seq: hb.Seq}
 			case hbStale:
 				s.stale.Add(1)
+				if c.obs != nil {
+					c.obs.vStale.Inc()
+				}
 				acks[i] = HeartbeatAck{Agent: hb.Agent, Seq: hb.Seq}
 			case hbResync:
 				s.resyncs.Add(1)
+				if c.obs != nil {
+					c.obs.vResync.Inc()
+				}
 				acks[i] = HeartbeatAck{Agent: hb.Agent, Seq: resyncSeq(hb.Seq, sh.decs[li].seq), Resync: true}
 			}
 		}
@@ -463,8 +506,21 @@ const maxHeartbeatFrame = maxHeartbeatBlob + maxHeartbeatName + maxHeartbeatURL 
 // would count it.
 func (c *Controller) streamObserveLocked(now time.Time) (membershipChanged bool) {
 	s := c.stream
+	// Per-pod staleness watermarks: the max of (now − lastHeard) over each
+	// pod's agents, observed against the staleness SLO per agent.
+	var podMax []float64
+	if c.obs != nil {
+		podMax = make([]float64, len(s.shards))
+	}
 	for _, a := range c.agents {
 		view := s.view(a.url)
+		if c.obs != nil && view != nil {
+			stale := now.Sub(view.lastHeard)
+			c.obs.staleSLO.Observe(stale)
+			if p := s.slots[a.url] / s.podSize; stale.Seconds() > podMax[p] {
+				podMax[p] = stale.Seconds()
+			}
+		}
 		if view == nil || view.seq <= a.streamSeq {
 			if view == nil {
 				a.lastErr = "no heartbeat received"
@@ -499,6 +555,11 @@ func (c *Controller) streamObserveLocked(now time.Time) (membershipChanged bool)
 		a.lc = view.stats.LC
 		a.last = view.stats
 		a.streamSeq = view.seq
+	}
+	if c.obs != nil {
+		for p, v := range podMax {
+			c.obs.podStale[p].Set(v)
+		}
 	}
 	if d := s.summaryDelta(); d.Frames > 0 || d.Resyncs > 0 || d.Rejects > 0 {
 		c.tracer.Heartbeat(now, d)

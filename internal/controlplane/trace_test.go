@@ -290,16 +290,37 @@ func TestLintExpositionRejects(t *testing.T) {
 			"pocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"+Inf\"} 5\npocolo_h_sum 1\npocolo_h_count 4\n",
 		"histogram without _count": histHeader +
 			"pocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"+Inf\"} 5\npocolo_h_sum 1\n",
+		"equal le bounds": histHeader +
+			"pocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"+Inf\"} 5\npocolo_h_sum 1\npocolo_h_count 5\n",
+		"descending le bounds": histHeader +
+			"pocolo_h_bucket{le=\"2\"} 3\npocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"+Inf\"} 5\npocolo_h_sum 1\npocolo_h_count 5\n",
+		"descending le across label sets": histHeader +
+			"pocolo_h_bucket{pod=\"a\",le=\"1\"} 1\npocolo_h_bucket{pod=\"a\",le=\"+Inf\"} 1\n" +
+			"pocolo_h_sum{pod=\"a\"} 1\npocolo_h_count{pod=\"a\"} 1\n" +
+			"pocolo_h_bucket{pod=\"b\",le=\"2\"} 1\npocolo_h_bucket{pod=\"b\",le=\"1\"} 1\npocolo_h_bucket{pod=\"b\",le=\"+Inf\"} 1\n" +
+			"pocolo_h_sum{pod=\"b\"} 1\npocolo_h_count{pod=\"b\"} 1\n",
+		"content after EOF": "# HELP pocolo_x h\n# TYPE pocolo_x gauge\npocolo_x 1\n# EOF\npocolo_x 2\n",
+		"HELP after EOF":    "# HELP pocolo_x h\n# TYPE pocolo_x gauge\npocolo_x 1\n# EOF\n# HELP pocolo_y h\n",
 	}
 	for name, text := range cases {
 		if err := lintExposition(text); err == nil {
 			t.Errorf("%s: lint accepted\n%s", name, text)
 		}
 	}
-	good := histHeader +
-		"pocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"+Inf\"} 5\npocolo_h_sum 1.5\npocolo_h_count 5\n"
-	if err := lintExposition(good); err != nil {
-		t.Errorf("lint rejected a valid histogram: %v", err)
+	goods := map[string]string{
+		"valid histogram": histHeader +
+			"pocolo_h_bucket{le=\"1\"} 3\npocolo_h_bucket{le=\"+Inf\"} 5\npocolo_h_sum 1.5\npocolo_h_count 5\n",
+		"EOF terminator": "# HELP pocolo_x h\n# TYPE pocolo_x gauge\npocolo_x 1\n# EOF\n",
+		"per-label-set le ladders restart": histHeader +
+			"pocolo_h_bucket{pod=\"a\",le=\"1\"} 1\npocolo_h_bucket{pod=\"a\",le=\"+Inf\"} 1\n" +
+			"pocolo_h_sum{pod=\"a\"} 1\npocolo_h_count{pod=\"a\"} 1\n" +
+			"pocolo_h_bucket{pod=\"b\",le=\"1\"} 1\npocolo_h_bucket{pod=\"b\",le=\"+Inf\"} 1\n" +
+			"pocolo_h_sum{pod=\"b\"} 1\npocolo_h_count{pod=\"b\"} 1\n",
+	}
+	for name, text := range goods {
+		if err := lintExposition(text); err != nil {
+			t.Errorf("%s: lint rejected valid exposition: %v\n%s", name, err, text)
+		}
 	}
 }
 
@@ -464,5 +485,96 @@ func TestCampaignTraceMatchesControllerLog(t *testing.T) {
 	}
 	if err := trace.Validate(tr.Events()); err != nil {
 		t.Fatalf("controller campaign trace fails validation: %v", err)
+	}
+}
+
+// TestAgentTracePaginationAcrossWrap holds a /v1/trace cursor while the
+// agent's small ring wraps and grows underneath: pages fetched before
+// and after the wrap must never duplicate a sequence, must stay
+// strictly ascending, and must resume at the oldest retained event once
+// eviction has overtaken the cursor.
+func TestAgentTracePaginationAcrossWrap(t *testing.T) {
+	models := fixtureModels(t)
+	loadTrace, err := workload.NewConstantTrace(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(AgentConfig{
+		Name:        "agent-wrap",
+		Machine:     machine.XeonE52650(),
+		LC:          spec(t, "img-dnn"),
+		LCModel:     models["img-dnn"],
+		Trace:       loadTrace,
+		SimTick:     100 * time.Millisecond,
+		Seed:        5,
+		TraceEvents: 16, // below ringSeed: wraps after 16 control ticks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serveAgent(t, a)
+
+	getPage := func(since uint64, limit int) TraceResponse {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s%s?since=%d&limit=%d", srv.URL, RouteTrace, since, limit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", RouteTrace, resp.Status)
+		}
+		var page TraceResponse
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	// First page before any eviction.
+	if err := a.Advance(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var got []trace.Event
+	page := getPage(0, 4)
+	if len(page.Events) != 4 {
+		t.Fatalf("first page = %d events", len(page.Events))
+	}
+	got = append(got, page.Events...)
+	cursor := page.Next
+
+	// Wrap the ring well past the held cursor, then drain.
+	if err := a.Advance(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		page = getPage(cursor, 4)
+		if len(page.Events) == 0 {
+			if page.Next != cursor {
+				t.Fatalf("empty page moved cursor %d -> %d", cursor, page.Next)
+			}
+			break
+		}
+		got = append(got, page.Events...)
+		cursor = page.Next
+	}
+	if page.Dropped == 0 {
+		t.Fatal("ring never wrapped; the test lost its subject")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("paged seq %d after %d: duplicate or regression across wrap", got[i].Seq, got[i-1].Seq)
+		}
+	}
+	// The drained tail must match the ring's retained suffix exactly.
+	direct := a.Tracer().Events()
+	if len(direct) != 16 {
+		t.Fatalf("ring holds %d events, want capacity 16", len(direct))
+	}
+	tail := got[len(got)-16:]
+	for i := range tail {
+		if tail[i].Seq != direct[i].Seq {
+			t.Fatalf("drained tail[%d] seq %d, ring holds %d", i, tail[i].Seq, direct[i].Seq)
+		}
 	}
 }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in Prometheus text exposition format
+// (0.0.4), matching the conventions of the control plane's hand-rolled
+// writer so one linter covers both: HELP/TYPE once per family before its
+// samples, counter families ending in _total, histograms as cumulative
+// _bucket series with strictly ascending le bounds closed by +Inf, and
+// deterministic ordering throughout. Histogram buckets with no new
+// observations are elided (the cumulative contract allows any bound
+// subset), so a 141-bucket ladder costs only as many lines as it has
+// distinct observed values.
+
+func escape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func renderLabels(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	parts := make([]string, 0, len(labels)+1)
+	for _, l := range labels {
+		// escape() already produces the exposition-format escaping; wrapping
+		// with %q would escape a second time.
+		parts = append(parts, l.Key+`="`+escape(l.Value)+`"`)
+	}
+	if extra != "" {
+		parts = append(parts, extra)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteProm renders the snapshot as Prometheus exposition text. Families
+// arrive sorted from Snapshot, so a family's header is emitted at its
+// first series and never repeated.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	var err error
+	printf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	header := func(last *string, name, typ, help string) {
+		if *last == name {
+			return
+		}
+		printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		*last = name
+	}
+
+	last := ""
+	for _, c := range snap.Counters {
+		header(&last, c.Name, "counter", c.Help)
+		printf("%s%s %g\n", c.Name, renderLabels(c.Labels, ""), float64(c.Value))
+	}
+	last = ""
+	for _, g := range snap.Gauges {
+		header(&last, g.Name, "gauge", g.Help)
+		printf("%s%s %g\n", g.Name, renderLabels(g.Labels, ""), g.Value)
+	}
+	last = ""
+	for _, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		header(&last, h.Name, "histogram", h.Help)
+		var cum uint64
+		for i, c := range h.Counts {
+			if c == 0 || i == numBuckets-1 {
+				continue // overflow bucket is covered by the +Inf line
+			}
+			cum += c
+			le := strconv.FormatFloat(BucketBound(i), 'g', -1, 64)
+			printf("%s_bucket%s %g\n", h.Name, renderLabels(h.Labels, fmt.Sprintf("le=%q", le)), float64(cum))
+		}
+		printf("%s_bucket%s %g\n", h.Name, renderLabels(h.Labels, `le="+Inf"`), float64(h.Count))
+		printf("%s_sum%s %g\n", h.Name, renderLabels(h.Labels, ""), h.SumSeconds)
+		printf("%s_count%s %g\n", h.Name, renderLabels(h.Labels, ""), float64(h.Count))
+	}
+	return err
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "time"
+
+// SolveObs bundles the handles an assignment re-solve records into: the
+// solve latency histogram plus the batch-repair work counters. It exists
+// so internal/assign can record without importing the registry (and so
+// obs never imports assign back — the handles are plain metric pointers).
+// A nil SolveObs, like every obs handle, is a no-op.
+type SolveObs struct {
+	// Latency receives the wall-clock duration of each ResolveBatch call.
+	Latency *Histogram
+	// Dirty counts dirty lines (rows + columns) actually repaired.
+	Dirty *Counter
+	// Rounds counts auction bidding rounds across ε-scaling phases.
+	Rounds *Counter
+	// Augments counts sequential cleanup augmenting passes.
+	Augments *Counter
+}
+
+// NewSolveObs registers the solve metric family for one pod (or one
+// unsharded solver) in reg. A nil registry yields a nil handle set.
+func NewSolveObs(reg *Registry, pod string) *SolveObs {
+	if reg == nil {
+		return nil
+	}
+	l := Label{Key: "pod", Value: pod}
+	return &SolveObs{
+		Latency:  reg.Histogram("pocolo_obs_pod_solve_seconds", "Wall-clock duration of per-pod batch re-solves.", l),
+		Dirty:    reg.Counter("pocolo_obs_batch_dirty_total", "Dirty matrix lines repaired by batch re-solves.", l),
+		Rounds:   reg.Counter("pocolo_obs_batch_rounds_total", "Auction bidding rounds run by batch re-solves.", l),
+		Augments: reg.Counter("pocolo_obs_batch_augments_total", "Sequential cleanup augmenting passes after auctions.", l),
+	}
+}
+
+// Record folds one re-solve's outcome into the handles.
+func (o *SolveObs) Record(d time.Duration, dirty, rounds, augments int) {
+	if o == nil {
+		return
+	}
+	o.Latency.ObserveDuration(d)
+	o.Dirty.Add(int64(dirty))
+	o.Rounds.Add(int64(rounds))
+	o.Augments.Add(int64(augments))
+}

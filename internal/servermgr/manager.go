@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pocolo/internal/machine"
+	"pocolo/internal/obs"
 	"pocolo/internal/sim"
 	"pocolo/internal/trace"
 	"pocolo/internal/utility"
@@ -106,6 +107,10 @@ type Config struct {
 	// one CapAction per capper knob movement, and tick-phase spans. A nil
 	// tracer disables tracing at the cost of a nil check per site.
 	Tracer *trace.Tracer
+	// Obs, when non-nil, receives per-phase tick duration histograms
+	// (pocolo_obs_manager_tick_seconds{phase="control"|"cap"}). The
+	// histograms merge across managers, giving fleet-wide phase timing.
+	Obs *obs.Registry
 }
 
 // Manager runs the two control loops for one host.
@@ -178,6 +183,10 @@ type Manager struct {
 	tracer   *trace.Tracer
 	lastPath string
 
+	// tick-phase duration histograms (nil = disabled, zero cost)
+	obsControl *obs.Histogram
+	obsCap     *obs.Histogram
+
 	// counters for introspection and tests
 	controlTicks int
 	capThrottles int
@@ -233,6 +242,14 @@ func New(cfg Config) (*Manager, error) {
 		dutyFirst:     cfg.DutyFirst,
 		rng:           cfg.Rand,
 		tracer:        cfg.Tracer,
+	}
+	if cfg.Obs != nil {
+		m.obsControl = cfg.Obs.Histogram("pocolo_obs_manager_tick_seconds",
+			"Wall-clock duration of server-manager ticks by phase.",
+			obs.Label{Key: "phase", Value: "control"})
+		m.obsCap = cfg.Obs.Histogram("pocolo_obs_manager_tick_seconds",
+			"Wall-clock duration of server-manager ticks by phase.",
+			obs.Label{Key: "phase", Value: "cap"})
 	}
 	if m.rng == nil {
 		m.rng = rand.New(rand.NewSource(cfg.Seed))
@@ -380,6 +397,10 @@ func (m *Manager) feasibleAlloc(target float64) (cores, ways int, ok bool) {
 
 // ControlTick runs one iteration of the 1 s LC allocation loop.
 func (m *Manager) ControlTick(now time.Time) {
+	if m.obsControl != nil {
+		start := time.Now()
+		defer func() { m.obsControl.ObserveDuration(time.Since(start)) }()
+	}
 	sp := m.tracer.StartSpan("control_tick")
 	m.controlTicks++
 	cfg := m.host.Machine()
@@ -661,6 +682,10 @@ func (m *Manager) CapTick(now time.Time) {
 	bes := m.host.BEs()
 	if len(bes) == 0 {
 		return
+	}
+	if m.obsCap != nil {
+		start := time.Now()
+		defer func() { m.obsCap.ObserveDuration(time.Since(start)) }()
 	}
 	sp := m.tracer.StartFineSpan("cap_tick")
 	cfg := m.host.Machine()

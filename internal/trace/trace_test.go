@@ -275,3 +275,152 @@ func TestConcurrentRecordAndRead(t *testing.T) {
 		t.Fatalf("ring length = %d, want 64", tr.Len())
 	}
 }
+
+// TestEventsSinceAcrossGrowthAndWrap paginates with a held cursor while
+// the ring doubles underneath (growth between pages) and then wraps
+// (eviction overtakes the cursor). The pagination contract: no event is
+// returned twice, sequences stay strictly ascending, and every event
+// still retained when its page is fetched is returned exactly once.
+func TestEventsSinceAcrossGrowthAndWrap(t *testing.T) {
+	tr := New("h", 256) // ringSeed=64, so the ring doubles at 64 and 128
+	total := 0
+	record := func(n int) {
+		for i := 0; i < n; i++ {
+			total++
+			tr.ControlDecision(at(int64(total)), sampleControl(total))
+		}
+	}
+
+	// Page while the ring grows: fetch a page, then record enough events
+	// to force a doubling (and finally a wrap) before the next fetch.
+	record(60)
+	var got []Event
+	cursor := uint64(0)
+	for _, burst := range []int{30, 70, 104} { // ring: 64 -> 128 -> 256 -> wraps
+		events, next := tr.EventsSince(cursor, 25)
+		got = append(got, events...)
+		cursor = next
+		record(burst)
+	}
+	// Drain whatever is left.
+	for {
+		events, next := tr.EventsSince(cursor, 25)
+		if len(events) == 0 {
+			if next != cursor {
+				t.Fatalf("empty page moved cursor %d -> %d", cursor, next)
+			}
+			break
+		}
+		got = append(got, events...)
+		cursor = next
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("page events out of order or duplicated: seq %d after %d", got[i].Seq, got[i-1].Seq)
+		}
+	}
+	if cursor != tr.lastSeq() {
+		t.Fatalf("drained cursor %d != last seq %d", cursor, tr.lastSeq())
+	}
+
+	// Page across a wraparound: a small ring wraps while a stale cursor is
+	// held. The next page must resume at the oldest retained event with no
+	// duplicates and no stall.
+	small := New("s", 4)
+	record2 := func(n int) {
+		for i := 0; i < n; i++ {
+			small.ControlDecision(at(int64(i)), sampleControl(i))
+		}
+	}
+	record2(3)
+	events, next := small.EventsSince(0, 2)
+	if len(events) != 2 || next != 2 {
+		t.Fatalf("pre-wrap page = %d events, next %d", len(events), next)
+	}
+	record2(9) // seqs 4..12; ring keeps 9..12, cursor 2 is far behind
+	events, next = small.EventsSince(next, 0)
+	if len(events) != 4 || events[0].Seq != 9 || next != 12 {
+		t.Fatalf("post-wrap page = %d events, first seq %d, next %d",
+			len(events), events[0].Seq, next)
+	}
+	if small.Dropped() != 8 {
+		t.Fatalf("dropped = %d, want 8", small.Dropped())
+	}
+}
+
+// lastSeq exposes the newest assigned sequence number for test
+// assertions.
+func (t *Tracer) lastSeq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// TestSetChildrenGrowthRace hammers a Set with parallel per-host writers
+// whose rings are forced through every geometric doubling (capacity far
+// above ringSeed) while concurrent readers page, merge, and snapshot.
+// Run under -race this is the regression net for the ring-growth
+// reallocation path: a torn ring swap shows up as a data race or as a
+// merged timeline with missing or duplicated sequences.
+func TestSetChildrenGrowthRace(t *testing.T) {
+	const hosts, perHost = 8, 600 // 600 > 64*2*2*2: three doublings per child
+	set := NewSet(1024)
+	var writers sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		writers.Add(1)
+		go func(h int) {
+			defer writers.Done()
+			tr := set.Tracer(hostName(h))
+			for i := 1; i <= perHost; i++ {
+				tr.ControlDecision(at(int64(i)), sampleControl(i))
+			}
+		}(h)
+	}
+	stop := make(chan struct{})
+	readers := make(chan struct{})
+	go func() {
+		defer close(readers)
+		cursors := make(map[string]uint64, hosts)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			set.Events()
+			set.Dropped()
+			for h := 0; h < hosts; h++ {
+				tr := set.Tracer(hostName(h))
+				events, next := tr.EventsSince(cursors[hostName(h)], 64)
+				for i := 1; i < len(events); i++ {
+					if events[i].Seq <= events[i-1].Seq {
+						t.Errorf("host %d page out of order: seq %d after %d", h, events[i].Seq, events[i-1].Seq)
+						return
+					}
+				}
+				cursors[hostName(h)] = next
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readers
+
+	for h := 0; h < hosts; h++ {
+		tr := set.Tracer(hostName(h))
+		if tr.Len() != perHost {
+			t.Fatalf("host %d retained %d events, want %d", h, tr.Len(), perHost)
+		}
+		events := tr.Events()
+		for i, ev := range events {
+			if ev.Seq != uint64(i+1) {
+				t.Fatalf("host %d event %d has seq %d", h, i, ev.Seq)
+			}
+		}
+	}
+	if merged := set.Events(); len(merged) != hosts*perHost {
+		t.Fatalf("merged timeline has %d events, want %d", len(merged), hosts*perHost)
+	}
+}
+
+func hostName(h int) string { return "host-" + string(rune('a'+h)) }
